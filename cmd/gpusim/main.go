@@ -1,0 +1,113 @@
+// Command gpusim runs one GPU timing simulation: a benchmark from the
+// paper's suite on a chosen system size, printing the statistics the
+// scale-model methodology consumes (IPC, f_mem, MPKI, utilisations).
+//
+// Usage:
+//
+//	gpusim -bench dct -sms 16
+//	gpusim -bench bfs -weak -sms 32
+//	gpusim -bench va -weak -chiplets 8
+//	gpusim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpuscale"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark abbreviation (see -list)")
+		sms      = flag.Int("sms", 16, "number of SMs (monolithic GPU)")
+		chiplets = flag.Int("chiplets", 0, "simulate an MCM GPU with this many chiplets instead")
+		weak     = flag.Bool("weak", false, "use the weak-scaling variant (input scales with size)")
+		warmup   = flag.Uint64("warmup", 0, "discard statistics until this many instructions have issued (monolithic GPU only)")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("strong-scaling benchmarks (Table II):")
+		for _, b := range gpuscale.Benchmarks() {
+			fmt.Printf("  %-6s %-28s %-9s %s\n", b.Name, b.FullName, b.Suite, b.Class)
+		}
+		fmt.Println("weak-scaling families (Table IV):")
+		for _, w := range gpuscale.WeakBenchmarks() {
+			fmt.Printf("  %-6s %s\n", w.Name, w.Class)
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "gpusim: -bench is required (try -list)")
+		os.Exit(2)
+	}
+
+	var workload gpuscale.Workload
+	if *weak {
+		wb, err := gpuscale.WeakBenchmarkByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		totalSMs := *sms
+		if *chiplets > 0 {
+			totalSMs = *chiplets * gpuscale.Target16Chiplet().Chiplet.NumSMs
+		}
+		workload = wb.ForSMs(totalSMs)
+	} else {
+		b, err := gpuscale.BenchmarkByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		workload = b.Workload
+	}
+
+	if *chiplets > 0 {
+		cfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), *chiplets)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := gpuscale.SimulateMCM(cfg, workload)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("config:        %s (%d SMs total)\n", cfg.Name, cfg.TotalSMs())
+		fmt.Printf("workload:      %s\n", workload.Name())
+		fmt.Printf("cycles:        %d\n", st.Cycles)
+		fmt.Printf("instructions:  %d\n", st.Instructions)
+		fmt.Printf("IPC:           %.2f\n", st.IPC)
+		fmt.Printf("f_mem:         %.3f\n", st.FMem)
+		fmt.Printf("LLC MPKI:      %.2f\n", st.LLCMPKI)
+		fmt.Printf("remote frac:   %.3f\n", st.RemoteFraction)
+		fmt.Printf("CTAs:          %d\n", st.CTAs)
+		return
+	}
+
+	cfg, err := gpuscale.Scale(gpuscale.Baseline128(), *sms)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := gpuscale.SimulateWithOptions(cfg, workload, gpuscale.SimOptions{WarmupInstructions: *warmup})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("config:        %s\n", cfg.Name)
+	fmt.Printf("workload:      %s\n", workload.Name())
+	fmt.Printf("cycles:        %d\n", st.Cycles)
+	fmt.Printf("instructions:  %d\n", st.Instructions)
+	fmt.Printf("IPC:           %.2f  (%.3f per SM)\n", st.IPC, st.IPC/float64(cfg.NumSMs))
+	fmt.Printf("f_mem:         %.3f\n", st.FMem)
+	fmt.Printf("L1 miss rate:  %.3f\n", st.L1MissRate)
+	fmt.Printf("LLC MPKI:      %.2f  (%d misses / %d accesses)\n", st.LLCMPKI, st.LLCMisses, st.LLCAccesses)
+	fmt.Printf("avg load lat:  %.0f cycles\n", st.AvgLoadLatency)
+	fmt.Printf("NoC util:      %.2f\n", st.NoCUtilization)
+	fmt.Printf("DRAM util:     %.2f\n", st.DRAMUtilization)
+	fmt.Printf("CTAs:          %d\n", st.CTAs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpusim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command predict is the equivalent of the paper artifact's scaleModel.py:
+// given the IPC of two scale models and the workload's MPKI at every system
+// size, it predicts target-system performance by doubling the system size
+// once per remaining MPKI sample, and prints the four baseline
+// extrapolations alongside.
+//
+// Usage mirrors the artifact:
+//
+//	predict -small-sms 8 -fmem 0.45 220 410 8.1 7.9 7.6 7.2 0.4
+//
+// where the first two positional values are the small and large scale-model
+// IPCs and the rest is the miss-rate curve (MPKI for the scale models and
+// each target, smallest system first). -fmem supplies the large scale
+// model's memory-stall fraction, required only when the curve has a cliff
+// beyond the scale models. -weak switches to weak scaling (no curve
+// needed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"gpuscale"
+)
+
+func main() {
+	var (
+		smallSMs = flag.Int("small-sms", 8, "size (SMs or chiplets) of the smallest scale model; the large one is twice as big")
+		fmem     = flag.Float64("fmem", 0, "memory-stall fraction of the largest scale model (required for cliff workloads)")
+		weak     = flag.Bool("weak", false, "weak-scaling workload scenario (ignores the miss-rate curve)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "predict: need at least <smallIPC> <largeIPC> [mpki...]")
+		os.Exit(2)
+	}
+	vals := make([]float64, len(args))
+	for i, a := range args {
+		v, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predict: bad value %q: %v\n", a, err)
+			os.Exit(2)
+		}
+		vals[i] = v
+	}
+	smallIPC, largeIPC := vals[0], vals[1]
+	mpki := vals[2:]
+
+	mode := gpuscale.StrongScaling
+	nTargets := len(mpki) - 2
+	if *weak {
+		mode = gpuscale.WeakScaling
+		if nTargets < 1 {
+			nTargets = 3 // default to 4x, 8x, 16x targets under weak scaling
+		}
+	} else if nTargets < 1 {
+		fmt.Fprintln(os.Stderr, "predict: strong scaling needs MPKI for both scale models and at least one target")
+		os.Exit(2)
+	}
+
+	sizes := make([]float64, 2+nTargets)
+	sizes[0] = float64(*smallSMs)
+	for i := 1; i < len(sizes); i++ {
+		sizes[i] = sizes[i-1] * 2
+	}
+	in := gpuscale.PredictionInput{
+		Sizes:     sizes,
+		SmallIPC:  smallIPC,
+		LargeIPC:  largeIPC,
+		FMemLarge: *fmem,
+		Mode:      mode,
+	}
+	if !*weak {
+		in.MPKI = mpki
+	}
+	preds, err := gpuscale.Predict(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+
+	c := gpuscale.CorrectionFactor(sizes[0], smallIPC, sizes[1], largeIPC)
+	fmt.Printf("scale models: %.0f SMs (IPC %.2f), %.0f SMs (IPC %.2f); correction factor C = %.3f\n",
+		sizes[0], smallIPC, sizes[1], largeIPC, c)
+	if !*weak {
+		if i, ok := gpuscale.DetectCliff(in.MPKI, 0, 0); ok {
+			fmt.Printf("miss-rate cliff between %.0f and %.0f SMs\n", sizes[i], sizes[i+1])
+		} else {
+			fmt.Println("no miss-rate cliff detected")
+		}
+	}
+
+	baselines, err := gpuscale.FitBaselines([]gpuscale.RegressionPoint{
+		{Size: sizes[0], IPC: smallIPC},
+		{Size: sizes[1], IPC: largeIPC},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%-8s %-12s %-12s %-12s %-12s %-12s %s\n",
+		"size", "scale-model", "log", "proportional", "linear", "power-law", "region")
+	for _, p := range preds {
+		fmt.Printf("%-8.0f %-12.2f %-12.2f %-12.2f %-12.2f %-12.2f %s\n",
+			p.Size,
+			p.IPC,
+			baselines["logarithmic"].Predict(p.Size),
+			baselines["proportional"].Predict(p.Size),
+			baselines["linear"].Predict(p.Size),
+			baselines["power-law"].Predict(p.Size),
+			p.Region)
+	}
+}

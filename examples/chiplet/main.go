@@ -1,0 +1,61 @@
+// Multi-chiplet GPUs: the paper's Section VII-D case study.
+//
+// Monolithic GPUs cannot grow past the reticle limit; multi-chip-module
+// (MCM) GPUs scale by adding chiplets. This example predicts a 16-chiplet
+// system (1,024 SMs) from 4- and 8-chiplet scale models under weak scaling,
+// then verifies against a real 16-chiplet simulation.
+//
+// Run with: go run ./examples/chiplet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuscale"
+)
+
+func main() {
+	family, err := gpuscale.WeakBenchmarkByName("bp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := gpuscale.Target16Chiplet()
+	smsPerChiplet := base.Chiplet.NumSMs
+
+	simulate := func(chiplets int) gpuscale.MCMStats {
+		cfg, err := gpuscale.ScaleChiplets(base, chiplets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := gpuscale.SimulateMCM(cfg, family.ForSMs(chiplets*smsPerChiplet))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+
+	small := simulate(4)
+	large := simulate(8)
+	fmt.Printf("MCM case study, weak-scaling family %q\n", family.Name)
+	fmt.Printf("4-chiplet scale model (%4d SMs): IPC %.1f, remote accesses %.1f%%\n",
+		4*smsPerChiplet, small.IPC, small.RemoteFraction*100)
+	fmt.Printf("8-chiplet scale model (%4d SMs): IPC %.1f, remote accesses %.1f%%\n\n",
+		8*smsPerChiplet, large.IPC, large.RemoteFraction*100)
+
+	preds, err := gpuscale.Predict(gpuscale.PredictionInput{
+		Sizes:    []float64{4, 8, 16},
+		SmallIPC: small.IPC,
+		LargeIPC: large.IPC,
+		Mode:     gpuscale.WeakScaling,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := simulate(16)
+	p := preds[0]
+	fmt.Printf("16-chiplet target (%d SMs):\n", 16*smsPerChiplet)
+	fmt.Printf("  predicted IPC: %.1f\n", p.IPC)
+	fmt.Printf("  simulated IPC: %.1f\n", target.IPC)
+	fmt.Printf("  error:         %+.1f%%\n", (p.IPC-target.IPC)/target.IPC*100)
+}

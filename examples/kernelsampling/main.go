@@ -1,0 +1,113 @@
+// Kernel sampling: handling real applications that launch many kernels.
+//
+// ML inference workloads (the paper's MLPerf benchmarks) launch thousands
+// of kernel invocations; simulating all of them — even on scale models — is
+// wasteful. The paper uses the Sieve methodology to pick representative
+// kernel invocations. This example builds a 12-kernel application from
+// three kernel families, lets the sieve package pick 3 weighted
+// representatives, runs the scale-model workflow on just those, and checks
+// the whole-application estimate against a full multi-kernel simulation.
+//
+// Run with: go run ./examples/kernelsampling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuscale"
+	"gpuscale/internal/sieve"
+	"gpuscale/internal/trace"
+)
+
+// appKernels builds the synthetic application: conv-like compute kernels,
+// elementwise streaming kernels, and reduction kernels, with varying sizes.
+func appKernels() []gpuscale.Workload {
+	var ks []gpuscale.Workload
+	mk := func(name string, ctas, n, computePer int, lines uint64) {
+		ks = append(ks, &gpuscale.FuncWorkload{
+			WName: name,
+			Spec:  gpuscale.KernelSpec{NumCTAs: ctas, WarpsPerCTA: 2},
+			Factory: func(cta, warp int) gpuscale.Program {
+				id := uint64(cta*2 + warp)
+				g := &trace.SeqGen{Base: id * lines * 128, Stride: 128, Extent: lines * 128}
+				return gpuscale.NewPhaseProgram(gpuscale.Phase{N: n, ComputePer: computePer, Gen: g})
+			},
+		})
+	}
+	for i := 0; i < 4; i++ {
+		mk(fmt.Sprintf("conv%d", i), 1536, 400+40*i, 15, 16) // compute-bound
+	}
+	for i := 0; i < 4; i++ {
+		mk(fmt.Sprintf("eltwise%d", i), 1536, 150+30*i, 2, 37) // bandwidth-bound
+	}
+	for i := 0; i < 4; i++ {
+		mk(fmt.Sprintf("reduce%d", i), 768, 100+20*i, 4, 23) // mixed
+	}
+	return ks
+}
+
+func main() {
+	kernels := appKernels()
+	base := gpuscale.Baseline128()
+
+	// Step 1: cheap functional profiling of every kernel.
+	var profiles []sieve.Profile
+	for _, k := range kernels {
+		p, err := sieve.ProfileKernel(k, base.LineSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+
+	// Step 2: stratified selection of 3 representatives.
+	reps, err := sieve.Select(profiles, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application: %d kernels → %d representatives\n", len(kernels), len(reps))
+	for _, r := range reps {
+		fmt.Printf("  %-9s weight %.2f (%d kernels, %.0f%% memory instructions)\n",
+			r.Profile.Kernel.Name(), r.Weight, r.Members, r.Profile.MemFraction*100)
+	}
+
+	// Step 3: scale-model workflow per representative, predicting 128 SMs.
+	estimate := map[string]float64{}
+	for _, r := range reps {
+		w := r.Profile.Kernel
+		small, err := gpuscale.Simulate(gpuscale.MustScale(base, 8), w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		large, err := gpuscale.Simulate(gpuscale.MustScale(base, 16), w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := gpuscale.PredictAt(gpuscale.PredictionInput{
+			Sizes:    []float64{8, 16, 32, 64, 128},
+			SmallIPC: small.IPC, LargeIPC: large.IPC,
+			Mode: gpuscale.WeakScaling, // no miss-rate cliffs in these kernels
+		}, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		estimate[w.Name()] = pred.IPC
+	}
+	appIPC, err := sieve.EstimateIPC(reps, estimate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4 (verification): simulate the whole 12-kernel application at
+	// 128 SMs and compare.
+	full, err := gpuscale.SimulateSequence(gpuscale.MustScale(base, 128), kernels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhole-application IPC at 128 SMs:\n")
+	fmt.Printf("  sieve + scale-model estimate: %.1f\n", appIPC)
+	fmt.Printf("  full multi-kernel simulation: %.1f\n", full.IPC)
+	fmt.Printf("  error: %+.1f%%  (simulating %d of %d kernels, on 8/16-SM models only)\n",
+		(appIPC-full.IPC)/full.IPC*100, len(reps), len(kernels))
+}

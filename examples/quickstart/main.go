@@ -1,0 +1,81 @@
+// Quickstart: the full scale-model simulation workflow on one benchmark.
+//
+// It simulates the 8- and 16-SM scale models of the paper's dct benchmark,
+// collects the miss-rate curve by functional simulation, predicts the
+// 32/64/128-SM targets, and — because this is a simulator, so we can afford
+// it — also simulates the targets to show the prediction error.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpuscale"
+)
+
+func main() {
+	bench, err := gpuscale.BenchmarkByName("dct")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark: %s (%s, %s scaling)\n\n", bench.FullName, bench.Suite, bench.Class)
+
+	base := gpuscale.Baseline128()
+	cfgs := gpuscale.StandardConfigs()
+
+	// Step 1: simulate the scale models (the only timing simulations the
+	// methodology requires).
+	small, err := gpuscale.Simulate(gpuscale.MustScale(base, 8), bench.Workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	large, err := gpuscale.Simulate(gpuscale.MustScale(base, 16), bench.Workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf(" 8-SM scale model: IPC %.2f, f_mem %.3f\n", small.IPC, small.FMem)
+	fmt.Printf("16-SM scale model: IPC %.2f, f_mem %.3f\n", large.IPC, large.FMem)
+	c := gpuscale.CorrectionFactor(8, small.IPC, 16, large.IPC)
+	fmt.Printf("correction factor C = %.3f\n\n", c)
+
+	// Step 2: collect the miss-rate curve (functional simulation — fast).
+	curve, err := gpuscale.MissRateCurve(bench.Workload, cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("miss-rate curve (MPKI vs LLC capacity):")
+	for _, p := range curve.Points {
+		fmt.Printf("  %7.3f MiB  %8.2f\n", float64(p.CapacityBytes)/(1<<20), p.MPKI)
+	}
+	if i, ok := gpuscale.DetectCliff(curve.MPKIs(), 0, 0); ok {
+		fmt.Printf("cliff between samples %d and %d\n\n", i, i+1)
+	} else {
+		fmt.Println("no cliff detected")
+	}
+
+	// Step 3: predict the targets.
+	preds, err := gpuscale.Predict(gpuscale.PredictionInput{
+		Sizes:     []float64{8, 16, 32, 64, 128},
+		SmallIPC:  small.IPC,
+		LargeIPC:  large.IPC,
+		MPKI:      curve.MPKIs(),
+		FMemLarge: large.FMem,
+		Mode:      gpuscale.StrongScaling,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4 (verification only): simulate the targets and compare.
+	fmt.Printf("%-8s %-12s %-12s %-10s %s\n", "SMs", "predicted", "simulated", "error", "region")
+	for _, p := range preds {
+		st, err := gpuscale.Simulate(gpuscale.MustScale(base, int(p.Size)), bench.Workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := (p.IPC - st.IPC) / st.IPC * 100
+		fmt.Printf("%-8.0f %-12.2f %-12.2f %+8.1f%%  %s\n", p.Size, p.IPC, st.IPC, errPct, p.Region)
+	}
+}

@@ -1,0 +1,69 @@
+// Weak scaling: predicting systems that run proportionally larger inputs.
+//
+// Under weak scaling the workload grows with the machine, the working set
+// stays constant relative to the LLC, and no miss-rate curve is needed —
+// only the two scale-model simulations. Because the scale models also run
+// the *small* inputs, prediction is much cheaper than simulating the target
+// with its big input: this example also reports that simulation speedup
+// (the paper's Figure 7).
+//
+// Run with: go run ./examples/weakscaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gpuscale"
+)
+
+func main() {
+	family, err := gpuscale.WeakBenchmarkByName("va")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := gpuscale.Baseline128()
+
+	// Simulate the scale models with their scaled-down inputs.
+	type run struct {
+		stats gpuscale.SimStats
+		wall  time.Duration
+	}
+	simulate := func(sms int) run {
+		cfg := gpuscale.MustScale(base, sms)
+		start := time.Now()
+		st, err := gpuscale.Simulate(cfg, family.ForSMs(sms))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return run{stats: st, wall: time.Since(start)}
+	}
+	small := simulate(8)
+	large := simulate(16)
+	fmt.Printf("weak-scaling family %q (%s)\n", family.Name, family.Class)
+	fmt.Printf(" 8-SM scale model: IPC %.2f (input: %d CTAs)\n", small.stats.IPC, family.CTAsAt(8))
+	fmt.Printf("16-SM scale model: IPC %.2f (input: %d CTAs)\n\n", large.stats.IPC, family.CTAsAt(16))
+
+	preds, err := gpuscale.Predict(gpuscale.PredictionInput{
+		Sizes:    []float64{8, 16, 32, 64, 128},
+		SmallIPC: small.stats.IPC,
+		LargeIPC: large.stats.IPC,
+		Mode:     gpuscale.WeakScaling,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scaleCost := small.wall + large.wall
+	fmt.Printf("%-6s %-12s %-12s %-9s %s\n", "SMs", "predicted", "simulated", "error", "speedup vs simulating target")
+	for _, p := range preds {
+		target := simulate(int(p.Size))
+		fmt.Printf("%-6.0f %-12.2f %-12.2f %+7.1f%%  %.1fx\n",
+			p.Size, p.IPC, target.stats.IPC,
+			(p.IPC-target.stats.IPC)/target.stats.IPC*100,
+			float64(target.wall)/float64(scaleCost))
+	}
+	fmt.Println("\nUnder weak scaling the target runs a 16x larger input, so predicting from")
+	fmt.Println("the scale models avoids the most expensive simulations entirely.")
+}

@@ -1,0 +1,244 @@
+// Package gpuscale is a Go implementation of GPU scale-model simulation
+// (SeyyedAghaei, Naderan-Tahan, Eeckhout — HPCA 2024): predicting the
+// performance of large GPU systems from simulations of much smaller,
+// proportionally scaled-down "scale models", without ever simulating the
+// target.
+//
+// The library bundles everything the methodology needs:
+//
+//   - a cycle-level GPU timing simulator (SMs with GTO warp scheduling,
+//     private L1s with MSHRs, a crossbar NoC, a sliced shared LLC and
+//     bandwidth-limited memory controllers), playing the role Accel-Sim
+//     plays in the paper;
+//   - a multi-chip-module (MCM) GPU simulator with first-touch page
+//     placement and an inter-chiplet network;
+//   - miss-rate-curve collection, both by fast functional simulation and by
+//     the classic single-pass stack-distance algorithm;
+//   - the scale-model prediction model itself (correction factor,
+//     pre-cliff / cliff / post-cliff regions, strong and weak scaling);
+//   - the baseline extrapolations the paper compares against (proportional,
+//     linear, power-law and logarithmic regression);
+//   - the 21-benchmark strong-scaling suite and 6-family weak-scaling suite
+//     of the paper's Tables II and IV, as synthetic workload generators;
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// # Quickstart
+//
+// Simulate a workload on two scale models, collect its miss-rate curve, and
+// predict a 128-SM target:
+//
+//	bench, _ := gpuscale.BenchmarkByName("dct")
+//	base := gpuscale.Baseline128()
+//	small, _ := gpuscale.Simulate(gpuscale.MustScale(base, 8), bench.Workload)
+//	large, _ := gpuscale.Simulate(gpuscale.MustScale(base, 16), bench.Workload)
+//	curve, _ := gpuscale.MissRateCurve(bench.Workload, gpuscale.StandardConfigs())
+//	preds, _ := gpuscale.Predict(gpuscale.PredictionInput{
+//		Sizes:     []float64{8, 16, 32, 64, 128},
+//		SmallIPC:  small.IPC,
+//		LargeIPC:  large.IPC,
+//		MPKI:      curve.MPKIs(),
+//		FMemLarge: large.FMem,
+//		Mode:      gpuscale.StrongScaling,
+//	})
+//
+// See the examples/ directory for complete programs.
+package gpuscale
+
+import (
+	"gpuscale/internal/chiplet"
+	"gpuscale/internal/config"
+	"gpuscale/internal/core"
+	"gpuscale/internal/gpu"
+	"gpuscale/internal/mrc"
+	"gpuscale/internal/regress"
+	"gpuscale/internal/trace"
+	"gpuscale/internal/workloads"
+)
+
+// Configuration types and constructors.
+type (
+	// SystemConfig describes a monolithic GPU (per-SM resources plus
+	// proportionally scalable shared resources).
+	SystemConfig = config.SystemConfig
+	// ChipletConfig describes a multi-chip-module GPU.
+	ChipletConfig = config.ChipletConfig
+)
+
+// Baseline128 returns the paper's Table III 128-SM baseline target system.
+func Baseline128() SystemConfig { return config.Baseline128() }
+
+// Scale derives a proportionally scaled configuration (Table I): per-SM
+// resources unchanged, shared resources scaled by numSMs/base.NumSMs.
+func Scale(base SystemConfig, numSMs int) (SystemConfig, error) {
+	return config.Scale(base, numSMs)
+}
+
+// MustScale is Scale but panics on error.
+func MustScale(base SystemConfig, numSMs int) SystemConfig {
+	return config.MustScale(base, numSMs)
+}
+
+// StandardConfigs returns the five paper configurations (8, 16, 32, 64 and
+// 128 SMs), smallest first.
+func StandardConfigs() []SystemConfig { return config.StandardConfigs() }
+
+// Target16Chiplet returns the paper's Table V 16-chiplet MCM target.
+func Target16Chiplet() ChipletConfig { return config.Target16Chiplet() }
+
+// ScaleChiplets derives an MCM configuration with a different chiplet count.
+func ScaleChiplets(base ChipletConfig, numChiplets int) (ChipletConfig, error) {
+	return config.ScaleChiplets(base, numChiplets)
+}
+
+// Workload types: implement Workload to simulate your own kernels, or use
+// the built-in benchmark suite.
+type (
+	// Workload is a GPU kernel grid whose warps can be instantiated on
+	// demand.
+	Workload = trace.Workload
+	// KernelSpec is a workload's launch geometry.
+	KernelSpec = trace.KernelSpec
+	// Program is one warp's instruction stream.
+	Program = trace.Program
+	// Instr is one dynamic warp instruction.
+	Instr = trace.Instr
+	// Phase is a building block for PhaseProgram-based workloads.
+	Phase = trace.Phase
+	// FuncWorkload adapts plain functions into a Workload.
+	FuncWorkload = trace.FuncWorkload
+)
+
+// NewPhaseProgram builds a warp program from phases; see the trace package
+// generators (SeqGen, RandGen, InterleaveGen) for address patterns.
+func NewPhaseProgram(phases ...Phase) Program { return trace.NewPhaseProgram(phases...) }
+
+// Simulation.
+type (
+	// SimStats is the result of a monolithic-GPU simulation.
+	SimStats = gpu.Stats
+	// SimOptions tunes a simulation run.
+	SimOptions = gpu.Options
+	// MCMStats is the result of a multi-chiplet simulation.
+	MCMStats = chiplet.Stats
+)
+
+// Simulate runs workload w to completion on cfg and returns its statistics
+// (IPC, f_mem, MPKI, utilisations, …).
+func Simulate(cfg SystemConfig, w Workload) (SimStats, error) { return gpu.Run(cfg, w) }
+
+// SimulateWithOptions is Simulate with explicit options.
+func SimulateWithOptions(cfg SystemConfig, w Workload, opt SimOptions) (SimStats, error) {
+	return gpu.RunWithOptions(cfg, w, opt)
+}
+
+// SimulateSequence runs several kernels back to back (grid barriers
+// between kernels, caches persisting across them), as multi-kernel GPU
+// applications do.
+func SimulateSequence(cfg SystemConfig, kernels []Workload) (SimStats, error) {
+	return gpu.RunSequence(cfg, kernels)
+}
+
+// SimulateMCM runs workload w on a multi-chiplet GPU.
+func SimulateMCM(cfg ChipletConfig, w Workload) (MCMStats, error) { return chiplet.Run(cfg, w) }
+
+// Miss-rate curves.
+type (
+	// Curve is a miss-rate curve: MPKI versus LLC capacity.
+	Curve = mrc.Curve
+	// CurvePoint is one sample of a Curve.
+	CurvePoint = mrc.Point
+)
+
+// MissRateCurve computes w's miss-rate curve by functional simulation (no
+// timing) across the given configurations — the fast path of the paper's
+// Figure 3 workflow.
+func MissRateCurve(w Workload, cfgs []SystemConfig) (Curve, error) {
+	return mrc.FunctionalSweep(w, cfgs)
+}
+
+// StackDistanceCurve computes a fully-associative miss-rate curve with the
+// single-pass reuse-distance algorithm at arbitrary capacities.
+func StackDistanceCurve(w Workload, lineSize int, capacities []int64) (Curve, error) {
+	return mrc.StackDistanceCurve(w, lineSize, capacities)
+}
+
+// Prediction — the paper's contribution.
+type (
+	// PredictionInput bundles the scale-model measurements and miss-rate
+	// curve the predictor consumes.
+	PredictionInput = core.Input
+	// Prediction is the predicted IPC for one target size.
+	Prediction = core.Prediction
+	// ScalingMode selects strong or weak scaling.
+	ScalingMode = core.ScalingMode
+	// Region classifies a prediction against the miss-rate curve.
+	Region = core.Region
+)
+
+// Scaling modes and regions.
+const (
+	StrongScaling = core.StrongScaling
+	WeakScaling   = core.WeakScaling
+	PreCliff      = core.PreCliff
+	CliffRegion   = core.Cliff
+	PostCliff     = core.PostCliff
+)
+
+// Predict runs scale-model prediction for every target size in the input.
+func Predict(in PredictionInput) ([]Prediction, error) { return core.Predict(in) }
+
+// PredictAt predicts one specific target size.
+func PredictAt(in PredictionInput, target float64) (Prediction, error) {
+	return core.PredictAt(in, target)
+}
+
+// CorrectionFactor returns C (Eq. 1): measured scale-model scaling divided
+// by ideal proportional scaling.
+func CorrectionFactor(smallSize, smallIPC, largeSize, largeIPC float64) float64 {
+	return core.CorrectionFactor(smallSize, smallIPC, largeSize, largeIPC)
+}
+
+// DetectCliff scans a miss-rate curve (MPKI per doubling capacity) for a
+// cliff; pass 0, 0 for the paper's default thresholds.
+func DetectCliff(mpki []float64, ratio, minMPKI float64) (int, bool) {
+	return core.DetectCliff(mpki, ratio, minMPKI)
+}
+
+// Baseline extrapolations.
+type (
+	// RegressionModel is a fitted baseline extrapolation.
+	RegressionModel = regress.Model
+	// RegressionPoint is a (size, IPC) observation.
+	RegressionPoint = regress.Point
+)
+
+// FitBaselines fits the paper's four baselines (logarithmic, proportional,
+// linear, power-law) on scale-model observations, keyed by name.
+func FitBaselines(points []RegressionPoint) (map[string]RegressionModel, error) {
+	return regress.FitAll(points)
+}
+
+// Benchmark suite.
+type (
+	// Benchmark is one Table II strong-scaling benchmark.
+	Benchmark = workloads.Benchmark
+	// WeakBenchmark is one Table IV weak-scaling family.
+	WeakBenchmark = workloads.WeakBenchmark
+	// ScalingClass is linear, sub-linear or super-linear.
+	ScalingClass = workloads.ScalingClass
+)
+
+// Benchmarks returns the 21 strong-scaling benchmarks of Table II.
+func Benchmarks() []Benchmark { return workloads.All() }
+
+// BenchmarkByName returns one strong-scaling benchmark by abbreviation.
+func BenchmarkByName(name string) (Benchmark, error) { return workloads.ByName(name) }
+
+// WeakBenchmarks returns the six weak-scaling families of Table IV.
+func WeakBenchmarks() []WeakBenchmark { return workloads.WeakAll() }
+
+// WeakBenchmarkByName returns one weak-scaling family by name.
+func WeakBenchmarkByName(name string) (WeakBenchmark, error) {
+	return workloads.WeakByName(name)
+}

@@ -1,0 +1,69 @@
+package gpuscale_test
+
+import (
+	"fmt"
+	"log"
+	"testing"
+
+	"gpuscale"
+)
+
+func TestFacadeSimulateSequence(t *testing.T) {
+	cfg := gpuscale.MustScale(gpuscale.Baseline128(), 8)
+	k1 := smallLinear("seq-a")
+	k2 := smallLinear("seq-b")
+	st, err := gpuscale.SimulateSequence(cfg, []gpuscale.Workload{k1, k2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kernels != 2 {
+		t.Errorf("Kernels = %d, want 2", st.Kernels)
+	}
+	single, err := gpuscale.Simulate(cfg, smallLinear("seq-c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 2*single.Instructions {
+		t.Errorf("sequence instructions = %d, want %d", st.Instructions, 2*single.Instructions)
+	}
+}
+
+// ExamplePredict demonstrates the prediction API on fixed scale-model
+// numbers: a linearly scaling workload with a flat miss-rate curve.
+func ExamplePredict() {
+	preds, err := gpuscale.Predict(gpuscale.PredictionInput{
+		Sizes:    []float64{8, 16, 32, 64, 128},
+		SmallIPC: 100,
+		LargeIPC: 200,
+		MPKI:     []float64{4, 4, 4, 4, 4},
+		Mode:     gpuscale.StrongScaling,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range preds {
+		fmt.Printf("%3.0f SMs: %.0f (%s)\n", p.Size, p.IPC, p.Region)
+	}
+	// Output:
+	//  32 SMs: 400 (pre-cliff)
+	//  64 SMs: 800 (pre-cliff)
+	// 128 SMs: 1600 (pre-cliff)
+}
+
+// ExampleDetectCliff shows cliff detection on a dct-like miss-rate curve.
+func ExampleDetectCliff() {
+	mpki := []float64{142.9, 142.9, 142.9, 142.9, 23.8}
+	if i, ok := gpuscale.DetectCliff(mpki, 0, 0); ok {
+		fmt.Printf("cliff between samples %d and %d\n", i, i+1)
+	}
+	// Output:
+	// cliff between samples 3 and 4
+}
+
+// ExampleCorrectionFactor shows Eq. 1 on sub-linear scale-model numbers.
+func ExampleCorrectionFactor() {
+	c := gpuscale.CorrectionFactor(8, 100, 16, 180)
+	fmt.Printf("C = %.2f\n", c)
+	// Output:
+	// C = 0.90
+}

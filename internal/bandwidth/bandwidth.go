@@ -1,0 +1,105 @@
+// Package bandwidth provides the queueing primitive shared by the NoC and
+// DRAM models: a work-conserving single-queue server with a fixed service
+// rate in bytes per cycle. Requests scheduled faster than the rate queue up,
+// so their departure times stretch out — this is how provisioned bandwidth
+// (NoC bisection, per-memory-controller bandwidth) turns into latency and,
+// ultimately, into the memory-stall fraction the scale-model predictor
+// consumes.
+package bandwidth
+
+import "fmt"
+
+// Server is a deterministic fluid-model bandwidth server. A request of b
+// bytes arriving at cycle t departs at max(t, clock) + b/rate, where clock
+// is the departure time of the previous request. The zero value is not
+// usable; use NewServer.
+type Server struct {
+	rate       float64 // bytes per cycle
+	clock      float64 // virtual time up to which the server is committed
+	totalBytes uint64
+	requests   uint64
+	busy       float64 // cycles spent serving
+}
+
+// NewServer returns a server with the given service rate in bytes per cycle.
+func NewServer(bytesPerCycle float64) (*Server, error) {
+	if bytesPerCycle <= 0 {
+		return nil, fmt.Errorf("bandwidth: rate must be positive, got %v", bytesPerCycle)
+	}
+	return &Server{rate: bytesPerCycle}, nil
+}
+
+// MustNewServer is NewServer but panics on error.
+func MustNewServer(bytesPerCycle float64) *Server {
+	s, err := NewServer(bytesPerCycle)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Schedule enqueues a transfer of bytes arriving at cycle now and returns
+// its departure cycle. Departure times are monotonically non-decreasing
+// across calls with non-decreasing now.
+func (s *Server) Schedule(now int64, bytes int) int64 {
+	t := float64(now)
+	if s.clock < t {
+		s.clock = t
+	}
+	service := float64(bytes) / s.rate
+	s.clock += service
+	s.busy += service
+	s.totalBytes += uint64(bytes)
+	s.requests++
+	return int64(s.clock + 0.999999) // ceil to whole cycles
+}
+
+// Backlog returns how many cycles past now the server is committed; zero
+// when idle.
+func (s *Server) Backlog(now int64) float64 {
+	b := s.clock - float64(now)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Rate returns the service rate in bytes per cycle.
+func (s *Server) Rate() float64 { return s.rate }
+
+// TotalBytes returns the cumulative bytes scheduled.
+func (s *Server) TotalBytes() uint64 { return s.totalBytes }
+
+// Requests returns the number of Schedule calls.
+func (s *Server) Requests() uint64 { return s.requests }
+
+// BusyCycles returns the cumulative service time in cycles.
+func (s *Server) BusyCycles() float64 { return s.busy }
+
+// Utilization returns busy cycles divided by elapsed cycles (0 when elapsed
+// is non-positive), a number in [0, ~1] for a saturated server.
+func (s *Server) Utilization(elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := s.busy / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset clears the server's clock and statistics.
+func (s *Server) Reset() {
+	s.clock = 0
+	s.ResetStats()
+}
+
+// ResetStats clears the statistics while keeping the virtual clock, so a
+// warmed-up simulation can start measuring without disturbing in-flight
+// queueing state.
+func (s *Server) ResetStats() {
+	s.totalBytes = 0
+	s.requests = 0
+	s.busy = 0
+}

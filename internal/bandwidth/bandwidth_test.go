@@ -1,0 +1,124 @@
+package bandwidth
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewServer(-5); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestScheduleIdleServer(t *testing.T) {
+	s := MustNewServer(128) // 128 B/cycle: one line per cycle
+	if got := s.Schedule(100, 128); got != 101 {
+		t.Errorf("departure = %d, want 101", got)
+	}
+}
+
+func TestScheduleQueueing(t *testing.T) {
+	s := MustNewServer(64) // half a line per cycle
+	d1 := s.Schedule(0, 128)
+	d2 := s.Schedule(0, 128)
+	d3 := s.Schedule(0, 128)
+	if d1 != 2 || d2 != 4 || d3 != 6 {
+		t.Errorf("departures = %d,%d,%d, want 2,4,6", d1, d2, d3)
+	}
+}
+
+func TestScheduleIdleGapResetsClock(t *testing.T) {
+	s := MustNewServer(128)
+	s.Schedule(0, 128) // departs at 1
+	if got := s.Schedule(1000, 128); got != 1001 {
+		t.Errorf("after idle gap, departure = %d, want 1001", got)
+	}
+}
+
+func TestBacklog(t *testing.T) {
+	s := MustNewServer(64)
+	s.Schedule(0, 640) // 10 cycles of service
+	if b := s.Backlog(0); b != 10 {
+		t.Errorf("backlog = %v, want 10", b)
+	}
+	if b := s.Backlog(20); b != 0 {
+		t.Errorf("backlog after drain = %v, want 0", b)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := MustNewServer(128)
+	s.Schedule(0, 128)
+	s.Schedule(0, 256)
+	if s.TotalBytes() != 384 {
+		t.Errorf("TotalBytes = %d, want 384", s.TotalBytes())
+	}
+	if s.Requests() != 2 {
+		t.Errorf("Requests = %d, want 2", s.Requests())
+	}
+	if s.BusyCycles() != 3 {
+		t.Errorf("BusyCycles = %v, want 3", s.BusyCycles())
+	}
+	if u := s.Utilization(6); u != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", u)
+	}
+	if u := s.Utilization(0); u != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", u)
+	}
+	if u := s.Utilization(1); u != 1 {
+		t.Errorf("Utilization clamp = %v, want 1", u)
+	}
+	s.Reset()
+	if s.TotalBytes() != 0 || s.Requests() != 0 || s.BusyCycles() != 0 {
+		t.Error("Reset did not clear stats")
+	}
+}
+
+func TestDepartureMonotonicProperty(t *testing.T) {
+	// Property: with non-decreasing arrival times, departures never go
+	// backwards, and each departure is at or after its arrival.
+	f := func(gaps []uint8, sizes []uint8) bool {
+		s := MustNewServer(32)
+		now := int64(0)
+		last := int64(0)
+		n := len(gaps)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		for i := 0; i < n; i++ {
+			now += int64(gaps[i])
+			d := s.Schedule(now, int(sizes[i])+1)
+			if d < last || d < now {
+				return false
+			}
+			last = d
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturationStretchesLatency(t *testing.T) {
+	// Offered load 2x the service rate: the k-th request's queueing delay
+	// grows linearly — the mechanism behind sub-linear scaling.
+	s := MustNewServer(64)
+	var lastDelay int64
+	for i := int64(0); i < 100; i++ {
+		now := i // one request per cycle, each needing 2 cycles of service
+		d := s.Schedule(now, 128)
+		delay := d - now
+		if delay < lastDelay {
+			t.Fatalf("delay shrank under saturation at request %d", i)
+		}
+		lastDelay = delay
+	}
+	if lastDelay < 90 {
+		t.Errorf("final queueing delay = %d, want ≈100", lastDelay)
+	}
+}

@@ -1,0 +1,152 @@
+// Package cache implements the set-associative caches used by the GPU
+// timing simulator: per-SM private L1 data caches and the shared,
+// address-interleaved last-level cache (LLC) slices. It also provides the
+// MSHR (miss-status holding register) file used to merge concurrent misses
+// to the same line.
+package cache
+
+import "fmt"
+
+// Cache is a set-associative, LRU-replacement cache operating at cache-line
+// granularity. It is a functional hit/miss model: timing is handled by the
+// simulator that drives it. The zero value is not usable; use New.
+type Cache struct {
+	ways     int
+	sets     int
+	lineBits uint
+	setMask  uint64
+	// tags[set*ways+i] holds the line tag in recency order: index 0 is
+	// MRU, index ways-1 is LRU. valid tracks occupancy per way.
+	tags  []uint64
+	valid []bool
+
+	hits   uint64
+	misses uint64
+}
+
+// New constructs a cache with the given total capacity in bytes, the number
+// of ways, and the line size (a power of two). Capacity is rounded down to
+// a whole number of sets; a cache always has at least one set.
+func New(capacityBytes int64, ways, lineSize int) (*Cache, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("cache: capacity must be positive, got %d", capacityBytes)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache: ways must be positive, got %d", ways)
+	}
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cache: line size must be a positive power of two, got %d", lineSize)
+	}
+	lines := capacityBytes / int64(lineSize)
+	if lines < int64(ways) {
+		ways = int(lines)
+		if ways == 0 {
+			return nil, fmt.Errorf("cache: capacity %d smaller than one line", capacityBytes)
+		}
+	}
+	sets := int(lines) / ways
+	// Round sets down to a power of two so the index is a mask.
+	for sets&(sets-1) != 0 {
+		sets &^= sets & -sets
+	}
+	if sets == 0 {
+		sets = 1
+	}
+	lb := uint(0)
+	for 1<<lb != lineSize {
+		lb++
+	}
+	return &Cache{
+		ways:     ways,
+		sets:     sets,
+		lineBits: lb,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*ways),
+		valid:    make([]bool, sets*ways),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(capacityBytes int64, ways, lineSize int) *Cache {
+	c, err := New(capacityBytes, ways, lineSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// LineAddr returns the line-granular address (byte address with the offset
+// bits stripped) for addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Access looks up addr, updates LRU state and statistics, and on a miss
+// installs the line (allocate-on-miss for both loads and stores). It returns
+// true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	base := set * c.ways
+	tag := line >> 0 // the full line address doubles as the tag
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.tags[base+i] == tag {
+			// Hit: move to MRU position.
+			copy(c.tags[base+1:base+i+1], c.tags[base:base+i])
+			copy(c.valid[base+1:base+i+1], c.valid[base:base+i])
+			c.tags[base] = tag
+			c.valid[base] = true
+			c.hits++
+			return true
+		}
+	}
+	// Miss: evict LRU (last way), install at MRU.
+	copy(c.tags[base+1:base+c.ways], c.tags[base:base+c.ways-1])
+	copy(c.valid[base+1:base+c.ways], c.valid[base:base+c.ways-1])
+	c.tags[base] = tag
+	c.valid[base] = true
+	c.misses++
+	return false
+}
+
+// Probe reports whether addr is resident without updating LRU state or
+// statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.tags[base+i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns the number of hits recorded by Access.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses recorded by Access.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Accesses returns hits + misses.
+func (c *Cache) Accesses() uint64 { return c.hits + c.misses }
+
+// MissRate returns misses / accesses, or 0 if the cache was never accessed.
+func (c *Cache) MissRate() float64 {
+	a := c.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(a)
+}
+
+// Sets returns the number of sets (after power-of-two rounding).
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// CapacityLines returns sets × ways.
+func (c *Cache) CapacityLines() int { return c.sets * c.ways }
+
+// ResetStats clears hit/miss counters without touching cache contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }

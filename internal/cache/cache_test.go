@@ -1,0 +1,219 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 128); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(1024, 0, 128); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := New(1024, 4, 100); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := New(64, 4, 128); err == nil {
+		t.Error("capacity < one line accepted")
+	}
+}
+
+func TestNewClampsWaysToCapacity(t *testing.T) {
+	// 2 lines of capacity but 8 ways requested: ways clamp to 2.
+	c := MustNew(256, 8, 128)
+	if c.Ways() != 2 || c.Sets() != 1 {
+		t.Errorf("ways=%d sets=%d, want 2/1", c.Ways(), c.Sets())
+	}
+}
+
+func TestSetsRoundedToPowerOfTwo(t *testing.T) {
+	// 48 KiB, 6-way, 128 B lines -> 384 lines -> 64 sets (power of two).
+	c := MustNew(48*1024, 6, 128)
+	if c.Sets() != 64 {
+		t.Errorf("sets = %d, want 64", c.Sets())
+	}
+	if c.CapacityLines() != 384 {
+		t.Errorf("capacity lines = %d, want 384", c.CapacityLines())
+	}
+}
+
+func TestAccessHitMiss(t *testing.T) {
+	c := MustNew(1024, 4, 128) // 8 lines, 2 sets
+	if c.Access(0) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(0) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(64) { // same line as 0 (offset within 128B line)
+		t.Error("same-line access should hit")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4 lines, 4 ways, 1 set: fill, then access one more to evict LRU.
+	c := MustNew(512, 4, 128)
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * 128)
+	}
+	c.Access(0)       // make line 0 MRU
+	c.Access(4 * 128) // evicts line 1 (LRU)
+	if !c.Probe(0) {
+		t.Error("line 0 should survive (MRU)")
+	}
+	if c.Probe(128) {
+		t.Error("line 1 should be evicted (LRU)")
+	}
+	if !c.Probe(4 * 128) {
+		t.Error("new line should be resident")
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c := MustNew(512, 4, 128)
+	c.Access(0)
+	h, m := c.Hits(), c.Misses()
+	c.Probe(0)
+	c.Probe(999999)
+	if c.Hits() != h || c.Misses() != m {
+		t.Error("Probe changed statistics")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := MustNew(512, 4, 128)
+	if c.MissRate() != 0 {
+		t.Error("empty cache should report 0 miss rate")
+	}
+	c.Access(0)
+	c.Access(0)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := MustNew(512, 4, 128)
+	c.Access(0)
+	c.ResetStats()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	if !c.Access(0) {
+		t.Error("ResetStats should not evict contents")
+	}
+}
+
+func TestWorkingSetFitsProperty(t *testing.T) {
+	// Property: cyclically accessing a working set that fits entirely in a
+	// fully-associative cache yields only cold misses.
+	f := func(rawLines uint8) bool {
+		lines := int(rawLines)%16 + 1
+		c := MustNew(int64(32*128), 32, 128) // 32-line fully-assoc (1 set)
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < lines; i++ {
+				c.Access(uint64(i) * 128)
+			}
+		}
+		return c.Misses() == uint64(lines)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamingNeverHits(t *testing.T) {
+	c := MustNew(4096, 4, 128)
+	for i := uint64(0); i < 1000; i++ {
+		if c.Access(i * 128) {
+			t.Fatalf("streaming access %d hit", i)
+		}
+	}
+	if c.Misses() != 1000 {
+		t.Errorf("misses = %d, want 1000", c.Misses())
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := MustNew(4096, 4, 128)
+	if c.LineAddr(0) != 0 || c.LineAddr(127) != 0 || c.LineAddr(128) != 1 {
+		t.Error("LineAddr mapping wrong")
+	}
+}
+
+func TestMSHRAllocateAndMerge(t *testing.T) {
+	m := NewMSHRFile(2)
+	if !m.Allocate(10, 100) {
+		t.Fatal("first allocate failed")
+	}
+	if !m.Allocate(10, 90) {
+		t.Fatal("merge failed")
+	}
+	if c, ok := m.Lookup(10); !ok || c != 100 {
+		t.Errorf("merged completion = %d,%v, want 100,true", c, ok)
+	}
+	if !m.Allocate(10, 150) {
+		t.Fatal("merge failed")
+	}
+	if c, _ := m.Lookup(10); c != 150 {
+		t.Errorf("later merge should extend completion, got %d", c)
+	}
+	if m.Outstanding() != 1 {
+		t.Errorf("outstanding = %d, want 1", m.Outstanding())
+	}
+}
+
+func TestMSHRFull(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Allocate(1, 10)
+	m.Allocate(2, 10)
+	if !m.Full() {
+		t.Error("file should be full")
+	}
+	if m.Allocate(3, 10) {
+		t.Error("allocate beyond capacity succeeded")
+	}
+	if m.Allocate(1, 20) != true {
+		t.Error("merge into full file should succeed")
+	}
+}
+
+func TestMSHRExpire(t *testing.T) {
+	m := NewMSHRFile(4)
+	m.Allocate(1, 10)
+	m.Allocate(2, 20)
+	m.Allocate(3, 30)
+	if n := m.Expire(20); n != 2 {
+		t.Errorf("expired %d, want 2", n)
+	}
+	if m.Outstanding() != 1 {
+		t.Errorf("outstanding = %d, want 1", m.Outstanding())
+	}
+	if _, ok := m.Lookup(3); !ok {
+		t.Error("entry 3 should survive")
+	}
+}
+
+func TestMSHRNextCompletion(t *testing.T) {
+	m := NewMSHRFile(4)
+	if _, ok := m.NextCompletion(); ok {
+		t.Error("empty file reported a completion")
+	}
+	m.Allocate(1, 30)
+	m.Allocate(2, 10)
+	if c, ok := m.NextCompletion(); !ok || c != 10 {
+		t.Errorf("next completion = %d,%v, want 10,true", c, ok)
+	}
+}
+
+func TestMSHRZeroCapacityClamped(t *testing.T) {
+	m := NewMSHRFile(0)
+	if m.Capacity() != 1 {
+		t.Errorf("capacity = %d, want 1", m.Capacity())
+	}
+}

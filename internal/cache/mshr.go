@@ -1,0 +1,83 @@
+package cache
+
+// MSHRFile models a miss-status holding register file: a bounded table of
+// outstanding misses keyed by line address. Concurrent misses to the same
+// line merge into one entry (and one memory request); the table rejects new
+// lines once Capacity entries are outstanding, which the simulator turns
+// into a structural stall.
+//
+// Each entry remembers the completion time of the underlying memory request
+// so that merged requesters wake at the same cycle the data returns.
+type MSHRFile struct {
+	capacity int
+	entries  map[uint64]int64 // line address -> completion cycle
+}
+
+// NewMSHRFile returns an MSHR file with the given entry capacity.
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &MSHRFile{capacity: capacity, entries: make(map[uint64]int64, capacity)}
+}
+
+// Lookup returns the completion cycle of an outstanding miss on line, if one
+// exists.
+func (m *MSHRFile) Lookup(line uint64) (completion int64, ok bool) {
+	c, ok := m.entries[line]
+	return c, ok
+}
+
+// Full reports whether no new line can be allocated.
+func (m *MSHRFile) Full() bool { return len(m.entries) >= m.capacity }
+
+// Allocate records an outstanding miss on line completing at the given
+// cycle. It reports false if the file is full and the line is not already
+// present. Allocating an already-present line merges: the later completion
+// time wins (conservative — data cannot arrive before the slowest merge).
+func (m *MSHRFile) Allocate(line uint64, completion int64) bool {
+	if prev, ok := m.entries[line]; ok {
+		if completion > prev {
+			m.entries[line] = completion
+		}
+		return true
+	}
+	if len(m.entries) >= m.capacity {
+		return false
+	}
+	m.entries[line] = completion
+	return true
+}
+
+// Expire releases every entry whose completion cycle is ≤ now and returns
+// how many were released.
+func (m *MSHRFile) Expire(now int64) int {
+	n := 0
+	for line, c := range m.entries {
+		if c <= now {
+			delete(m.entries, line)
+			n++
+		}
+	}
+	return n
+}
+
+// NextCompletion returns the earliest completion cycle among outstanding
+// entries, and false if the file is empty.
+func (m *MSHRFile) NextCompletion() (int64, bool) {
+	var best int64
+	found := false
+	for _, c := range m.entries {
+		if !found || c < best {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Outstanding returns the number of occupied entries.
+func (m *MSHRFile) Outstanding() int { return len(m.entries) }
+
+// Capacity returns the entry capacity.
+func (m *MSHRFile) Capacity() int { return m.capacity }

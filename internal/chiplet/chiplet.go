@@ -1,0 +1,351 @@
+// Package chiplet simulates multi-chip-module (MCM) GPUs: several GPU
+// chiplets — each with its own SMs, L1s, LLC slices, intra-chiplet crossbar
+// and memory controllers — joined by an inter-chiplet network (paper
+// Section VII-D). Pages are allocated to chiplets on first touch and CTAs
+// are scheduled round-robin across all chiplets ("distributed" scheduling),
+// following the MCM-GPU design the paper references. A memory access whose
+// page lives on another chiplet pays the inter-chiplet latency and consumes
+// the owning chiplet's inter-chiplet link bandwidth, which scales linearly
+// with chiplet count — the proportional-scaling property that makes small
+// MCM configurations valid scale models for larger ones.
+package chiplet
+
+import (
+	"fmt"
+
+	"gpuscale/internal/bandwidth"
+	"gpuscale/internal/cache"
+	"gpuscale/internal/config"
+	"gpuscale/internal/dram"
+	"gpuscale/internal/noc"
+	"gpuscale/internal/sm"
+	"gpuscale/internal/trace"
+)
+
+// Stats is the result of one MCM simulation.
+type Stats struct {
+	// Cycles is the simulated execution time.
+	Cycles int64
+	// Instructions and MemInstructions count issued warp instructions.
+	Instructions    uint64
+	MemInstructions uint64
+	// IPC aggregates instructions per cycle over all SMs in the package.
+	IPC float64
+	// FMem is the mean SM memory-stall fraction.
+	FMem float64
+	// LLCMPKI is LLC misses per thousand instructions across chiplets.
+	LLCMPKI float64
+	// LLCMisses counts LLC misses across all chiplets.
+	LLCMisses uint64
+	// RemoteFraction is the share of post-L1 accesses served by a remote
+	// chiplet (a first-touch locality measure).
+	RemoteFraction float64
+	// CTAs is the number of thread blocks executed.
+	CTAs uint64
+	// SimEvents is the host-cost proxy (see gpu.Stats.SimEvents).
+	SimEvents uint64
+}
+
+type chipletState struct {
+	sms   []*sm.SM
+	l1s   []*cache.Cache
+	mshrs []*cache.MSHRFile
+	llc   []*cache.Cache
+	xbar  *noc.Crossbar
+	mem   *dram.Memory
+	link  *bandwidth.Server // inter-chiplet port of this chiplet
+}
+
+// Simulator is a configured MCM GPU plus workload. Use New.
+type Simulator struct {
+	cfg      config.ChipletConfig
+	workload trace.Workload
+
+	chips    []*chipletState
+	pages    map[uint64]int // page number → owning chiplet
+	pageBits uint
+	lineBits uint
+
+	nextCTA  int
+	numCTAs  int
+	warpsPer int
+	now      int64
+
+	llcAcc   uint64
+	llcMiss  uint64
+	remote   uint64
+	accesses uint64
+	events   uint64
+	maxCyc   int64
+}
+
+// Options tune a simulation run.
+type Options struct {
+	// MaxCycles aborts the run when exceeded; zero means no limit.
+	MaxCycles int64
+}
+
+// New validates and builds an MCM simulator.
+func New(cfg config.ChipletConfig, w trace.Workload, opt Options) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil {
+		return nil, fmt.Errorf("chiplet: nil workload")
+	}
+	k := w.Kernel()
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("chiplet: workload %q: %w", w.Name(), err)
+	}
+	if k.WarpsPerCTA > cfg.Chiplet.WarpsPerSM {
+		return nil, fmt.Errorf("chiplet: workload %q CTA has %d warps but SMs hold only %d",
+			w.Name(), k.WarpsPerCTA, cfg.Chiplet.WarpsPerSM)
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		workload: w,
+		pages:    make(map[uint64]int, 1<<16),
+		numCTAs:  k.NumCTAs,
+		warpsPer: k.WarpsPerCTA,
+		maxCyc:   opt.MaxCycles,
+	}
+	for 1<<s.lineBits != cfg.Chiplet.LineSize {
+		s.lineBits++
+	}
+	for 1<<s.pageBits != cfg.PageSize {
+		s.pageBits++
+	}
+	ch := cfg.Chiplet
+	maxCTAs := ch.MaxCTAsPerSM
+	if k.CTAsPerSMLimit > 0 && k.CTAsPerSMLimit < maxCTAs {
+		maxCTAs = k.CTAsPerSMLimit
+	}
+	s.chips = make([]*chipletState, cfg.NumChiplets)
+	for c := range s.chips {
+		cs := &chipletState{
+			sms:   make([]*sm.SM, ch.NumSMs),
+			l1s:   make([]*cache.Cache, ch.NumSMs),
+			mshrs: make([]*cache.MSHRFile, ch.NumSMs),
+			llc:   make([]*cache.Cache, ch.LLCSlices),
+		}
+		for i := 0; i < ch.NumSMs; i++ {
+			cs.sms[i] = sm.MustNew(ch.WarpsPerSM, maxCTAs, ch.ComputeLatency)
+			cs.l1s[i] = cache.MustNew(ch.L1SizeBytes, ch.L1Ways, ch.LineSize)
+			cs.mshrs[i] = cache.NewMSHRFile(ch.L1MSHRs)
+		}
+		for i := range cs.llc {
+			cs.llc[i] = cache.MustNew(ch.LLCSliceSize(), ch.LLCWays, ch.LineSize)
+		}
+		cs.xbar = noc.MustNew(noc.Config{
+			BisectionBytesPerCycle: ch.BytesPerCycle(ch.NoCBisectionGBps),
+			Ports:                  ch.LLCSlices,
+			BaseLatency:            ch.NoCBaseLatency,
+		})
+		cs.mem = dram.MustNew(dram.Config{
+			Controllers:        ch.MemControllers,
+			BytesPerCyclePerMC: ch.BytesPerCycle(ch.MemBWPerMCGBps),
+			Latency:            ch.DRAMLatency,
+		})
+		cs.link = bandwidth.MustNewServer(ch.BytesPerCycle(cfg.InterChipletGBpsPerChiplet))
+		s.chips[c] = cs
+	}
+	return s, nil
+}
+
+// port adapts the MCM memory hierarchy to one SM.
+type port struct {
+	sim  *Simulator
+	chip int
+	smID int
+}
+
+// Access implements sm.MemPort for the MCM hierarchy: L1 → (first-touch
+// page lookup) → possibly inter-chiplet link → owner's crossbar → owner's
+// LLC slice → owner's DRAM.
+func (p *port) Access(now int64, in trace.Instr) int64 {
+	s := p.sim
+	cs := s.chips[p.chip]
+	ch := s.cfg.Chiplet
+	line := in.Addr >> s.lineBits
+	bypass := in.Flags&trace.BypassL1 != 0
+	if !bypass {
+		if cs.l1s[p.smID].Access(in.Addr) {
+			return now + int64(ch.L1HitLatency)
+		}
+	}
+	mshr := cs.mshrs[p.smID]
+	mshr.Expire(now)
+	load := in.Kind == trace.Load
+	if load && !bypass {
+		if comp, ok := mshr.Lookup(line); ok {
+			return comp
+		}
+	}
+	arrival := now
+	full := mshr.Full()
+	if full {
+		if nc, ok := mshr.NextCompletion(); ok && nc > arrival {
+			arrival = nc
+		}
+	}
+	// First-touch page allocation decides the owning chiplet.
+	page := in.Addr >> s.pageBits
+	owner, seen := s.pages[page]
+	if !seen {
+		owner = p.chip
+		s.pages[page] = owner
+	}
+	s.accesses++
+	t := arrival
+	remote := owner != p.chip
+	if remote {
+		s.remote++
+		t = s.chips[owner].link.Schedule(t, ch.LineSize) + int64(s.cfg.InterChipletLatency)
+	}
+	oc := s.chips[owner]
+	nSlices := uint64(len(oc.llc))
+	slice := int(line % nSlices)
+	t = oc.xbar.Transfer(t, slice, ch.LineSize)
+	t += int64(ch.LLCHitLatency)
+	s.llcAcc++
+	sliceLocal := (line / nSlices) << s.lineBits
+	if !oc.llc[slice].Access(sliceLocal) {
+		s.llcMiss++
+		t = oc.mem.Access(t, line, ch.LineSize)
+		t += int64((line * 0x9e3779b9 >> 13) % 13)
+	}
+	t += int64(ch.NoCBaseLatency)
+	if remote {
+		t += int64(s.cfg.InterChipletLatency)
+	}
+	if load && !bypass && !full {
+		mshr.Allocate(line, t)
+	}
+	return t
+}
+
+// fillCTAs launches pending CTAs across the chiplets' SMs. Under the
+// default "distributed" policy (Table V) consecutive CTAs land on
+// consecutive chiplets; under "contiguous" a chiplet fills before the next
+// one is used, which keeps first-touch pages more local at the cost of
+// balance.
+func (s *Simulator) fillCTAs() {
+	total := s.cfg.NumChiplets * s.cfg.Chiplet.NumSMs
+	contiguous := s.cfg.CTAScheduler == "contiguous"
+	for s.nextCTA < s.numCTAs {
+		launched := false
+		for g := 0; g < total && s.nextCTA < s.numCTAs; g++ {
+			var c, i int
+			if contiguous {
+				c, i = g/s.cfg.Chiplet.NumSMs, g%s.cfg.Chiplet.NumSMs
+			} else {
+				c, i = g%s.cfg.NumChiplets, g/s.cfg.NumChiplets
+			}
+			m := s.chips[c].sms[i]
+			if !m.CanAccept(s.warpsPer) {
+				continue
+			}
+			progs := make([]trace.Program, s.warpsPer)
+			for wpi := range progs {
+				progs[wpi] = s.workload.NewProgram(s.nextCTA, wpi)
+			}
+			m.LaunchCTA(progs)
+			s.nextCTA++
+			launched = true
+		}
+		if !launched {
+			return
+		}
+	}
+}
+
+// Run executes the workload to completion.
+func (s *Simulator) Run() (Stats, error) {
+	type smRef struct {
+		m *sm.SM
+		p *port
+	}
+	var all []smRef
+	for c, cs := range s.chips {
+		for i, m := range cs.sms {
+			all = append(all, smRef{m: m, p: &port{sim: s, chip: c, smID: i}})
+		}
+	}
+	kinds := make([]sm.TickKind, len(all))
+	s.fillCTAs()
+	for {
+		live := 0
+		for _, r := range all {
+			live += r.m.LiveWarps()
+		}
+		if live == 0 && s.nextCTA >= s.numCTAs {
+			break
+		}
+		if s.maxCyc > 0 && s.now > s.maxCyc {
+			return Stats{}, fmt.Errorf("chiplet: %q on %s exceeded MaxCycles=%d",
+				s.workload.Name(), s.cfg.Name, s.maxCyc)
+		}
+		issued := false
+		for i, r := range all {
+			kinds[i] = r.m.Tick(s.now, r.p)
+			if kinds[i] == sm.Issued {
+				issued = true
+			}
+			s.events++
+		}
+		if issued {
+			for i, r := range all {
+				r.m.Accrue(kinds[i], 1)
+			}
+			s.now++
+		} else {
+			next := int64(-1)
+			for _, r := range all {
+				if ev, ok := r.m.NextEvent(); ok && (next < 0 || ev < next) {
+					next = ev
+				}
+			}
+			if next <= s.now {
+				next = s.now + 1
+			}
+			w := uint64(next - s.now)
+			for i, r := range all {
+				r.m.Accrue(kinds[i], w)
+			}
+			s.now = next
+		}
+		s.fillCTAs()
+	}
+	var st Stats
+	st.Cycles = s.now
+	var fmemSum float64
+	for _, r := range all {
+		ss := r.m.Stats()
+		st.Instructions += ss.Instructions
+		st.MemInstructions += ss.MemInstructions
+		st.CTAs += ss.CTAsCompleted
+		fmemSum += ss.FMem()
+	}
+	if st.Cycles > 0 {
+		st.IPC = float64(st.Instructions) / float64(st.Cycles)
+	}
+	st.FMem = fmemSum / float64(len(all))
+	st.LLCMisses = s.llcMiss
+	if st.Instructions > 0 {
+		st.LLCMPKI = float64(s.llcMiss) / (float64(st.Instructions) / 1000)
+	}
+	if s.accesses > 0 {
+		st.RemoteFraction = float64(s.remote) / float64(s.accesses)
+	}
+	st.SimEvents = s.events + st.Instructions
+	return st, nil
+}
+
+// Run is the one-call convenience API: simulate w on the MCM config.
+func Run(cfg config.ChipletConfig, w trace.Workload) (Stats, error) {
+	s, err := New(cfg, w, Options{})
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,215 @@
+package chiplet
+
+import (
+	"testing"
+
+	"gpuscale/internal/config"
+	"gpuscale/internal/trace"
+	"gpuscale/internal/workloads"
+)
+
+func smallMCM(chiplets, smsPerChiplet int) config.ChipletConfig {
+	c := config.Target16Chiplet()
+	c.Chiplet.NumSMs = smsPerChiplet
+	return config.MustScaleChiplets(c, chiplets)
+}
+
+func computeWorkload(ctas, warps, n int) trace.Workload {
+	return &trace.FuncWorkload{
+		WName: "mcm-compute",
+		Spec:  trace.KernelSpec{NumCTAs: ctas, WarpsPerCTA: warps},
+		Factory: func(cta, warp int) trace.Program {
+			return trace.NewPhaseProgram(trace.Phase{N: n})
+		},
+	}
+}
+
+func streamWorkload(ctas, warps, loads int) trace.Workload {
+	return &trace.FuncWorkload{
+		WName: "mcm-stream",
+		Spec:  trace.KernelSpec{NumCTAs: ctas, WarpsPerCTA: warps},
+		Factory: func(cta, warp int) trace.Program {
+			base := uint64(cta*warps+warp) * uint64(loads) * 128
+			g := &trace.SeqGen{Base: base, Stride: 128, Extent: 1 << 40}
+			return trace.NewPhaseProgram(trace.Phase{N: loads * 3, ComputePer: 2, Gen: g})
+		},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	w := computeWorkload(8, 2, 10)
+	bad := smallMCM(2, 4)
+	bad.NumChiplets = 0
+	if _, err := New(bad, w, Options{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(smallMCM(2, 4), nil, Options{}); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := New(smallMCM(2, 4), computeWorkload(1, 500, 1), Options{}); err == nil {
+		t.Error("oversized CTA accepted")
+	}
+	if _, err := New(smallMCM(2, 4), computeWorkload(0, 1, 1), Options{}); err == nil {
+		t.Error("zero CTAs accepted")
+	}
+}
+
+func TestComputeRunsToCompletion(t *testing.T) {
+	st, err := Run(smallMCM(2, 4), computeWorkload(32, 2, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 32*2*50 {
+		t.Errorf("instructions = %d, want %d", st.Instructions, 32*2*50)
+	}
+	if st.CTAs != 32 {
+		t.Errorf("CTAs = %d, want 32", st.CTAs)
+	}
+	if st.IPC <= 0 {
+		t.Error("IPC not positive")
+	}
+	if st.RemoteFraction != 0 {
+		t.Errorf("compute workload has remote accesses: %v", st.RemoteFraction)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallMCM(2, 4)
+	w := streamWorkload(32, 2, 60)
+	a, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFirstTouchCreatesRemoteTraffic(t *testing.T) {
+	// A shared region touched by CTAs on every chiplet: whoever touches a
+	// page first owns it, so later accesses from other chiplets are
+	// remote.
+	shared := &trace.FuncWorkload{
+		WName: "mcm-shared",
+		Spec:  trace.KernelSpec{NumCTAs: 64, WarpsPerCTA: 2},
+		Factory: func(cta, warp int) trace.Program {
+			g := &trace.SeqGen{Base: 0, Start: uint64(warp) * 128, Stride: 128, Extent: 1 << 21}
+			return trace.NewPhaseProgram(trace.Phase{N: 120, ComputePer: 1, Gen: g})
+		},
+	}
+	st, err := Run(smallMCM(4, 4), shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemoteFraction <= 0.3 {
+		t.Errorf("RemoteFraction = %v, want well above 0 for shared data on 4 chiplets", st.RemoteFraction)
+	}
+}
+
+func TestPrivateDataStaysLocalMostly(t *testing.T) {
+	// Streaming private data: each page is touched by exactly one warp,
+	// so every access is local.
+	st, err := Run(smallMCM(4, 4), streamWorkload(64, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RemoteFraction > 0.05 {
+		t.Errorf("RemoteFraction = %v, want ≈0 for private streams", st.RemoteFraction)
+	}
+}
+
+func TestWeakScalingAcrossChiplets(t *testing.T) {
+	// A weak-scaled workload on 2 vs 4 chiplets: IPC should roughly
+	// double (linear family).
+	wb, err := workloads.WeakByName("va")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Run(smallMCM(2, 8), wb.ForSMs(2*8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st4, err := Run(smallMCM(4, 8), wb.ForSMs(4*8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := st4.IPC / st2.IPC
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("weak va scaled %.2fx from 2 to 4 chiplets, want ≈2x", ratio)
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	s, err := New(smallMCM(2, 4), streamWorkload(32, 2, 100), Options{MaxCycles: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("MaxCycles did not abort")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	st, err := Run(smallMCM(2, 4), streamWorkload(32, 2, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemInstructions > st.Instructions {
+		t.Error("mem instructions exceed instructions")
+	}
+	if st.LLCMPKI < 0 {
+		t.Error("negative MPKI")
+	}
+	if st.FMem < 0 || st.FMem > 1 {
+		t.Errorf("FMem out of range: %v", st.FMem)
+	}
+	if st.SimEvents == 0 {
+		t.Error("SimEvents not recorded")
+	}
+}
+
+func TestContiguousSchedulerImprovesLocality(t *testing.T) {
+	// CTAs sharing per-CTA-neighbourhood pages: contiguous placement keeps
+	// neighbours on one chiplet, so its remote fraction must be lower
+	// than distributed scheduling's.
+	mk := func() trace.Workload {
+		return &trace.FuncWorkload{
+			WName: "mcm-neighbour",
+			Spec:  trace.KernelSpec{NumCTAs: 64, WarpsPerCTA: 2},
+			Factory: func(cta, warp int) trace.Program {
+				// Consecutive CTAs touch overlapping 16 KiB windows.
+				base := uint64(cta/8) * 16384
+				g := &trace.SeqGen{Base: base, Start: uint64(warp) * 128, Stride: 128, Extent: 16384}
+				return trace.NewPhaseProgram(trace.Phase{N: 60, ComputePer: 1, Gen: g})
+			},
+		}
+	}
+	dist := smallMCM(4, 4)
+	stDist, err := Run(dist, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont := smallMCM(4, 4)
+	cont.CTAScheduler = "contiguous"
+	cont.Name = "mcm-4c-contig"
+	stCont, err := Run(cont, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCont.RemoteFraction >= stDist.RemoteFraction {
+		t.Errorf("contiguous remote fraction %.3f not below distributed %.3f",
+			stCont.RemoteFraction, stDist.RemoteFraction)
+	}
+}
+
+func TestBadCTASchedulerRejected(t *testing.T) {
+	cfg := smallMCM(2, 4)
+	cfg.CTAScheduler = "zigzag"
+	if _, err := New(cfg, computeWorkload(4, 2, 10), Options{}); err == nil {
+		t.Error("unknown CTA scheduler accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Package dram models the off-chip memory system: a set of memory
+// controllers, each a bandwidth-limited server fronting fixed-latency DRAM.
+// LLC misses are routed to a controller by line address; a controller's
+// queueing delay grows when its provisioned bandwidth is exceeded, which is
+// how aggregate memory bandwidth — a proportionally scaled shared resource —
+// shapes performance in both scale models and targets.
+package dram
+
+import (
+	"fmt"
+
+	"gpuscale/internal/bandwidth"
+)
+
+// Memory is a collection of memory controllers.
+type Memory struct {
+	mcs     []*bandwidth.Server
+	latency int64
+}
+
+// Config parameterises a Memory.
+type Config struct {
+	// Controllers is the number of memory controllers.
+	Controllers int
+	// BytesPerCyclePerMC is each controller's bandwidth in bytes/cycle.
+	BytesPerCyclePerMC float64
+	// Latency is the fixed DRAM access latency in cycles, added after the
+	// controller's bandwidth queue.
+	Latency int
+}
+
+// New constructs a Memory.
+func New(cfg Config) (*Memory, error) {
+	if cfg.Controllers <= 0 {
+		return nil, fmt.Errorf("dram: controllers must be positive, got %d", cfg.Controllers)
+	}
+	if cfg.BytesPerCyclePerMC <= 0 {
+		return nil, fmt.Errorf("dram: per-MC bandwidth must be positive, got %v", cfg.BytesPerCyclePerMC)
+	}
+	if cfg.Latency < 0 {
+		return nil, fmt.Errorf("dram: latency must be non-negative, got %d", cfg.Latency)
+	}
+	m := &Memory{mcs: make([]*bandwidth.Server, cfg.Controllers), latency: int64(cfg.Latency)}
+	for i := range m.mcs {
+		m.mcs[i] = bandwidth.MustNewServer(cfg.BytesPerCyclePerMC)
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Access schedules a DRAM access of bytes for line at cycle now and returns
+// the cycle the data is available. Lines map to controllers by modulo
+// interleaving on the line address.
+func (m *Memory) Access(now int64, line uint64, bytes int) int64 {
+	mc := m.mcs[int(line)%len(m.mcs)]
+	return mc.Schedule(now, bytes) + m.latency
+}
+
+// Controllers returns the number of memory controllers.
+func (m *Memory) Controllers() int { return len(m.mcs) }
+
+// Latency returns the fixed DRAM latency in cycles.
+func (m *Memory) Latency() int64 { return m.latency }
+
+// TotalBytes returns the cumulative bytes served across controllers.
+func (m *Memory) TotalBytes() uint64 {
+	var t uint64
+	for _, mc := range m.mcs {
+		t += mc.TotalBytes()
+	}
+	return t
+}
+
+// ResetStats clears bandwidth statistics on every controller without
+// touching queue state.
+func (m *Memory) ResetStats() {
+	for _, mc := range m.mcs {
+		mc.ResetStats()
+	}
+}
+
+// Utilization returns the mean controller utilisation over elapsed cycles.
+func (m *Memory) Utilization(elapsed int64) float64 {
+	var u float64
+	for _, mc := range m.mcs {
+		u += mc.Utilization(elapsed)
+	}
+	return u / float64(len(m.mcs))
+}

@@ -1,0 +1,84 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Controllers: 0, BytesPerCyclePerMC: 10}); err == nil {
+		t.Error("zero controllers accepted")
+	}
+	if _, err := New(Config{Controllers: 2, BytesPerCyclePerMC: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := New(Config{Controllers: 2, BytesPerCyclePerMC: 10, Latency: -1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestAccessLatency(t *testing.T) {
+	m := MustNew(Config{Controllers: 1, BytesPerCyclePerMC: 128, Latency: 100})
+	if got := m.Access(0, 0, 128); got != 101 {
+		t.Errorf("access = %d, want 101", got)
+	}
+}
+
+func TestControllerInterleaving(t *testing.T) {
+	m := MustNew(Config{Controllers: 4, BytesPerCyclePerMC: 128, Latency: 0})
+	// Lines 0..3 map to distinct controllers: no queueing.
+	for line := uint64(0); line < 4; line++ {
+		if got := m.Access(0, line, 128); got != 1 {
+			t.Errorf("line %d access = %d, want 1", line, got)
+		}
+	}
+	// Same line again queues on the same controller.
+	if got := m.Access(0, 0, 128); got != 2 {
+		t.Errorf("repeat access = %d, want 2", got)
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	m := MustNew(Config{Controllers: 2, BytesPerCyclePerMC: 64, Latency: 50})
+	var last int64
+	for i := 0; i < 100; i++ {
+		last = m.Access(0, uint64(i), 128)
+	}
+	// 100 accesses * 128 B over 2 MCs at 64 B/c each: ≈100 cycles of
+	// queueing plus the 50-cycle latency.
+	if last < 140 {
+		t.Errorf("saturated access = %d, want ≥140", last)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := MustNew(Config{Controllers: 2, BytesPerCyclePerMC: 128, Latency: 10})
+	m.Access(0, 0, 128)
+	m.Access(0, 1, 128)
+	if m.TotalBytes() != 256 {
+		t.Errorf("TotalBytes = %d, want 256", m.TotalBytes())
+	}
+	if m.Controllers() != 2 || m.Latency() != 10 {
+		t.Error("accessors wrong")
+	}
+	if u := m.Utilization(1); u != 1 {
+		t.Errorf("utilization = %v, want 1", u)
+	}
+}
+
+func TestAccessAfterLatencyProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		m := MustNew(Config{Controllers: 3, BytesPerCyclePerMC: 32, Latency: 25})
+		now := int64(0)
+		for _, l := range lines {
+			now++
+			if d := m.Access(now, uint64(l), 128); d < now+25 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,461 @@
+// Package gpu assembles the full GPU timing simulator: SMs with private L1
+// caches and MSHRs, a crossbar NoC, an address-interleaved shared LLC, and
+// bandwidth-limited memory controllers. It plays the role Accel-Sim plays in
+// the paper — the "detailed timing model" box of Figure 3 — producing the
+// IPC and f_mem numbers that scale-model prediction consumes.
+//
+// The timing model is a schedule-ahead cycle simulator: every cycle each SM
+// may issue one instruction; a memory instruction's completion time is
+// computed immediately by chaining the L1 lookup, NoC transfer (bisection and
+// per-slice queueing), LLC lookup, and — on an LLC miss — memory-controller
+// queueing plus DRAM latency. When no SM can issue, the simulator skips
+// directly to the next warp wake-up, accruing the skipped cycles to each
+// SM's stall classification, so long memory stalls cost nothing to simulate.
+package gpu
+
+import (
+	"fmt"
+
+	"gpuscale/internal/cache"
+	"gpuscale/internal/config"
+	"gpuscale/internal/dram"
+	"gpuscale/internal/noc"
+	"gpuscale/internal/sm"
+	"gpuscale/internal/trace"
+)
+
+// Options tune a simulation run.
+type Options struct {
+	// MaxCycles aborts the simulation if it exceeds this many cycles;
+	// zero means no limit.
+	MaxCycles int64
+	// DisableEventSkip forces cycle-by-cycle execution even when every SM
+	// is stalled. Results are identical; only the host time differs. It
+	// exists for the event-skip ablation benchmark.
+	DisableEventSkip bool
+	// WarmupInstructions, when positive, discards all statistics gathered
+	// before this many instructions have issued: caches stay warm and
+	// queues keep their state, but counters restart, so the reported
+	// Stats reflect steady-state behaviour only. Cycles and IPC are then
+	// measured over the post-warm-up window.
+	WarmupInstructions uint64
+}
+
+// Stats is the result of one simulation run.
+type Stats struct {
+	// Cycles is the simulated execution time in SM cycles.
+	Cycles int64
+	// Instructions is the total number of warp instructions issued.
+	Instructions uint64
+	// MemInstructions counts loads and stores among Instructions.
+	MemInstructions uint64
+	// IPC is Instructions / Cycles aggregated over all SMs: the
+	// performance metric the paper's figures plot.
+	IPC float64
+	// FMem is the mean over SMs of the memory-stall fraction: cycles in
+	// which an SM fetched nothing because every blocked warp waited on
+	// memory, divided by all cycles. This is the f_mem of Eq. 3.
+	FMem float64
+	// L1MissRate is misses/accesses across all private L1s.
+	L1MissRate float64
+	// LLCAccesses and LLCMisses count shared-LLC traffic.
+	LLCAccesses uint64
+	LLCMisses   uint64
+	// LLCMPKI is LLC misses per thousand instructions — the unit of the
+	// paper's miss-rate curves.
+	LLCMPKI float64
+	// NoCUtilization is the bisection busy fraction.
+	NoCUtilization float64
+	// DRAMUtilization is the mean memory-controller busy fraction.
+	DRAMUtilization float64
+	// CTAs is the number of thread blocks executed.
+	CTAs uint64
+	// Kernels is the number of kernels executed (1 unless NewSequence).
+	Kernels int
+	// MSHRStalls counts accesses delayed by a full MSHR file.
+	MSHRStalls uint64
+	// SkippedCycles counts cycles elided by event-skip fast-forwarding.
+	SkippedCycles int64
+	// SimEvents is a host-cost proxy: instructions issued plus per-cycle
+	// SM ticks executed. Weak-scaling speedup (paper Fig. 7) is the ratio
+	// of target SimEvents to the scale models' total.
+	SimEvents uint64
+	// AvgLoadLatency is the mean issue-to-data latency of loads in cycles.
+	AvgLoadLatency float64
+}
+
+// Simulator is a configured GPU plus workload, ready to Run. Use New. A
+// simulation may span several kernels executed back to back — a grid
+// barrier between kernels, caches persisting across them — as real GPU
+// applications do; see NewSequence.
+type Simulator struct {
+	cfg     config.SystemConfig
+	kernels []trace.Workload
+	opt     Options
+
+	sms   []*sm.SM
+	l1s   []*cache.Cache
+	mshrs []*cache.MSHRFile
+	llc   []*cache.Cache
+	xbar  *noc.Crossbar
+	mem   *dram.Memory
+
+	lineBits    uint
+	kernelIdx   int
+	nextCTA     int
+	numCTAs     int
+	warpsPer    int
+	ctaLimit    int
+	now         int64
+	statsSince  int64
+	issuedSoFar uint64
+	warmupDone  bool
+	llcAcc      uint64
+	llcMiss     uint64
+	loadLat     uint64
+	loads       uint64
+	mshrStall   uint64
+	skipped     int64
+	events      uint64
+}
+
+// New validates cfg and workload and builds a single-kernel Simulator.
+func New(cfg config.SystemConfig, w trace.Workload, opt Options) (*Simulator, error) {
+	return NewSequence(cfg, []trace.Workload{w}, opt)
+}
+
+// NewSequence builds a Simulator over a sequence of kernels executed back
+// to back: kernel i+1 launches only after every CTA of kernel i has
+// retired (a grid barrier), while cache and memory state persist across
+// kernels. Per-kernel occupancy limits apply while that kernel runs.
+func NewSequence(cfg config.SystemConfig, kernels []trace.Workload, opt Options) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("gpu: no kernels")
+	}
+	maxWarpsPerCTA := 0
+	for _, w := range kernels {
+		if w == nil {
+			return nil, fmt.Errorf("gpu: nil workload")
+		}
+		k := w.Kernel()
+		if err := k.Validate(); err != nil {
+			return nil, fmt.Errorf("gpu: workload %q: %w", w.Name(), err)
+		}
+		if k.WarpsPerCTA > cfg.WarpsPerSM {
+			return nil, fmt.Errorf("gpu: workload %q CTA has %d warps but SMs hold only %d",
+				w.Name(), k.WarpsPerCTA, cfg.WarpsPerSM)
+		}
+		if k.WarpsPerCTA > maxWarpsPerCTA {
+			maxWarpsPerCTA = k.WarpsPerCTA
+		}
+	}
+	k0 := kernels[0].Kernel()
+	s := &Simulator{
+		cfg:      cfg,
+		kernels:  kernels,
+		opt:      opt,
+		numCTAs:  k0.NumCTAs,
+		warpsPer: k0.WarpsPerCTA,
+	}
+	lb := uint(0)
+	for 1<<lb != cfg.LineSize {
+		lb++
+	}
+	s.lineBits = lb
+	s.ctaLimit = k0.CTAsPerSMLimit
+	policy := sm.GTO
+	if cfg.WarpScheduler == "lrr" {
+		policy = sm.LRR
+	}
+	s.sms = make([]*sm.SM, cfg.NumSMs)
+	s.l1s = make([]*cache.Cache, cfg.NumSMs)
+	s.mshrs = make([]*cache.MSHRFile, cfg.NumSMs)
+	for i := range s.sms {
+		m, err := sm.NewWithPolicy(cfg.WarpsPerSM, cfg.MaxCTAsPerSM, cfg.ComputeLatency, policy)
+		if err != nil {
+			return nil, err
+		}
+		s.sms[i] = m
+		s.l1s[i] = cache.MustNew(cfg.L1SizeBytes, cfg.L1Ways, cfg.LineSize)
+		s.mshrs[i] = cache.NewMSHRFile(cfg.L1MSHRs)
+	}
+	s.llc = make([]*cache.Cache, cfg.LLCSlices)
+	for i := range s.llc {
+		s.llc[i] = cache.MustNew(cfg.LLCSliceSize(), cfg.LLCWays, cfg.LineSize)
+	}
+	s.xbar = noc.MustNew(noc.Config{
+		BisectionBytesPerCycle: cfg.BytesPerCycle(cfg.NoCBisectionGBps),
+		Ports:                  cfg.LLCSlices,
+		BaseLatency:            cfg.NoCBaseLatency,
+	})
+	s.mem = dram.MustNew(dram.Config{
+		Controllers:        cfg.MemControllers,
+		BytesPerCyclePerMC: cfg.BytesPerCycle(cfg.MemBWPerMCGBps),
+		Latency:            cfg.DRAMLatency,
+	})
+	return s, nil
+}
+
+// port adapts the simulator's memory hierarchy to one SM's MemPort.
+type port struct {
+	sim  *Simulator
+	smID int
+}
+
+// Access implements sm.MemPort: L1 (unless bypassed) → MSHR merge → NoC →
+// LLC slice → memory controller → DRAM, returning the data-return cycle.
+func (p *port) Access(now int64, in trace.Instr) int64 {
+	s := p.sim
+	line := in.Addr >> s.lineBits
+	bypass := in.Flags&trace.BypassL1 != 0
+	if !bypass {
+		if s.l1s[p.smID].Access(in.Addr) {
+			if in.Kind == trace.Load {
+				s.loads++
+				s.loadLat += uint64(s.cfg.L1HitLatency)
+			}
+			return now + int64(s.cfg.L1HitLatency)
+		}
+	}
+	mshr := s.mshrs[p.smID]
+	mshr.Expire(now)
+	load := in.Kind == trace.Load
+	if load && !bypass {
+		if comp, ok := mshr.Lookup(line); ok {
+			return comp // merged into an outstanding miss
+		}
+	}
+	arrival := now
+	full := mshr.Full()
+	if full {
+		if nc, ok := mshr.NextCompletion(); ok && nc > arrival {
+			arrival = nc
+		}
+		s.mshrStall++
+	}
+	nSlices := uint64(len(s.llc))
+	slice := int(line % nSlices)
+	t := s.xbar.Transfer(arrival, slice, s.cfg.LineSize)
+	t += int64(s.cfg.LLCHitLatency)
+	s.llcAcc++
+	// Index the slice with the slice-select bits stripped, otherwise only
+	// 1/nSlices of each slice's sets would ever be used.
+	sliceLocal := (line / nSlices) << s.lineBits
+	if !s.llc[slice].Access(sliceLocal) {
+		s.llcMiss++
+		t = s.mem.Access(t, line, s.cfg.LineSize)
+		// Deterministic per-line jitter models DRAM bank/row variation
+		// and breaks warp convoys that a constant latency would
+		// otherwise sustain.
+		t += int64((line * 0x9e3779b9 >> 13) % 13)
+	}
+	t += int64(s.cfg.NoCBaseLatency) // response traversal
+	if load && !bypass && !full {
+		mshr.Allocate(line, t)
+	}
+	if load {
+		s.loads++
+		s.loadLat += uint64(t - now)
+	}
+	return t
+}
+
+// fillCTAs launches the current kernel's pending CTAs round-robin onto SMs
+// with capacity, honouring the kernel's occupancy limit.
+func (s *Simulator) fillCTAs() {
+	w := s.kernels[s.kernelIdx]
+	for s.nextCTA < s.numCTAs {
+		launched := false
+		for i := 0; i < len(s.sms) && s.nextCTA < s.numCTAs; i++ {
+			m := s.sms[i]
+			if !m.CanAccept(s.warpsPer) {
+				continue
+			}
+			if s.ctaLimit > 0 && m.ResidentCTAs() >= s.ctaLimit {
+				continue
+			}
+			progs := make([]trace.Program, s.warpsPer)
+			for wpi := range progs {
+				progs[wpi] = w.NewProgram(s.nextCTA, wpi)
+			}
+			m.LaunchCTA(progs)
+			s.nextCTA++
+			launched = true
+		}
+		if !launched {
+			return
+		}
+	}
+}
+
+// advanceKernel moves to the next kernel after a grid barrier, returning
+// false when the sequence is exhausted.
+func (s *Simulator) advanceKernel() bool {
+	if s.kernelIdx+1 >= len(s.kernels) {
+		return false
+	}
+	s.kernelIdx++
+	k := s.kernels[s.kernelIdx].Kernel()
+	s.nextCTA = 0
+	s.numCTAs = k.NumCTAs
+	s.warpsPer = k.WarpsPerCTA
+	s.ctaLimit = k.CTAsPerSMLimit
+	return true
+}
+
+// Run executes the workload to completion and returns the statistics.
+func (s *Simulator) Run() (Stats, error) {
+	ports := make([]*port, len(s.sms))
+	for i := range ports {
+		ports[i] = &port{sim: s, smID: i}
+	}
+	kinds := make([]sm.TickKind, len(s.sms))
+	s.fillCTAs()
+	for {
+		live := 0
+		for _, m := range s.sms {
+			live += m.LiveWarps()
+		}
+		if live == 0 && s.nextCTA >= s.numCTAs {
+			if !s.advanceKernel() {
+				break
+			}
+			s.fillCTAs()
+			continue
+		}
+		if s.opt.MaxCycles > 0 && s.now > s.opt.MaxCycles {
+			return Stats{}, fmt.Errorf("gpu: %q on %s exceeded MaxCycles=%d",
+				s.kernels[s.kernelIdx].Name(), s.cfg.Name, s.opt.MaxCycles)
+		}
+		issued := false
+		for i, m := range s.sms {
+			kinds[i] = m.Tick(s.now, ports[i])
+			if kinds[i] == sm.Issued {
+				issued = true
+				s.issuedSoFar++
+			}
+			s.events++
+		}
+		if !s.warmupDone && s.opt.WarmupInstructions > 0 && s.issuedSoFar >= s.opt.WarmupInstructions {
+			s.resetStats()
+		}
+		if issued || s.opt.DisableEventSkip {
+			for i, m := range s.sms {
+				m.Accrue(kinds[i], 1)
+			}
+			s.now++
+		} else {
+			// Every SM stalled: skip to the earliest wake-up.
+			next := int64(-1)
+			for _, m := range s.sms {
+				if ev, ok := m.NextEvent(); ok && (next < 0 || ev < next) {
+					next = ev
+				}
+			}
+			if next <= s.now {
+				next = s.now + 1
+			}
+			w := uint64(next - s.now)
+			for i, m := range s.sms {
+				m.Accrue(kinds[i], w)
+			}
+			s.skipped += int64(w) - 1
+			s.now = next
+		}
+		s.fillCTAs()
+	}
+	return s.stats(), nil
+}
+
+// resetStats discards everything measured so far (the warm-up window)
+// while leaving caches, queues and resident warps untouched.
+func (s *Simulator) resetStats() {
+	s.warmupDone = true
+	s.statsSince = s.now
+	for _, m := range s.sms {
+		m.ResetStats()
+	}
+	for _, c := range s.l1s {
+		c.ResetStats()
+	}
+	for _, c := range s.llc {
+		c.ResetStats()
+	}
+	s.xbar.ResetStats()
+	s.mem.ResetStats()
+	s.llcAcc, s.llcMiss = 0, 0
+	s.loads, s.loadLat = 0, 0
+	s.mshrStall = 0
+	s.skipped = 0
+	s.events = 0
+}
+
+func (s *Simulator) stats() Stats {
+	var st Stats
+	st.Cycles = s.now - s.statsSince
+	var fmemSum float64
+	var l1Hits, l1Misses uint64
+	for i, m := range s.sms {
+		ss := m.Stats()
+		st.Instructions += ss.Instructions
+		st.MemInstructions += ss.MemInstructions
+		st.CTAs += ss.CTAsCompleted
+		fmemSum += ss.FMem()
+		l1Hits += s.l1s[i].Hits()
+		l1Misses += s.l1s[i].Misses()
+	}
+	if st.Cycles > 0 {
+		st.IPC = float64(st.Instructions) / float64(st.Cycles)
+	}
+	st.FMem = fmemSum / float64(len(s.sms))
+	if l1Hits+l1Misses > 0 {
+		st.L1MissRate = float64(l1Misses) / float64(l1Hits+l1Misses)
+	}
+	st.LLCAccesses = s.llcAcc
+	st.LLCMisses = s.llcMiss
+	if st.Instructions > 0 {
+		st.LLCMPKI = float64(s.llcMiss) / (float64(st.Instructions) / 1000)
+	}
+	st.NoCUtilization = s.xbar.BisectionUtilization(st.Cycles)
+	st.DRAMUtilization = s.mem.Utilization(st.Cycles)
+	st.Kernels = s.kernelIdx + 1
+	st.MSHRStalls = s.mshrStall
+	if s.loads > 0 {
+		st.AvgLoadLatency = float64(s.loadLat) / float64(s.loads)
+	}
+	st.SkippedCycles = s.skipped
+	st.SimEvents = s.events + st.Instructions
+	return st
+}
+
+// Run is the one-call convenience API: simulate workload w on cfg.
+func Run(cfg config.SystemConfig, w trace.Workload) (Stats, error) {
+	s, err := New(cfg, w, Options{})
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Run()
+}
+
+// RunWithOptions is Run with explicit Options.
+func RunWithOptions(cfg config.SystemConfig, w trace.Workload, opt Options) (Stats, error) {
+	s, err := New(cfg, w, opt)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Run()
+}
+
+// RunSequence simulates several kernels back to back (grid barriers
+// between kernels, caches persisting across them) and returns the
+// aggregate statistics.
+func RunSequence(cfg config.SystemConfig, kernels []trace.Workload) (Stats, error) {
+	s, err := NewSequence(cfg, kernels, Options{})
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Run()
+}

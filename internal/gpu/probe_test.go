@@ -1,0 +1,21 @@
+package gpu
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"gpuscale/internal/workloads"
+)
+
+func TestProbeDCT(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip()
+	}
+	b, _ := workloads.ByName("dct")
+	for _, n := range []int{16, 128} {
+		st := mustRun(t, testConfig(n), b.Workload)
+		fmt.Printf("SMs=%d perSM=%.3f FMem=%.3f MPKI=%.1f L1miss=%.3f lat=%.0f NoCU=%.2f cyc=%d mshrStalls=%d\n",
+			n, st.IPC/float64(n), st.FMem, st.LLCMPKI, st.L1MissRate, st.AvgLoadLatency, st.NoCUtilization, st.Cycles, st.MSHRStalls)
+	}
+}

@@ -1,0 +1,236 @@
+// Package harness drives the paper's experiments end to end: it simulates
+// every benchmark at every system size, collects miss-rate curves, runs the
+// scale-model predictor and the four baseline extrapolations, and computes
+// the per-benchmark prediction errors behind Figures 4–8 and the artifact
+// appendix. Simulation results are memoised so that the many benchmarks
+// and tables sharing runs (e.g. Fig. 1, Fig. 4 and Fig. 5 all need the same
+// strong-scaling sweeps) pay for each simulation once per process.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gpuscale/internal/config"
+	"gpuscale/internal/core"
+	"gpuscale/internal/gpu"
+	"gpuscale/internal/mrc"
+	"gpuscale/internal/regress"
+	"gpuscale/internal/stats"
+	"gpuscale/internal/trace"
+	"gpuscale/internal/workloads"
+)
+
+// ScaleModel is the method name of the paper's contribution in result maps.
+const ScaleModel = "scale-model"
+
+// Methods lists all five prediction methods in the paper's presentation
+// order: the four baselines followed by scale-model simulation.
+var Methods = []string{"logarithmic", "proportional", "linear", "power-law", ScaleModel}
+
+// TimedStats is a simulation result plus its host cost, used for the
+// weak-scaling speedup figure.
+type TimedStats struct {
+	gpu.Stats
+	Wall time.Duration
+}
+
+// Harness memoises simulation runs and miss-rate curves.
+type Harness struct {
+	mu          sync.Mutex
+	runs        map[string]TimedStats
+	chipletRuns map[string]ChipletTimedStats
+	mrcs        map[string]mrc.Curve
+}
+
+// New returns an empty Harness.
+func New() *Harness {
+	return &Harness{
+		runs:        make(map[string]TimedStats),
+		chipletRuns: make(map[string]ChipletTimedStats),
+		mrcs:        make(map[string]mrc.Curve),
+	}
+}
+
+// Default is a process-wide harness shared by the benchmark suite, so that
+// every table and figure reuses the same memoised simulations.
+var Default = New()
+
+// Run simulates w on cfg, memoised by (config, workload) name.
+func (h *Harness) Run(cfg config.SystemConfig, w trace.Workload) (TimedStats, error) {
+	key := cfg.Name + "/" + w.Name()
+	h.mu.Lock()
+	if st, ok := h.runs[key]; ok {
+		h.mu.Unlock()
+		return st, nil
+	}
+	h.mu.Unlock()
+	start := time.Now()
+	st, err := gpu.Run(cfg, w)
+	if err != nil {
+		return TimedStats{}, fmt.Errorf("harness: simulating %s on %s: %w", w.Name(), cfg.Name, err)
+	}
+	ts := TimedStats{Stats: st, Wall: time.Since(start)}
+	h.mu.Lock()
+	h.runs[key] = ts
+	h.mu.Unlock()
+	return ts, nil
+}
+
+// Curve computes (memoised) the functional-simulation miss-rate curve of w
+// across the given configurations.
+func (h *Harness) Curve(w trace.Workload, cfgs []config.SystemConfig) (mrc.Curve, error) {
+	key := w.Name()
+	h.mu.Lock()
+	if c, ok := h.mrcs[key]; ok {
+		h.mu.Unlock()
+		return c, nil
+	}
+	h.mu.Unlock()
+	c, err := mrc.FunctionalSweep(w, cfgs)
+	if err != nil {
+		return mrc.Curve{}, fmt.Errorf("harness: miss-rate curve for %s: %w", w.Name(), err)
+	}
+	h.mu.Lock()
+	h.mrcs[key] = c
+	h.mu.Unlock()
+	return c, nil
+}
+
+// StrongResult holds one benchmark's full strong-scaling experiment.
+type StrongResult struct {
+	// Bench is the benchmark under study.
+	Bench workloads.Benchmark
+	// Sizes are the simulated system sizes (8…128 SMs).
+	Sizes []int
+	// Real maps size → measured simulation statistics.
+	Real map[int]TimedStats
+	// Curve is the miss-rate curve across the five LLC capacities.
+	Curve mrc.Curve
+	// Pred maps method → size → predicted IPC (target sizes only).
+	Pred map[string]map[int]float64
+	// Err maps method → size → absolute percentage error.
+	Err map[string]map[int]float64
+}
+
+// scaleModelSizes is the default scale-model pair (8- and 16-SM).
+var scaleModelSizes = [2]int{8, 16}
+
+// RunStrong executes the full strong-scaling experiment for one benchmark:
+// five simulations, the miss-rate curve, and all five prediction methods.
+func (h *Harness) RunStrong(b workloads.Benchmark) (*StrongResult, error) {
+	return h.runStrongFrom(b, config.StandardSizes, scaleModelSizes)
+}
+
+// RunStrongAlt runs the artifact-appendix variant using the 16- and 32-SM
+// configurations as scale models to predict 64 and 128 SMs.
+func (h *Harness) RunStrongAlt(b workloads.Benchmark) (*StrongResult, error) {
+	return h.runStrongFrom(b, []int{16, 32, 64, 128}, [2]int{16, 32})
+}
+
+func (h *Harness) runStrongFrom(b workloads.Benchmark, sizes []int, sm [2]int) (*StrongResult, error) {
+	base := config.Baseline128()
+	res := &StrongResult{
+		Bench: b,
+		Sizes: sizes,
+		Real:  make(map[int]TimedStats, len(sizes)),
+		Pred:  make(map[string]map[int]float64, len(Methods)),
+		Err:   make(map[string]map[int]float64, len(Methods)),
+	}
+	for _, n := range sizes {
+		st, err := h.Run(config.MustScale(base, n), b.Workload)
+		if err != nil {
+			return nil, err
+		}
+		res.Real[n] = st
+	}
+	// The miss-rate curve is always collected across the five standard
+	// configurations (one collection per workload, memoised); prediction
+	// uses the samples matching this experiment's sizes.
+	full, err := h.Curve(b.Workload, config.StandardConfigs())
+	if err != nil {
+		return nil, err
+	}
+	offset := -1
+	for i, n := range config.StandardSizes {
+		if n == sizes[0] {
+			offset = i
+			break
+		}
+	}
+	if offset < 0 || offset+len(sizes) > len(full.Points) {
+		return nil, fmt.Errorf("harness: sizes %v are not a window of the standard sizes", sizes)
+	}
+	res.Curve = mrc.Curve{Points: full.Points[offset : offset+len(sizes)]}
+
+	small, large := res.Real[sm[0]], res.Real[sm[1]]
+	fsizes := make([]float64, len(sizes))
+	for i, n := range sizes {
+		fsizes[i] = float64(n)
+	}
+	in := core.Input{
+		Sizes:     fsizes,
+		SmallIPC:  small.IPC,
+		LargeIPC:  large.IPC,
+		MPKI:      res.Curve.MPKIs(),
+		FMemLarge: large.FMem,
+		Mode:      core.StrongScaling,
+	}
+	preds, err := core.Predict(in)
+	if err != nil {
+		return nil, fmt.Errorf("harness: scale-model prediction for %s: %w", b.Name, err)
+	}
+	res.Pred[ScaleModel] = make(map[int]float64)
+	for _, p := range preds {
+		res.Pred[ScaleModel][int(p.Size)] = p.IPC
+	}
+
+	models, err := regress.FitAll([]regress.Point{
+		{Size: float64(sm[0]), IPC: small.IPC},
+		{Size: float64(sm[1]), IPC: large.IPC},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: baseline fits for %s: %w", b.Name, err)
+	}
+	for name, m := range models {
+		res.Pred[name] = make(map[int]float64)
+		for _, n := range sizes[2:] {
+			res.Pred[name][n] = m.Predict(float64(n))
+		}
+	}
+	for _, method := range Methods {
+		res.Err[method] = make(map[int]float64)
+		for _, n := range sizes[2:] {
+			res.Err[method][n] = stats.AbsPctError(res.Pred[method][n], res.Real[n].IPC)
+		}
+	}
+	return res, nil
+}
+
+// RunStrongAll runs the strong-scaling experiment for every Table II
+// benchmark.
+func (h *Harness) RunStrongAll() ([]*StrongResult, error) {
+	var out []*StrongResult
+	for _, b := range workloads.All() {
+		r, err := h.RunStrong(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MeanMaxError aggregates one method's error at one target size across
+// results, returning (mean, max) — the summary numbers quoted in the
+// paper's abstract and Section VII.
+func MeanMaxError(results []*StrongResult, method string, size int) (float64, float64) {
+	var errs []float64
+	for _, r := range results {
+		if e, ok := r.Err[method][size]; ok {
+			errs = append(errs, e)
+		}
+	}
+	return stats.Mean(errs), stats.Max(errs)
+}

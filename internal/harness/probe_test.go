@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestProbeStrongErrors(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("set PROBE=1")
+	}
+	h := New()
+	results, err := h.RunStrongAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{128, 64} {
+		fmt.Printf("\n=== %d-SM target ===\n%-7s", target, "bench")
+		for _, m := range Methods {
+			fmt.Printf("%13s", m)
+		}
+		fmt.Println()
+		for _, r := range results {
+			fmt.Printf("%-7s", r.Bench.Name)
+			for _, m := range Methods {
+				fmt.Printf("%12.1f%%", r.Err[m][target])
+			}
+			fmt.Printf("   (real=%.1f pred=%.1f C=%.3f fmem16=%.3f)\n",
+				r.Real[target].IPC, r.Pred[ScaleModel][target],
+				(r.Real[16].IPC/r.Real[8].IPC)/2, r.Real[16].FMem)
+		}
+		fmt.Printf("%-7s", "AVG/MAX")
+		for _, m := range Methods {
+			mean, max := MeanMaxError(results, m, target)
+			fmt.Printf("%6.1f/%4.0f%%", mean, max)
+		}
+		fmt.Println()
+	}
+}

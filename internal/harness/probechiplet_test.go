@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestProbeChiplet(t *testing.T) {
+	if os.Getenv("PROBEC") == "" {
+		t.Skip("set PROBEC=1")
+	}
+	h := New()
+	results, err := h.RunChipletAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(RenderChipletTable(results))
+	for _, r := range results {
+		fmt.Printf("%-6s perSM-chiplet:", r.Bench.Name)
+		for _, n := range r.Sizes {
+			fmt.Printf(" %.3f", r.Real[n].IPC/float64(n))
+		}
+		fmt.Printf("  speedup=%.1fx/%.1fx(wall)\n", r.SpeedupEvents, r.SpeedupWall)
+	}
+}

@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestProbeWeak(t *testing.T) {
+	if os.Getenv("PROBEW") == "" {
+		t.Skip("set PROBEW=1")
+	}
+	h := New()
+	results, err := h.RunWeakAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(RenderWeakErrorTable(results))
+	fmt.Print(RenderSpeedupTable(results))
+	for _, r := range results {
+		fmt.Printf("%-6s perSM:", r.Bench.Name)
+		for _, n := range r.Sizes {
+			fmt.Printf(" %.3f", r.Real[n].IPC/float64(n))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"gpuscale/internal/stats"
+)
+
+// RenderTable formats headers and rows as an aligned plain-text table.
+func RenderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderErrorTable renders a Figure 4-style prediction-error table for one
+// target size: one row per benchmark, one column per method, plus the
+// average and maximum rows the paper quotes.
+func RenderErrorTable(results []*StrongResult, size int) string {
+	headers := append([]string{"benchmark", "class"}, Methods...)
+	var rows [][]string
+	for _, r := range results {
+		row := []string{r.Bench.Name, string(r.Bench.Class)}
+		for _, m := range Methods {
+			row = append(row, fmt.Sprintf("%.1f%%", r.Err[m][size]))
+		}
+		rows = append(rows, row)
+	}
+	avg := []string{"average", ""}
+	mx := []string{"max", ""}
+	for _, m := range Methods {
+		mean, max := MeanMaxError(results, m, size)
+		avg = append(avg, fmt.Sprintf("%.1f%%", mean))
+		mx = append(mx, fmt.Sprintf("%.1f%%", max))
+	}
+	rows = append(rows, avg, mx)
+	return fmt.Sprintf("IPC prediction error, %d-SM target (strong scaling)\n%s",
+		size, RenderTable(headers, rows))
+}
+
+// RenderWeakErrorTable renders the Figure 6 equivalent: weak-scaling
+// prediction error aggregated over the 32/64/128-SM targets.
+func RenderWeakErrorTable(results []*WeakResult) string {
+	headers := append([]string{"benchmark", "class", "target"}, Methods...)
+	var rows [][]string
+	for _, r := range results {
+		for _, n := range r.Sizes[2:] {
+			row := []string{r.Bench.Name, string(r.Bench.Class), fmt.Sprintf("%d-SM", n)}
+			for _, m := range Methods {
+				row = append(row, fmt.Sprintf("%.1f%%", r.Err[m][n]))
+			}
+			rows = append(rows, row)
+		}
+	}
+	avg := []string{"average", "", ""}
+	mx := []string{"max", "", ""}
+	for _, m := range Methods {
+		mean, max := WeakMeanMaxError(results, m)
+		avg = append(avg, fmt.Sprintf("%.1f%%", mean))
+		mx = append(mx, fmt.Sprintf("%.1f%%", max))
+	}
+	rows = append(rows, avg, mx)
+	return "IPC prediction error (weak scaling)\n" + RenderTable(headers, rows)
+}
+
+// RenderSpeedupTable renders the Figure 7 equivalent: weak-scaling
+// simulation speedup per target size, in simulator events and wall time.
+func RenderSpeedupTable(results []*WeakResult) string {
+	headers := []string{"benchmark", "32-SM", "64-SM", "128-SM", "128-SM (wall)"}
+	var rows [][]string
+	sums := map[int][]float64{}
+	var walls []float64
+	for _, r := range results {
+		row := []string{r.Bench.Name}
+		for _, n := range r.Sizes[2:] {
+			row = append(row, fmt.Sprintf("%.1fx", r.SpeedupEvents[n]))
+			sums[n] = append(sums[n], r.SpeedupEvents[n])
+		}
+		row = append(row, fmt.Sprintf("%.1fx", r.SpeedupWall[128]))
+		walls = append(walls, r.SpeedupWall[128])
+		rows = append(rows, row)
+	}
+	avg := []string{"average"}
+	for _, n := range []int{32, 64, 128} {
+		avg = append(avg, fmt.Sprintf("%.1fx", stats.Mean(sums[n])))
+	}
+	avg = append(avg, fmt.Sprintf("%.1fx", stats.Mean(walls)))
+	rows = append(rows, avg)
+	return "Simulation speedup through scale-model simulation (weak scaling)\n" +
+		RenderTable(headers, rows)
+}
+
+// RenderChipletTable renders the Figure 8 equivalent: 16-chiplet IPC
+// prediction error per method.
+func RenderChipletTable(results []*ChipletResult) string {
+	headers := append([]string{"benchmark"}, Methods...)
+	var rows [][]string
+	for _, r := range results {
+		target := r.Sizes[len(r.Sizes)-1]
+		row := []string{r.Bench.Name}
+		for _, m := range Methods {
+			row = append(row, fmt.Sprintf("%.1f%%", r.Err[m][target]))
+		}
+		rows = append(rows, row)
+	}
+	avg := []string{"average"}
+	mx := []string{"max"}
+	for _, m := range Methods {
+		mean, max := ChipletMeanMaxError(results, m)
+		avg = append(avg, fmt.Sprintf("%.1f%%", mean))
+		mx = append(mx, fmt.Sprintf("%.1f%%", max))
+	}
+	rows = append(rows, avg, mx)
+	return "16-chiplet IPC prediction error (weak scaling)\n" + RenderTable(headers, rows)
+}
+
+// RenderScalingCurves renders the Figure 5 equivalent for one benchmark:
+// real IPC and each method's predicted IPC as a function of system size.
+func RenderScalingCurves(r *StrongResult) string {
+	headers := []string{"SMs", "real"}
+	headers = append(headers, Methods...)
+	var rows [][]string
+	for _, n := range r.Sizes {
+		row := []string{fmt.Sprintf("%d", n), fmt.Sprintf("%.1f", r.Real[n].IPC)}
+		for _, m := range Methods {
+			if p, ok := r.Pred[m][n]; ok {
+				row = append(row, fmt.Sprintf("%.1f", p))
+			} else {
+				row = append(row, "-") // scale-model measurement point
+			}
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("%s (%s): IPC vs system size\n%s",
+		r.Bench.Name, r.Bench.Class, RenderTable(headers, rows))
+}
+
+// RenderMissRateCurve renders the Figure 2 equivalent for one benchmark:
+// MPKI as a function of LLC capacity.
+func RenderMissRateCurve(r *StrongResult) string {
+	headers := []string{"LLC (MiB)", "MPKI"}
+	var rows [][]string
+	for _, p := range r.Curve.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", float64(p.CapacityBytes)/(1<<20)),
+			fmt.Sprintf("%.2f", p.MPKI),
+		})
+	}
+	return fmt.Sprintf("%s: miss-rate curve\n%s", r.Bench.Name, RenderTable(headers, rows))
+}

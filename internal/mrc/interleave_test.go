@@ -1,0 +1,82 @@
+package mrc
+
+import (
+	"testing"
+
+	"gpuscale/internal/trace"
+)
+
+func loopWorkload(warps, loads int, wsLines uint64) trace.Workload {
+	return &trace.FuncWorkload{
+		WName: "loop",
+		Spec:  trace.KernelSpec{NumCTAs: 1, WarpsPerCTA: warps},
+		Factory: func(cta, warp int) trace.Program {
+			g := &trace.SeqGen{Base: uint64(warp) << 30, Stride: 128, Extent: wsLines * 128}
+			return trace.NewPhaseProgram(trace.Phase{N: loads, ComputePer: 0, Gen: g})
+		},
+	}
+}
+
+func TestInterleavedStreamNValidation(t *testing.T) {
+	w := loopWorkload(2, 4, 8)
+	if _, _, err := InterleavedStreamN(nil, 128, 1); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, _, err := InterleavedStreamN(w, 128, 0); err == nil {
+		t.Error("zero granularity accepted")
+	}
+	if _, _, err := InterleavedStreamN(w, 100, 1); err == nil {
+		t.Error("bad line size accepted")
+	}
+}
+
+func TestInterleavedStreamNGranularityOneMatchesDefault(t *testing.T) {
+	w := loopWorkload(3, 5, 16)
+	a, ai, err := InterleavedStream(w, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bi, err := InterleavedStreamN(w, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai != bi || len(a) != len(b) {
+		t.Fatalf("granularity-1 differs from default: %d/%d accesses", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream diverges at %d", i)
+		}
+	}
+}
+
+func TestGranularityChangesReuseDistances(t *testing.T) {
+	// Two warps each cycling over a private 8-line window, 3 passes.
+	// Fine interleaving (1): a warp's revisit of a line has the other
+	// warp's lines in between -> distance ~15. Coarse bursts covering the
+	// whole loop (24): each warp's revisits happen within its own burst ->
+	// distance ~7. A 12-line cache separates the two.
+	w := loopWorkload(2, 24, 8)
+	fine, _, err := InterleavedStreamN(w, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, _, err := InterleavedStreamN(w, 128, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missAt := func(stream []uint64, capLines int) uint64 {
+		hist, cold := Distances(stream)
+		misses := cold
+		for d := capLines; d < len(hist); d++ {
+			misses += hist[d]
+		}
+		return misses
+	}
+	fineMisses := missAt(fine, 12)
+	coarseMisses := missAt(coarse, 12)
+	if coarseMisses >= fineMisses {
+		t.Errorf("coarse interleaving should hit more in a 12-line cache: coarse %d vs fine %d misses",
+			coarseMisses, fineMisses)
+	}
+}

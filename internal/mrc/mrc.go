@@ -1,0 +1,329 @@
+// Package mrc computes last-level-cache miss-rate curves: LLC misses per
+// thousand instructions (MPKI) as a function of LLC capacity, the second
+// input of the paper's scale-model prediction workflow (Figure 3). Two
+// methods are provided:
+//
+//   - FunctionalSweep replays the workload through the same L1/LLC cache
+//     structures the timing simulator uses — but with no timing — once per
+//     system configuration. This is the "functional simulation" box of the
+//     paper's Figure 3 and is at least two orders of magnitude faster than
+//     timing simulation because no cycle accounting happens.
+//
+//   - StackDistanceCurve implements the classic Conte-style single-pass
+//     reuse-distance algorithm (with a Fenwick tree, O(N log N)) over a
+//     warp-interleaved access stream, yielding the fully-associative miss
+//     count for every capacity at once, in the lineage of the GPU cache
+//     model of Nugteren et al. that the paper builds on.
+package mrc
+
+import (
+	"fmt"
+	"sort"
+
+	"gpuscale/internal/cache"
+	"gpuscale/internal/config"
+	"gpuscale/internal/trace"
+)
+
+// Point is one sample of a miss-rate curve.
+type Point struct {
+	// CapacityBytes is the LLC capacity of this sample.
+	CapacityBytes int64
+	// MPKI is LLC misses per thousand (warp) instructions.
+	MPKI float64
+}
+
+// Curve is a miss-rate curve: MPKI as a function of LLC capacity, sorted by
+// ascending capacity.
+type Curve struct {
+	Points []Point
+}
+
+// MPKIs returns just the MPKI values, smallest capacity first — the shape
+// the prediction model consumes.
+func (c Curve) MPKIs() []float64 {
+	out := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = p.MPKI
+	}
+	return out
+}
+
+// MPKIAt returns the MPKI at exactly the given capacity.
+func (c Curve) MPKIAt(capacityBytes int64) (float64, error) {
+	for _, p := range c.Points {
+		if p.CapacityBytes == capacityBytes {
+			return p.MPKI, nil
+		}
+	}
+	return 0, fmt.Errorf("mrc: no sample at capacity %d bytes", capacityBytes)
+}
+
+// Validate checks that the curve is non-empty and sorted by capacity.
+func (c Curve) Validate() error {
+	if len(c.Points) == 0 {
+		return fmt.Errorf("mrc: empty curve")
+	}
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].CapacityBytes <= c.Points[i-1].CapacityBytes {
+			return fmt.Errorf("mrc: capacities not strictly increasing at index %d", i)
+		}
+	}
+	return nil
+}
+
+// FunctionalSweep replays workload w functionally (caches only, no timing)
+// once per configuration and returns the miss-rate curve sampled at each
+// configuration's LLC capacity. CTAs are assigned round-robin to SMs and
+// warp accesses are interleaved round-robin within and across SMs,
+// approximating the thread-level parallelism a timing run would exhibit.
+// Configurations must be ordered by ascending LLC capacity.
+func FunctionalSweep(w trace.Workload, cfgs []config.SystemConfig) (Curve, error) {
+	if w == nil {
+		return Curve{}, fmt.Errorf("mrc: nil workload")
+	}
+	if len(cfgs) == 0 {
+		return Curve{}, fmt.Errorf("mrc: no configurations")
+	}
+	var curve Curve
+	for _, cfg := range cfgs {
+		mpki, err := functionalRun(w, cfg)
+		if err != nil {
+			return Curve{}, err
+		}
+		curve.Points = append(curve.Points, Point{CapacityBytes: cfg.LLCSizeBytes, MPKI: mpki})
+	}
+	if err := curve.Validate(); err != nil {
+		return Curve{}, err
+	}
+	return curve, nil
+}
+
+// warpCursor walks one warp's program, exposing only memory instructions
+// and counting every instruction it passes.
+type warpCursor struct {
+	prog trace.Program
+	done bool
+}
+
+// nextMem advances to the next memory instruction, adding skipped compute
+// instructions (and the memory instruction itself) to *instrs. It returns
+// false when the warp is exhausted.
+func (c *warpCursor) nextMem(instrs *uint64) (trace.Instr, bool) {
+	if c.done {
+		return trace.Instr{}, false
+	}
+	for {
+		in, ok := c.prog.Next()
+		if !ok {
+			c.done = true
+			return trace.Instr{}, false
+		}
+		*instrs++
+		if in.Kind == trace.Load || in.Kind == trace.Store {
+			return in, true
+		}
+	}
+}
+
+func functionalRun(w trace.Workload, cfg config.SystemConfig) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	k := w.Kernel()
+	if err := k.Validate(); err != nil {
+		return 0, err
+	}
+	lineBits := uint(0)
+	for 1<<lineBits != cfg.LineSize {
+		lineBits++
+	}
+	l1s := make([]*cache.Cache, cfg.NumSMs)
+	for i := range l1s {
+		l1s[i] = cache.MustNew(cfg.L1SizeBytes, cfg.L1Ways, cfg.LineSize)
+	}
+	llc := make([]*cache.Cache, cfg.LLCSlices)
+	for i := range llc {
+		llc[i] = cache.MustNew(cfg.LLCSliceSize(), cfg.LLCWays, cfg.LineSize)
+	}
+	// Assign CTAs round-robin to SMs; keep per-SM warp cursor lists.
+	smWarps := make([][]*warpCursor, cfg.NumSMs)
+	for c := 0; c < k.NumCTAs; c++ {
+		s := c % cfg.NumSMs
+		for wp := 0; wp < k.WarpsPerCTA; wp++ {
+			smWarps[s] = append(smWarps[s], &warpCursor{prog: w.NewProgram(c, wp)})
+		}
+	}
+	var instrs, llcMisses uint64
+	nSlices := uint64(cfg.LLCSlices)
+	live := true
+	next := make([]int, cfg.NumSMs)
+	for live {
+		live = false
+		for s := range smWarps {
+			warps := smWarps[s]
+			if len(warps) == 0 {
+				continue
+			}
+			// One access from the next live warp of this SM.
+			for tries := 0; tries < len(warps); tries++ {
+				cur := warps[next[s]%len(warps)]
+				next[s]++
+				if cur.done {
+					continue
+				}
+				in, ok := cur.nextMem(&instrs)
+				if !ok {
+					continue
+				}
+				live = true
+				line := in.Addr >> lineBits
+				if in.Flags&trace.BypassL1 == 0 {
+					if l1s[s].Access(in.Addr) {
+						break // L1 hit: no LLC traffic
+					}
+				}
+				slice := int(line % nSlices)
+				sliceLocal := (line / nSlices) << lineBits
+				if !llc[slice].Access(sliceLocal) {
+					llcMisses++
+				}
+				break
+			}
+		}
+	}
+	if instrs == 0 {
+		return 0, fmt.Errorf("mrc: workload %q produced no instructions", w.Name())
+	}
+	return float64(llcMisses) / (float64(instrs) / 1000), nil
+}
+
+// InterleavedStream materialises the warp-interleaved memory-access stream
+// of w (line-granular addresses) plus the total instruction count. Warps
+// across the whole grid take turns round-robin, one access per turn,
+// modelling maximal thread-level interleaving. Used by the stack-distance
+// method and by tests.
+func InterleavedStream(w trace.Workload, lineSize int) (lines []uint64, instrs uint64, err error) {
+	if w == nil {
+		return nil, 0, fmt.Errorf("mrc: nil workload")
+	}
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return nil, 0, fmt.Errorf("mrc: line size must be a positive power of two, got %d", lineSize)
+	}
+	lineBits := uint(0)
+	for 1<<lineBits != lineSize {
+		lineBits++
+	}
+	k := w.Kernel()
+	if err := k.Validate(); err != nil {
+		return nil, 0, err
+	}
+	cursors := make([]*warpCursor, 0, k.TotalWarps())
+	for c := 0; c < k.NumCTAs; c++ {
+		for wp := 0; wp < k.WarpsPerCTA; wp++ {
+			cursors = append(cursors, &warpCursor{prog: w.NewProgram(c, wp)})
+		}
+	}
+	liveCount := len(cursors)
+	for liveCount > 0 {
+		for _, cur := range cursors {
+			if cur.done {
+				continue
+			}
+			in, ok := cur.nextMem(&instrs)
+			if !ok {
+				liveCount--
+				continue
+			}
+			lines = append(lines, in.Addr>>lineBits)
+		}
+	}
+	return lines, instrs, nil
+}
+
+// StackDistanceCurve computes the fully-associative LRU miss-rate curve of
+// w at the given capacities (in bytes) using the single-pass reuse-distance
+// algorithm: one pass over the interleaved stream yields the miss count for
+// every capacity simultaneously. Cold misses count at every capacity.
+func StackDistanceCurve(w trace.Workload, lineSize int, capacities []int64) (Curve, error) {
+	if len(capacities) == 0 {
+		return Curve{}, fmt.Errorf("mrc: no capacities")
+	}
+	lines, instrs, err := InterleavedStream(w, lineSize)
+	if err != nil {
+		return Curve{}, err
+	}
+	if instrs == 0 {
+		return Curve{}, fmt.Errorf("mrc: workload %q produced no instructions", w.Name())
+	}
+	hist, cold := Distances(lines)
+	caps := append([]int64(nil), capacities...)
+	sort.Slice(caps, func(i, j int) bool { return caps[i] < caps[j] })
+	var curve Curve
+	for _, c := range caps {
+		capLines := int(c / int64(lineSize))
+		misses := cold
+		for d := capLines; d < len(hist); d++ {
+			misses += hist[d]
+		}
+		curve.Points = append(curve.Points, Point{
+			CapacityBytes: c,
+			MPKI:          float64(misses) / (float64(instrs) / 1000),
+		})
+	}
+	if err := curve.Validate(); err != nil {
+		return Curve{}, err
+	}
+	return curve, nil
+}
+
+// Distances computes the stack (reuse) distance histogram of a line-address
+// stream: hist[d] counts accesses whose distance — the number of distinct
+// lines touched since the previous access to the same line — equals d, and
+// cold counts first-touch accesses. An access with distance d hits in a
+// fully-associative LRU cache of more than d lines.
+func Distances(lines []uint64) (hist []uint64, cold uint64) {
+	n := len(lines)
+	bit := newFenwick(n)
+	last := make(map[uint64]int, 1024)
+	for i, line := range lines {
+		p, seen := last[line]
+		if !seen {
+			cold++
+		} else {
+			// Distinct lines since position p = number of
+			// last-occurrence markers strictly after p.
+			d := bit.sum(i) - bit.sum(p+1)
+			for d >= len(hist) {
+				hist = append(hist, 0)
+			}
+			hist[d]++
+			bit.add(p, -1)
+		}
+		bit.add(i, 1)
+		last[line] = i
+	}
+	return hist, cold
+}
+
+// fenwick is a Fenwick (binary indexed) tree over positions 0..n-1.
+type fenwick struct {
+	tree []int32
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int32, n+1)} }
+
+func (f *fenwick) add(i int, v int32) {
+	for i++; i < len(f.tree); i += i & -i {
+		f.tree[i] += v
+	}
+}
+
+// sum returns the prefix sum over positions 0..i-1.
+func (f *fenwick) sum(i int) int {
+	s := int32(0)
+	for ; i > 0; i -= i & -i {
+		s += f.tree[i]
+	}
+	return int(s)
+}

@@ -1,0 +1,308 @@
+package mrc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpuscale/internal/config"
+	"gpuscale/internal/trace"
+)
+
+func seqWorkload(ctas, warps, loads int, extent uint64) trace.Workload {
+	return &trace.FuncWorkload{
+		WName: "seq",
+		Spec:  trace.KernelSpec{NumCTAs: ctas, WarpsPerCTA: warps},
+		Factory: func(cta, warp int) trace.Program {
+			g := &trace.SeqGen{Base: 0, Start: uint64(cta*warps+warp) * 128, Stride: 128, Extent: extent}
+			return trace.NewPhaseProgram(trace.Phase{N: loads, ComputePer: 1, Gen: g})
+		},
+	}
+}
+
+func TestDistancesSimple(t *testing.T) {
+	// Stream: A B A  -> A's reuse distance is 1 (B in between).
+	hist, cold := Distances([]uint64{1, 2, 1})
+	if cold != 2 {
+		t.Errorf("cold = %d, want 2", cold)
+	}
+	if len(hist) < 2 || hist[1] != 1 {
+		t.Errorf("hist = %v, want distance-1 count of 1", hist)
+	}
+}
+
+func TestDistancesImmediateReuse(t *testing.T) {
+	// A A -> distance 0.
+	hist, cold := Distances([]uint64{5, 5})
+	if cold != 1 {
+		t.Errorf("cold = %d, want 1", cold)
+	}
+	if len(hist) < 1 || hist[0] != 1 {
+		t.Errorf("hist = %v, want distance-0 count of 1", hist)
+	}
+}
+
+func TestDistancesCyclicWorkingSet(t *testing.T) {
+	// Cycling over 4 lines: after the cold pass, every access has
+	// distance 3.
+	var stream []uint64
+	for pass := 0; pass < 5; pass++ {
+		for l := uint64(0); l < 4; l++ {
+			stream = append(stream, l)
+		}
+	}
+	hist, cold := Distances(stream)
+	if cold != 4 {
+		t.Errorf("cold = %d, want 4", cold)
+	}
+	if hist[3] != 16 {
+		t.Errorf("hist[3] = %d, want 16", hist[3])
+	}
+}
+
+func TestDistancesMatchLRUSimulationProperty(t *testing.T) {
+	// Property: for random streams, miss count derived from stack
+	// distances equals a direct fully-associative LRU simulation, for
+	// every capacity.
+	f := func(raw []uint8, capRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		stream := make([]uint64, len(raw))
+		for i, v := range raw {
+			stream[i] = uint64(v % 16)
+		}
+		capacity := int(capRaw)%8 + 1
+		hist, cold := Distances(stream)
+		missesSD := cold
+		for d := capacity; d < len(hist); d++ {
+			missesSD += hist[d]
+		}
+		missesLRU := lruSim(stream, capacity)
+		return missesSD == missesLRU
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// lruSim counts misses of a fully-associative LRU cache of capacity lines.
+func lruSim(stream []uint64, capacity int) uint64 {
+	var lru []uint64
+	var misses uint64
+	for _, line := range stream {
+		found := -1
+		for i, l := range lru {
+			if l == line {
+				found = i
+				break
+			}
+		}
+		if found >= 0 {
+			lru = append(lru[:found], lru[found+1:]...)
+		} else {
+			misses++
+			if len(lru) == capacity {
+				lru = lru[1:]
+			}
+		}
+		lru = append(lru, line)
+	}
+	return misses
+}
+
+func TestInterleavedStreamRoundRobin(t *testing.T) {
+	// Two warps, each streaming its own region: accesses alternate.
+	w := &trace.FuncWorkload{
+		WName: "two",
+		Spec:  trace.KernelSpec{NumCTAs: 1, WarpsPerCTA: 2},
+		Factory: func(cta, warp int) trace.Program {
+			g := &trace.SeqGen{Base: uint64(warp) * 1 << 20, Stride: 128, Extent: 1 << 19}
+			return trace.NewPhaseProgram(trace.Phase{N: 3, ComputePer: 0, Gen: g})
+		},
+	}
+	lines, instrs, err := InterleavedStream(w, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instrs != 6 {
+		t.Errorf("instrs = %d, want 6", instrs)
+	}
+	want := []uint64{0, 8192, 1, 8193, 2, 8194}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("lines = %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestInterleavedStreamValidation(t *testing.T) {
+	if _, _, err := InterleavedStream(nil, 128); err == nil {
+		t.Error("nil workload accepted")
+	}
+	w := seqWorkload(1, 1, 4, 1<<20)
+	if _, _, err := InterleavedStream(w, 100); err == nil {
+		t.Error("bad line size accepted")
+	}
+}
+
+func TestStackDistanceCurveMonotone(t *testing.T) {
+	// MPKI must be non-increasing with capacity (LRU inclusion property).
+	// Four warps each cycle 3x over a private 64 KiB region; interleaving
+	// makes the effective reuse distance ≈ 256 KiB, so capacities above
+	// that hit and capacities below thrash.
+	w := &trace.FuncWorkload{
+		WName: "cyclic",
+		Spec:  trace.KernelSpec{NumCTAs: 2, WarpsPerCTA: 2},
+		Factory: func(cta, warp int) trace.Program {
+			base := uint64(cta*2+warp) * (64 << 10)
+			g := &trace.SeqGen{Base: base, Stride: 128, Extent: 64 << 10}
+			return trace.NewPhaseProgram(trace.Phase{N: 3 * 512 * 2, ComputePer: 1, Gen: g})
+		},
+	}
+	caps := []int64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	curve, err := StackDistanceCurve(w, 128, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve.Points); i++ {
+		if curve.Points[i].MPKI > curve.Points[i-1].MPKI+1e-12 {
+			t.Errorf("MPKI increased with capacity: %+v", curve.Points)
+		}
+	}
+	// Once the working set fits, only cold misses remain.
+	last := curve.Points[len(curve.Points)-1]
+	first := curve.Points[0]
+	if last.MPKI >= first.MPKI {
+		t.Errorf("no MPKI reduction across capacities: %+v", curve.Points)
+	}
+}
+
+func TestStackDistanceCurveColdOnlyWhenFits(t *testing.T) {
+	w := seqWorkload(2, 2, 100, 64<<10)
+	curve, err := StackDistanceCurve(w, 128, []int64{1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, instrs, _ := InterleavedStream(w, 128)
+	distinct := map[uint64]bool{}
+	for _, l := range lines {
+		distinct[l] = true
+	}
+	// At a capacity far beyond the footprint only cold misses remain.
+	wantMPKI := float64(len(distinct)) / (float64(instrs) / 1000)
+	if math.Abs(curve.Points[0].MPKI-wantMPKI) > 1e-9 {
+		t.Errorf("MPKI = %v, want %v (cold only)", curve.Points[0].MPKI, wantMPKI)
+	}
+}
+
+func TestFunctionalSweepShape(t *testing.T) {
+	// A shared working set of 3 MiB: thrashes small LLCs, fits large.
+	ws := uint64(3 << 20)
+	w := &trace.FuncWorkload{
+		WName: "reuse",
+		Spec:  trace.KernelSpec{NumCTAs: 64, WarpsPerCTA: 4},
+		Factory: func(cta, warp int) trace.Program {
+			start := trace.WarpSeed(1, cta, warp) % ws
+			start -= start % 128
+			g := &trace.SeqGen{Base: 0, Start: start, Stride: 128, Extent: ws}
+			return trace.NewPhaseProgram(trace.Phase{N: 1600, ComputePer: 1, Gen: g})
+		},
+	}
+	curve, err := FunctionalSweep(w, config.StandardConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(curve.Points))
+	}
+	small := curve.Points[0].MPKI // 2.125 MiB: thrashing
+	big := curve.Points[4].MPKI   // 34 MiB: resident
+	if big >= small/2 {
+		t.Errorf("expected a cliff: MPKI %v at 2.125 MiB vs %v at 34 MiB", small, big)
+	}
+}
+
+func TestFunctionalSweepValidation(t *testing.T) {
+	w := seqWorkload(2, 2, 10, 1<<20)
+	if _, err := FunctionalSweep(nil, config.StandardConfigs()); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := FunctionalSweep(w, nil); err == nil {
+		t.Error("no configs accepted")
+	}
+	bad := config.Baseline128()
+	bad.NumSMs = 0
+	if _, err := FunctionalSweep(w, []config.SystemConfig{bad}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestCurveHelpers(t *testing.T) {
+	c := Curve{Points: []Point{{1024, 10}, {2048, 5}}}
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid curve rejected: %v", err)
+	}
+	if got := c.MPKIs(); len(got) != 2 || got[0] != 10 || got[1] != 5 {
+		t.Errorf("MPKIs = %v", got)
+	}
+	if v, err := c.MPKIAt(2048); err != nil || v != 5 {
+		t.Errorf("MPKIAt = %v, %v", v, err)
+	}
+	if _, err := c.MPKIAt(999); err == nil {
+		t.Error("missing capacity accepted")
+	}
+	if err := (Curve{}).Validate(); err == nil {
+		t.Error("empty curve accepted")
+	}
+	bad := Curve{Points: []Point{{2048, 5}, {1024, 10}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unsorted curve accepted")
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(10)
+	f.add(0, 1)
+	f.add(5, 2)
+	f.add(9, 3)
+	if f.sum(0) != 0 {
+		t.Errorf("sum(0) = %d, want 0", f.sum(0))
+	}
+	if f.sum(1) != 1 {
+		t.Errorf("sum(1) = %d, want 1", f.sum(1))
+	}
+	if f.sum(6) != 3 {
+		t.Errorf("sum(6) = %d, want 3", f.sum(6))
+	}
+	if f.sum(10) != 6 {
+		t.Errorf("sum(10) = %d, want 6", f.sum(10))
+	}
+	f.add(5, -2)
+	if f.sum(10) != 4 {
+		t.Errorf("after removal sum(10) = %d, want 4", f.sum(10))
+	}
+}
+
+func TestStackDistanceBypassFlagIncluded(t *testing.T) {
+	// BypassL1 accesses are still LLC traffic, so they appear in the
+	// stream.
+	w := &trace.FuncWorkload{
+		WName: "bypass",
+		Spec:  trace.KernelSpec{NumCTAs: 1, WarpsPerCTA: 1},
+		Factory: func(cta, warp int) trace.Program {
+			g := &trace.SeqGen{Base: 0, Stride: 128, Extent: 1 << 20}
+			return trace.NewPhaseProgram(trace.Phase{N: 5, ComputePer: 0, Gen: g, Flags: trace.BypassL1})
+		},
+	}
+	lines, _, err := InterleavedStream(w, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 5 {
+		t.Errorf("stream length = %d, want 5", len(lines))
+	}
+}

@@ -1,0 +1,117 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{BisectionBytesPerCycle: 0, Ports: 4}); err == nil {
+		t.Error("zero bisection accepted")
+	}
+	if _, err := New(Config{BisectionBytesPerCycle: 100, Ports: 0}); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if _, err := New(Config{BisectionBytesPerCycle: 100, Ports: 4, BaseLatency: -1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := New(Config{BisectionBytesPerCycle: 100, Ports: 4, PortBytesPerCycle: -1}); err == nil {
+		t.Error("negative port bandwidth accepted")
+	}
+}
+
+func TestUncongestedLatency(t *testing.T) {
+	x := MustNew(Config{BisectionBytesPerCycle: 1024, Ports: 4, BaseLatency: 20})
+	// 128 bytes at 1024 B/c bisection (256 B/c per port): port is the
+	// bottleneck at 0.5 cycles -> ceil 1, plus base 20.
+	if got := x.Transfer(0, 0, 128); got != 21 {
+		t.Errorf("delivery = %d, want 21", got)
+	}
+}
+
+func TestPortWraparound(t *testing.T) {
+	x := MustNew(Config{BisectionBytesPerCycle: 1024, Ports: 4})
+	d1 := x.Transfer(0, 5, 256)  // port 1
+	d2 := x.Transfer(0, -3, 256) // port 1 as well
+	if d2 <= d1 {
+		t.Errorf("wrapped port should queue behind: %d then %d", d1, d2)
+	}
+}
+
+func TestCampingOnHotPort(t *testing.T) {
+	// All traffic to one port: per-port rate (256 B/c) binds even though
+	// the bisection (1024 B/c) has headroom.
+	x := MustNew(Config{BisectionBytesPerCycle: 1024, Ports: 4})
+	var hotLast int64
+	for i := 0; i < 64; i++ {
+		hotLast = x.Transfer(0, 0, 128)
+	}
+	// 64 transfers * 128 B at 256 B/c = 32 cycles on the hot port.
+	if hotLast < 30 {
+		t.Errorf("hot-port delivery = %d, want ≈32 (camping)", hotLast)
+	}
+	// Spread traffic: same volume across all 4 ports binds on bisection:
+	// 64*128/1024 = 8 cycles.
+	y := MustNew(Config{BisectionBytesPerCycle: 1024, Ports: 4})
+	var spreadLast int64
+	for i := 0; i < 64; i++ {
+		d := y.Transfer(0, i%4, 128)
+		if d > spreadLast {
+			spreadLast = d
+		}
+	}
+	if spreadLast >= hotLast {
+		t.Errorf("spread traffic (%d) should beat camping (%d)", spreadLast, hotLast)
+	}
+}
+
+func TestBisectionSaturation(t *testing.T) {
+	x := MustNew(Config{BisectionBytesPerCycle: 128, Ports: 4, PortBytesPerCycle: 128})
+	// Ports individually can absorb the load, but the bisection cannot.
+	var last int64
+	for i := 0; i < 40; i++ {
+		last = x.Transfer(0, i%4, 128)
+	}
+	if last < 40 {
+		t.Errorf("delivery = %d, want ≥40 (bisection-bound)", last)
+	}
+}
+
+func TestStats(t *testing.T) {
+	x := MustNew(Config{BisectionBytesPerCycle: 256, Ports: 2, BaseLatency: 5})
+	x.Transfer(0, 0, 128)
+	x.Transfer(0, 1, 128)
+	if x.TotalBytes() != 256 {
+		t.Errorf("TotalBytes = %d, want 256", x.TotalBytes())
+	}
+	if x.Ports() != 2 || x.BaseLatency() != 5 {
+		t.Error("accessors wrong")
+	}
+	if u := x.BisectionUtilization(2); u != 0.5 {
+		t.Errorf("bisection utilization = %v, want 0.5", u)
+	}
+	if u := x.PortUtilization(0, 1); u != 1 {
+		t.Errorf("port utilization = %v, want 1", u)
+	}
+	if b := x.MaxPortBacklog(0); b != 1 {
+		t.Errorf("max backlog = %v, want 1", b)
+	}
+}
+
+func TestDeliveryNeverBeforeArrivalProperty(t *testing.T) {
+	f := func(ports uint8, seq []uint8) bool {
+		p := int(ports)%8 + 1
+		x := MustNew(Config{BisectionBytesPerCycle: 64, Ports: p, BaseLatency: 3})
+		now := int64(0)
+		for _, v := range seq {
+			now += int64(v % 4)
+			if d := x.Transfer(now, int(v), 128); d < now+3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package regress implements the baseline extrapolation methods the paper
+// compares scale-model simulation against (Section VII): proportional
+// scaling, linear regression (y = a·x + b), power-law regression
+// (y = a·x^b), and logarithmic regression (y = a·log2(x)) — the last being
+// what prior CPU scale-model work proposed. All models are fit on the
+// scale-model performance points only, exactly as in the paper.
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is one scale-model observation: system size (number of SMs or
+// chiplets) and measured IPC.
+type Point struct {
+	Size float64
+	IPC  float64
+}
+
+// Model predicts IPC at a target system size.
+type Model interface {
+	// Name identifies the method, e.g. "power-law".
+	Name() string
+	// Predict returns the predicted IPC at the given system size.
+	Predict(size float64) float64
+}
+
+func validate(points []Point, need int) error {
+	if len(points) < need {
+		return fmt.Errorf("regress: need at least %d points, got %d", need, len(points))
+	}
+	for _, p := range points {
+		if p.Size <= 0 {
+			return fmt.Errorf("regress: non-positive size %v", p.Size)
+		}
+		if p.IPC <= 0 {
+			return fmt.Errorf("regress: non-positive IPC %v", p.IPC)
+		}
+	}
+	return nil
+}
+
+// proportional assumes performance scales exactly with system size from the
+// largest scale model: IPC(T) = IPC_L · T/L.
+type proportional struct{ ref Point }
+
+func (p proportional) Name() string { return "proportional" }
+func (p proportional) Predict(size float64) float64 {
+	return p.ref.IPC * size / p.ref.Size
+}
+
+// FitProportional builds the proportional-scaling baseline from the largest
+// scale-model point.
+func FitProportional(points []Point) (Model, error) {
+	if err := validate(points, 1); err != nil {
+		return nil, err
+	}
+	ref := points[0]
+	for _, p := range points[1:] {
+		if p.Size > ref.Size {
+			ref = p
+		}
+	}
+	return proportional{ref: ref}, nil
+}
+
+// linear is y = a·x + b fit by least squares.
+type linear struct{ a, b float64 }
+
+func (l linear) Name() string                 { return "linear" }
+func (l linear) Predict(size float64) float64 { return l.a*size + l.b }
+
+// FitLinear fits y = a·x + b by least squares (exact through two points).
+func FitLinear(points []Point) (Model, error) {
+	if err := validate(points, 2); err != nil {
+		return nil, err
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(points))
+	for _, p := range points {
+		sx += p.Size
+		sy += p.IPC
+		sxx += p.Size * p.Size
+		sxy += p.Size * p.IPC
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return nil, fmt.Errorf("regress: degenerate linear fit (all sizes equal)")
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+	return linear{a: a, b: b}, nil
+}
+
+// power is y = a·x^b fit by least squares in log-log space.
+type power struct{ a, b float64 }
+
+func (p power) Name() string { return "power-law" }
+func (p power) Predict(size float64) float64 {
+	return p.a * math.Pow(size, p.b)
+}
+
+// FitPower fits y = a·x^b by linear least squares on (log x, log y).
+func FitPower(points []Point) (Model, error) {
+	if err := validate(points, 2); err != nil {
+		return nil, err
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(points))
+	for _, p := range points {
+		lx, ly := math.Log(p.Size), math.Log(p.IPC)
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return nil, fmt.Errorf("regress: degenerate power fit (all sizes equal)")
+	}
+	b := (n*sxy - sx*sy) / den
+	lna := (sy - b*sx) / n
+	return power{a: math.Exp(lna), b: b}, nil
+}
+
+// logarithmic is y = a·log2(x) fit by least squares — the prior-work model
+// the paper includes for reference.
+type logarithmic struct{ a float64 }
+
+func (l logarithmic) Name() string { return "logarithmic" }
+func (l logarithmic) Predict(size float64) float64 {
+	return l.a * math.Log2(size)
+}
+
+// FitLog fits y = a·log2(x) by single-parameter least squares:
+// a = Σ(y·log2 x) / Σ(log2 x)².
+func FitLog(points []Point) (Model, error) {
+	if err := validate(points, 1); err != nil {
+		return nil, err
+	}
+	var num, den float64
+	for _, p := range points {
+		lx := math.Log2(p.Size)
+		num += p.IPC * lx
+		den += lx * lx
+	}
+	if den == 0 {
+		return nil, fmt.Errorf("regress: degenerate log fit (all sizes are 1)")
+	}
+	return logarithmic{a: num / den}, nil
+}
+
+// BaselineNames lists the four baselines in the paper's presentation order.
+var BaselineNames = []string{"logarithmic", "proportional", "linear", "power-law"}
+
+// FitAll fits the four baselines on the given scale-model points and
+// returns them keyed by name.
+func FitAll(points []Point) (map[string]Model, error) {
+	log, err := FitLog(points)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := FitProportional(points)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := FitLinear(points)
+	if err != nil {
+		return nil, err
+	}
+	pow, err := FitPower(points)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]Model{
+		log.Name():  log,
+		prop.Name(): prop,
+		lin.Name():  lin,
+		pow.Name():  pow,
+	}, nil
+}

@@ -1,0 +1,163 @@
+package regress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestProportional(t *testing.T) {
+	m, err := FitProportional([]Point{{8, 100}, {16, 150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "proportional" {
+		t.Errorf("name = %q", m.Name())
+	}
+	// Uses the largest scale model: IPC(128) = 150 * 128/16 = 1200.
+	if got := m.Predict(128); !approx(got, 1200, 1e-9) {
+		t.Errorf("Predict(128) = %v, want 1200", got)
+	}
+}
+
+func TestProportionalPicksLargest(t *testing.T) {
+	m, _ := FitProportional([]Point{{16, 150}, {8, 100}}) // order reversed
+	if got := m.Predict(32); !approx(got, 300, 1e-9) {
+		t.Errorf("Predict(32) = %v, want 300 (from 16-SM point)", got)
+	}
+}
+
+func TestLinearExactThroughTwoPoints(t *testing.T) {
+	m, err := FitLinear([]Point{{8, 100}, {16, 180}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(8); !approx(got, 100, 1e-9) {
+		t.Errorf("Predict(8) = %v, want 100", got)
+	}
+	if got := m.Predict(16); !approx(got, 180, 1e-9) {
+		t.Errorf("Predict(16) = %v, want 180", got)
+	}
+	// slope 10, intercept 20: Predict(128) = 1300.
+	if got := m.Predict(128); !approx(got, 1300, 1e-9) {
+		t.Errorf("Predict(128) = %v, want 1300", got)
+	}
+}
+
+func TestPowerExactThroughTwoPoints(t *testing.T) {
+	// y = 2 x^1.5: points (4, 16), (16, 128).
+	m, err := FitPower([]Point{{4, 16}, {16, 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(64); !approx(got, 1024, 1e-6) {
+		t.Errorf("Predict(64) = %v, want 1024", got)
+	}
+	if m.Name() != "power-law" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestPowerRecoversLinearScaling(t *testing.T) {
+	// Perfect linear scaling is a power law with exponent 1.
+	m, _ := FitPower([]Point{{8, 80}, {16, 160}})
+	if got := m.Predict(128); !approx(got, 1280, 1e-6) {
+		t.Errorf("Predict(128) = %v, want 1280", got)
+	}
+}
+
+func TestLogFit(t *testing.T) {
+	// Data from y = 50·log2(x): exact recovery.
+	m, err := FitLog([]Point{{8, 150}, {16, 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(128); !approx(got, 350, 1e-9) {
+		t.Errorf("Predict(128) = %v, want 350", got)
+	}
+	if m.Name() != "logarithmic" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestLogDrasticallyUnderPredictsLinearWorkload(t *testing.T) {
+	// The paper's point: log regression is wildly wrong for linearly
+	// scaling workloads.
+	m, _ := FitLog([]Point{{8, 80}, {16, 160}})
+	got := m.Predict(128)
+	if got > 800 { // true value would be 1280
+		t.Errorf("log regression predicted %v; expected severe underprediction", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FitLinear([]Point{{8, 100}}); err == nil {
+		t.Error("single point accepted for linear")
+	}
+	if _, err := FitPower([]Point{{8, 100}, {8, 200}}); err == nil {
+		t.Error("degenerate sizes accepted for power")
+	}
+	if _, err := FitLinear([]Point{{8, 100}, {8, 200}}); err == nil {
+		t.Error("degenerate sizes accepted for linear")
+	}
+	if _, err := FitLog([]Point{{1, 100}}); err == nil {
+		t.Error("log fit at size 1 accepted (log2(1)=0)")
+	}
+	if _, err := FitProportional(nil); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := FitProportional([]Point{{-8, 100}}); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := FitProportional([]Point{{8, -100}}); err == nil {
+		t.Error("negative IPC accepted")
+	}
+}
+
+func TestFitAll(t *testing.T) {
+	models, err := FitAll([]Point{{8, 100}, {16, 180}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 4 {
+		t.Fatalf("got %d models, want 4", len(models))
+	}
+	for _, name := range BaselineNames {
+		if _, ok := models[name]; !ok {
+			t.Errorf("missing model %q", name)
+		}
+	}
+}
+
+func TestFitAllPropagatesErrors(t *testing.T) {
+	if _, err := FitAll([]Point{{8, 100}}); err == nil {
+		t.Error("FitAll with one point should fail (linear needs two)")
+	}
+}
+
+func TestTwoPointFitsInterpolateExactlyProperty(t *testing.T) {
+	// Property: linear and power fits pass exactly through both inputs.
+	f := func(rawS, rawL uint8, y1Raw, y2Raw uint16) bool {
+		s := float64(rawS%32 + 2)
+		l := s * 2
+		y1 := float64(y1Raw%1000 + 1)
+		y2 := float64(y2Raw%1000 + 1)
+		pts := []Point{{s, y1}, {l, y2}}
+		lin, err := FitLinear(pts)
+		if err != nil {
+			return false
+		}
+		pow, err := FitPower(pts)
+		if err != nil {
+			return false
+		}
+		tol := 1e-6 * (y1 + y2)
+		return approx(lin.Predict(s), y1, tol) && approx(lin.Predict(l), y2, tol) &&
+			approx(pow.Predict(s), y1, tol) && approx(pow.Predict(l), y2, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

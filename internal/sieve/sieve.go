@@ -1,0 +1,235 @@
+// Package sieve implements stratified kernel sampling in the spirit of
+// Sieve (Naderan-Tahan, SeyyedAghaei, Eeckhout — ISPASS 2023), the
+// methodology the paper uses to pick representative kernel invocations from
+// the MLPerf workloads (Section VI). Real ML applications launch thousands
+// of kernels; simulating all of them is intractable, so Sieve profiles each
+// kernel cheaply (instruction count, memory intensity, footprint), groups
+// similar kernels into strata, and simulates one weighted representative
+// per stratum.
+//
+// This implementation profiles kernels by functional replay (no timing),
+// stratifies them with deterministic k-medoids clustering on normalised
+// feature vectors, and estimates whole-application metrics from the
+// representatives and their weights.
+package sieve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuscale/internal/trace"
+)
+
+// Profile is the cheap per-kernel fingerprint used for stratification.
+type Profile struct {
+	// Kernel is the profiled workload.
+	Kernel trace.Workload
+	// Instructions is the total dynamic warp-instruction count.
+	Instructions uint64
+	// MemFraction is memory instructions over all instructions.
+	MemFraction float64
+	// FootprintLines is the number of distinct cache lines touched.
+	FootprintLines uint64
+	// CTAs is the kernel's grid size.
+	CTAs int
+}
+
+// ProfileKernel replays a kernel functionally and fingerprints it.
+func ProfileKernel(w trace.Workload, lineSize int) (Profile, error) {
+	if w == nil {
+		return Profile{}, fmt.Errorf("sieve: nil kernel")
+	}
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return Profile{}, fmt.Errorf("sieve: line size must be a positive power of two, got %d", lineSize)
+	}
+	k := w.Kernel()
+	if err := k.Validate(); err != nil {
+		return Profile{}, err
+	}
+	lb := uint(0)
+	for 1<<lb != lineSize {
+		lb++
+	}
+	var total, mem uint64
+	lines := make(map[uint64]struct{}, 1024)
+	for c := 0; c < k.NumCTAs; c++ {
+		for wp := 0; wp < k.WarpsPerCTA; wp++ {
+			p := w.NewProgram(c, wp)
+			for {
+				in, ok := p.Next()
+				if !ok {
+					break
+				}
+				total++
+				if in.Kind == trace.Load || in.Kind == trace.Store {
+					mem++
+					lines[in.Addr>>lb] = struct{}{}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return Profile{}, fmt.Errorf("sieve: kernel %q has no instructions", w.Name())
+	}
+	return Profile{
+		Kernel:         w,
+		Instructions:   total,
+		MemFraction:    float64(mem) / float64(total),
+		FootprintLines: uint64(len(lines)),
+		CTAs:           k.NumCTAs,
+	}, nil
+}
+
+// features maps a profile to a normalised vector: log-scaled sizes so that
+// kernels differing by constant factors in magnitude but alike in shape
+// land close together.
+func (p Profile) features() [4]float64 {
+	return [4]float64{
+		math.Log1p(float64(p.Instructions)),
+		p.MemFraction * 10, // weight intensity comparably to log-sizes
+		math.Log1p(float64(p.FootprintLines)),
+		math.Log1p(float64(p.CTAs)),
+	}
+}
+
+func dist(a, b [4]float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Representative is one selected kernel plus the weight of its stratum.
+type Representative struct {
+	// Profile is the selected kernel's fingerprint.
+	Profile Profile
+	// Weight is the fraction of the application's dynamic instructions
+	// its stratum covers.
+	Weight float64
+	// Members is the number of kernels in the stratum.
+	Members int
+}
+
+// Select stratifies the kernels into at most k strata and returns one
+// medoid representative per stratum, instruction-weighted. Selection is
+// deterministic: medoids are seeded farthest-first from the largest kernel.
+func Select(profiles []Profile, k int) ([]Representative, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("sieve: no kernels to select from")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("sieve: k must be positive, got %d", k)
+	}
+	if k > len(profiles) {
+		k = len(profiles)
+	}
+	feats := make([][4]float64, len(profiles))
+	for i, p := range profiles {
+		feats[i] = p.features()
+	}
+	// Farthest-first seeding from the kernel with the most instructions.
+	seed := 0
+	for i, p := range profiles {
+		if p.Instructions > profiles[seed].Instructions {
+			seed = i
+		}
+	}
+	medoids := []int{seed}
+	for len(medoids) < k {
+		best, bestD := -1, -1.0
+		for i := range profiles {
+			d := math.Inf(1)
+			for _, m := range medoids {
+				if dd := dist(feats[i], feats[m]); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		if bestD == 0 {
+			break // all remaining kernels coincide with a medoid
+		}
+		medoids = append(medoids, best)
+	}
+	// Assign kernels to nearest medoid, then refine each medoid to the
+	// member minimising intra-stratum distance (one k-medoids sweep —
+	// deterministic and sufficient for fingerprint-sized data).
+	assign := func() [][]int {
+		strata := make([][]int, len(medoids))
+		for i := range profiles {
+			best, bestD := 0, math.Inf(1)
+			for mi, m := range medoids {
+				if d := dist(feats[i], feats[m]); d < bestD {
+					best, bestD = mi, d
+				}
+			}
+			strata[best] = append(strata[best], i)
+		}
+		return strata
+	}
+	strata := assign()
+	for mi, members := range strata {
+		best, bestCost := medoids[mi], math.Inf(1)
+		for _, cand := range members {
+			var cost float64
+			for _, other := range members {
+				cost += dist(feats[cand], feats[other])
+			}
+			if cost < bestCost {
+				best, bestCost = cand, cost
+			}
+		}
+		medoids[mi] = best
+	}
+	strata = assign()
+
+	var totalInstr float64
+	for _, p := range profiles {
+		totalInstr += float64(p.Instructions)
+	}
+	var out []Representative
+	for mi, members := range strata {
+		if len(members) == 0 {
+			continue
+		}
+		var w float64
+		for _, i := range members {
+			w += float64(profiles[i].Instructions)
+		}
+		out = append(out, Representative{
+			Profile: profiles[medoids[mi]],
+			Weight:  w / totalInstr,
+			Members: len(members),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out, nil
+}
+
+// EstimateIPC combines per-representative IPC measurements into a
+// whole-application estimate: the instruction-weighted harmonic-style
+// aggregate Σw_i·I_i / Σ(w_i·I_i/IPC_i), i.e. total instructions over total
+// estimated cycles.
+func EstimateIPC(reps []Representative, ipc map[string]float64) (float64, error) {
+	if len(reps) == 0 {
+		return 0, fmt.Errorf("sieve: no representatives")
+	}
+	var instr, cycles float64
+	for _, r := range reps {
+		v, ok := ipc[r.Profile.Kernel.Name()]
+		if !ok {
+			return 0, fmt.Errorf("sieve: missing IPC for representative %q", r.Profile.Kernel.Name())
+		}
+		if v <= 0 {
+			return 0, fmt.Errorf("sieve: non-positive IPC for %q", r.Profile.Kernel.Name())
+		}
+		instr += r.Weight
+		cycles += r.Weight / v
+	}
+	return instr / cycles, nil
+}

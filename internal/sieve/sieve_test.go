@@ -1,0 +1,171 @@
+package sieve
+
+import (
+	"math"
+	"testing"
+
+	"gpuscale/internal/trace"
+)
+
+// kernel builds a small kernel with the given shape.
+func kernel(name string, ctas, n, computePer int, footprintLines uint64) trace.Workload {
+	return &trace.FuncWorkload{
+		WName: name,
+		Spec:  trace.KernelSpec{NumCTAs: ctas, WarpsPerCTA: 2},
+		Factory: func(cta, warp int) trace.Program {
+			g := &trace.SeqGen{Base: 0, Start: uint64(cta) * 128, Stride: 128, Extent: footprintLines * 128}
+			return trace.NewPhaseProgram(trace.Phase{N: n, ComputePer: computePer, Gen: g})
+		},
+	}
+}
+
+func TestProfileKernel(t *testing.T) {
+	w := kernel("k", 4, 20, 1, 1024)
+	p, err := ProfileKernel(w, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instructions != 4*2*20 {
+		t.Errorf("instructions = %d, want 160", p.Instructions)
+	}
+	if math.Abs(p.MemFraction-0.5) > 1e-9 {
+		t.Errorf("mem fraction = %v, want 0.5", p.MemFraction)
+	}
+	if p.FootprintLines == 0 || p.FootprintLines > 1024 {
+		t.Errorf("footprint = %d lines", p.FootprintLines)
+	}
+	if p.CTAs != 4 {
+		t.Errorf("CTAs = %d", p.CTAs)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	if _, err := ProfileKernel(nil, 128); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := ProfileKernel(kernel("k", 2, 5, 0, 8), 100); err == nil {
+		t.Error("bad line size accepted")
+	}
+	empty := &trace.FuncWorkload{
+		WName: "empty",
+		Spec:  trace.KernelSpec{NumCTAs: 1, WarpsPerCTA: 1},
+		Factory: func(cta, warp int) trace.Program {
+			return trace.NewPhaseProgram()
+		},
+	}
+	if _, err := ProfileKernel(empty, 128); err == nil {
+		t.Error("empty kernel accepted")
+	}
+}
+
+func TestSelectGroupsSimilarKernels(t *testing.T) {
+	// Two families: compute-bound tiny-footprint kernels and
+	// memory-bound big-footprint kernels, three of each. k=2 must pick
+	// one representative per family.
+	var profiles []Profile
+	for i := 0; i < 3; i++ {
+		p, err := ProfileKernel(kernel("compute", 8+i, 100, 19, 16), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	for i := 0; i < 3; i++ {
+		p, err := ProfileKernel(kernel("memory", 8+i, 100, 1, 65536), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	reps, err := Select(profiles, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("representatives = %d, want 2", len(reps))
+	}
+	if reps[0].Profile.Kernel.Name() == reps[1].Profile.Kernel.Name() {
+		t.Error("both representatives come from the same family")
+	}
+	var w float64
+	members := 0
+	for _, r := range reps {
+		w += r.Weight
+		members += r.Members
+	}
+	if math.Abs(w-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", w)
+	}
+	if members != 6 {
+		t.Errorf("members = %d, want 6", members)
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	var profiles []Profile
+	for i := 0; i < 8; i++ {
+		p, err := ProfileKernel(kernel("k", 4+i, 50+10*i, i%3, uint64(64<<uint(i%4))), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	a, err := Select(profiles, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Select(profiles, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Weight != b[i].Weight || a[i].Members != b[i].Members {
+			t.Fatal("selection not deterministic")
+		}
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	if _, err := Select(nil, 2); err == nil {
+		t.Error("empty selection accepted")
+	}
+	p, _ := ProfileKernel(kernel("k", 2, 10, 1, 64), 128)
+	if _, err := Select([]Profile{p}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k larger than the kernel count clamps.
+	reps, err := Select([]Profile{p}, 5)
+	if err != nil || len(reps) != 1 {
+		t.Fatalf("reps = %d, %v", len(reps), err)
+	}
+	if reps[0].Weight != 1 {
+		t.Errorf("single-kernel weight = %v", reps[0].Weight)
+	}
+}
+
+func TestEstimateIPC(t *testing.T) {
+	pa, _ := ProfileKernel(kernel("a", 4, 100, 1, 64), 128)
+	pb, _ := ProfileKernel(kernel("b", 4, 100, 1, 64), 128)
+	reps := []Representative{
+		{Profile: pa, Weight: 0.5},
+		{Profile: pb, Weight: 0.5},
+	}
+	// Equal weights at IPC 2 and 4: total instr 1, cycles 0.25+0.125:
+	// aggregate = 1/0.375 = 2.667 (harmonic-style, not arithmetic 3).
+	got, err := EstimateIPC(reps, map[string]float64{"a": 2, "b": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-8.0/3) > 1e-9 {
+		t.Errorf("estimate = %v, want 2.667", got)
+	}
+	if _, err := EstimateIPC(reps, map[string]float64{"a": 2}); err == nil {
+		t.Error("missing IPC accepted")
+	}
+	if _, err := EstimateIPC(reps, map[string]float64{"a": 2, "b": -1}); err == nil {
+		t.Error("negative IPC accepted")
+	}
+	if _, err := EstimateIPC(nil, nil); err == nil {
+		t.Error("empty representatives accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package sm
+
+// warpHeap is an indexed binary min-heap over warp slot indices, keyed by an
+// int64 (launch age for the ready heap, wake-up cycle for the pending heap).
+// It supports O(log n) push/pop/remove and O(1) membership tests, which the
+// GTO scheduler's greedy path needs.
+type warpHeap struct {
+	idx  []int   // heap order -> warp index
+	key  []int64 // heap order -> key
+	pos  []int   // warp index -> heap order, -1 if absent
+	size int
+}
+
+func (h *warpHeap) len() int { return h.size }
+
+func (h *warpHeap) ensure(warpIdx int) {
+	for len(h.pos) <= warpIdx {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *warpHeap) contains(warpIdx int) bool {
+	return warpIdx < len(h.pos) && h.pos[warpIdx] >= 0
+}
+
+func (h *warpHeap) minKey() int64 { return h.key[0] }
+
+func (h *warpHeap) push(warpIdx int, key int64) {
+	h.ensure(warpIdx)
+	if h.pos[warpIdx] >= 0 {
+		panic("sm: warp already in heap")
+	}
+	if h.size == len(h.idx) {
+		h.idx = append(h.idx, warpIdx)
+		h.key = append(h.key, key)
+	} else {
+		h.idx[h.size] = warpIdx
+		h.key[h.size] = key
+	}
+	h.pos[warpIdx] = h.size
+	h.size++
+	h.up(h.size - 1)
+}
+
+func (h *warpHeap) pop() (int, int64) {
+	w, k := h.idx[0], h.key[0]
+	h.removeAt(0)
+	return w, k
+}
+
+func (h *warpHeap) peek() (int, int64) {
+	return h.idx[0], h.key[0]
+}
+
+func (h *warpHeap) remove(warpIdx int) {
+	p := h.pos[warpIdx]
+	if p < 0 {
+		panic("sm: warp not in heap")
+	}
+	h.removeAt(p)
+}
+
+func (h *warpHeap) removeAt(p int) {
+	h.pos[h.idx[p]] = -1
+	h.size--
+	if p == h.size {
+		return
+	}
+	h.idx[p] = h.idx[h.size]
+	h.key[p] = h.key[h.size]
+	h.pos[h.idx[p]] = p
+	h.down(p)
+	h.up(p)
+}
+
+func (h *warpHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.key[parent] <= h.key[i] {
+			return
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *warpHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < h.size && h.key[l] < h.key[small] {
+			small = l
+		}
+		if r < h.size && h.key[r] < h.key[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *warpHeap) swap(a, b int) {
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+	h.key[a], h.key[b] = h.key[b], h.key[a]
+	h.pos[h.idx[a]] = a
+	h.pos[h.idx[b]] = b
+}

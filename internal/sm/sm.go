@@ -1,0 +1,361 @@
+// Package sm models a streaming multiprocessor: resident CTAs and warps, a
+// Greedy-Then-Oldest (GTO) warp scheduler, dependent-issue latencies, and —
+// crucially for the scale-model predictor — classification of every cycle in
+// which the SM cannot issue. The paper's cliff-region formula (Eq. 3)
+// divides by 1−f_mem, where f_mem is the fraction of cycles an SM fetches
+// nothing because every blocked warp is waiting on memory; this package is
+// where that accounting lives.
+package sm
+
+import (
+	"fmt"
+
+	"gpuscale/internal/trace"
+)
+
+// TickKind classifies what an SM did in one cycle.
+type TickKind uint8
+
+const (
+	// Issued means one instruction was issued.
+	Issued TickKind = iota
+	// StallMem means no warp was ready and every blocked warp was waiting
+	// for data from memory — the f_mem numerator.
+	StallMem
+	// StallPipe means no warp was ready but at least one blocked warp was
+	// waiting on a compute (pipeline) dependency.
+	StallPipe
+	// Idle means the SM had no live warps at all (waiting for a CTA, or
+	// the grid has drained).
+	Idle
+)
+
+// String implements fmt.Stringer.
+func (k TickKind) String() string {
+	switch k {
+	case Issued:
+		return "issued"
+	case StallMem:
+		return "stall-mem"
+	case StallPipe:
+		return "stall-pipe"
+	case Idle:
+		return "idle"
+	default:
+		return fmt.Sprintf("TickKind(%d)", uint8(k))
+	}
+}
+
+// Policy selects the warp scheduling policy.
+type Policy uint8
+
+const (
+	// GTO is Greedy-Then-Oldest (the paper's Table III policy): stay on
+	// the current warp while it is ready, otherwise pick the oldest
+	// ready warp.
+	GTO Policy = iota
+	// LRR is loose round-robin: the ready warp that issued least
+	// recently goes first.
+	LRR
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case GTO:
+		return "gto"
+	case LRR:
+		return "lrr"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// MemPort is the SM's window onto the memory hierarchy. Access schedules
+// the memory instruction in, issued at cycle now, and returns the cycle at
+// which the data is available to the warp. Stores are fire-and-forget: they
+// consume bandwidth but the returned cycle is ignored by the SM.
+type MemPort interface {
+	Access(now int64, in trace.Instr) int64
+}
+
+type warp struct {
+	prog      trace.Program
+	readyAt   int64
+	launch    int64 // GTO age: smaller = older
+	lastIssue int64 // LRR recency: smaller = longer since last issue
+	ctaSlot   int
+	waitMem   bool
+	live      bool
+}
+
+// Stats aggregates per-SM counters. Cycle classification counters are
+// accrued by the driver (via Accrue) so that event-skip fast-forwarding can
+// weight a classification by the number of skipped cycles.
+type Stats struct {
+	Instructions    uint64
+	MemInstructions uint64
+	IssuedCycles    uint64
+	MemStallCycles  uint64
+	PipeStallCycles uint64
+	IdleCycles      uint64
+	CTAsCompleted   uint64
+}
+
+// TotalCycles returns the sum of all classified cycles.
+func (s Stats) TotalCycles() uint64 {
+	return s.IssuedCycles + s.MemStallCycles + s.PipeStallCycles + s.IdleCycles
+}
+
+// FMem returns the memory-stall fraction f_mem (Eq. 3's denominator input):
+// cycles in which the SM could not fetch because all blocked warps waited on
+// memory, divided by all cycles.
+func (s Stats) FMem() float64 {
+	t := s.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.MemStallCycles) / float64(t)
+}
+
+// SM is one streaming multiprocessor. The zero value is not usable; use New.
+type SM struct {
+	computeLat int64
+	maxWarps   int
+	maxCTAs    int
+	policy     Policy
+
+	warps     []warp
+	freeWarps []int
+	ready     warpHeap // ordered by launch age (GTO oldest-first)
+	pending   warpHeap // ordered by readyAt
+	current   int      // greedy warp index, -1 if none
+
+	ctaLive      []int
+	freeCTASlots []int
+	liveWarps    int
+	blockedMem   int
+	launchSeq    int64
+
+	stats Stats
+}
+
+// New constructs a GTO-scheduled SM with the given residency limits and
+// dependent-issue compute latency.
+func New(maxWarps, maxCTAs, computeLatency int) (*SM, error) {
+	return NewWithPolicy(maxWarps, maxCTAs, computeLatency, GTO)
+}
+
+// NewWithPolicy is New with an explicit warp scheduling policy.
+func NewWithPolicy(maxWarps, maxCTAs, computeLatency int, policy Policy) (*SM, error) {
+	if maxWarps <= 0 {
+		return nil, fmt.Errorf("sm: maxWarps must be positive, got %d", maxWarps)
+	}
+	if maxCTAs <= 0 {
+		return nil, fmt.Errorf("sm: maxCTAs must be positive, got %d", maxCTAs)
+	}
+	if computeLatency <= 0 {
+		return nil, fmt.Errorf("sm: computeLatency must be positive, got %d", computeLatency)
+	}
+	if policy != GTO && policy != LRR {
+		return nil, fmt.Errorf("sm: unknown policy %v", policy)
+	}
+	s := &SM{
+		computeLat: int64(computeLatency),
+		maxWarps:   maxWarps,
+		maxCTAs:    maxCTAs,
+		policy:     policy,
+		warps:      make([]warp, 0, maxWarps),
+		ctaLive:    make([]int, maxCTAs),
+		current:    -1,
+	}
+	for i := maxCTAs - 1; i >= 0; i-- {
+		s.freeCTASlots = append(s.freeCTASlots, i)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(maxWarps, maxCTAs, computeLatency int) *SM {
+	s, err := New(maxWarps, maxCTAs, computeLatency)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// CanAccept reports whether a CTA of the given warp count can be launched.
+func (s *SM) CanAccept(warps int) bool {
+	return len(s.freeCTASlots) > 0 && s.liveWarps+warps <= s.maxWarps
+}
+
+// LaunchCTA makes the given warp programs resident. The caller must check
+// CanAccept first; LaunchCTA panics otherwise (a scheduler bug, not a user
+// error).
+func (s *SM) LaunchCTA(programs []trace.Program) {
+	if !s.CanAccept(len(programs)) {
+		panic("sm: LaunchCTA without CanAccept")
+	}
+	slot := s.freeCTASlots[len(s.freeCTASlots)-1]
+	s.freeCTASlots = s.freeCTASlots[:len(s.freeCTASlots)-1]
+	s.ctaLive[slot] = len(programs)
+	for _, p := range programs {
+		idx := s.allocWarp()
+		s.warps[idx] = warp{prog: p, readyAt: 0, launch: s.launchSeq, lastIssue: s.launchSeq, ctaSlot: slot, live: true}
+		s.launchSeq++
+		s.ready.push(idx, s.readyKey(idx))
+	}
+	s.liveWarps += len(programs)
+}
+
+func (s *SM) allocWarp() int {
+	if n := len(s.freeWarps); n > 0 {
+		idx := s.freeWarps[n-1]
+		s.freeWarps = s.freeWarps[:n-1]
+		return idx
+	}
+	s.warps = append(s.warps, warp{})
+	return len(s.warps) - 1
+}
+
+// LiveWarps returns the number of resident, unfinished warps.
+func (s *SM) LiveWarps() int { return s.liveWarps }
+
+// FreeCTASlots returns how many CTA slots are free.
+func (s *SM) FreeCTASlots() int { return len(s.freeCTASlots) }
+
+// ResidentCTAs returns how many CTAs currently occupy slots.
+func (s *SM) ResidentCTAs() int { return s.maxCTAs - len(s.freeCTASlots) }
+
+// Tick advances the SM by one cycle at time now, issuing at most one
+// instruction through mem. It returns the cycle's classification but does
+// not accrue classification counters — call Accrue with the desired weight
+// (1 normally, more when the driver fast-forwards).
+func (s *SM) Tick(now int64, mem MemPort) TickKind {
+	// Promote warps whose dependencies resolved.
+	for s.pending.len() > 0 && s.pending.minKey() <= now {
+		idx, _ := s.pending.pop()
+		w := &s.warps[idx]
+		if w.waitMem {
+			s.blockedMem--
+			w.waitMem = false
+		}
+		s.ready.push(idx, s.readyKey(idx))
+	}
+
+	for {
+		var idx int
+		switch {
+		case s.policy == GTO && s.current >= 0 && s.warps[s.current].live && s.ready.contains(s.current):
+			// Greedy: stay on the current warp while it is ready.
+			idx = s.current
+			s.ready.remove(idx)
+		case s.ready.len() > 0:
+			// Then-oldest: the ready warp with the smallest age.
+			idx, _ = s.ready.pop()
+		default:
+			if s.liveWarps == 0 {
+				return Idle
+			}
+			// A no-issue cycle counts toward f_mem (Eq. 3) when any
+			// blocked warp is waiting on memory: if memory returned
+			// instantly that warp would be ready and the cycle would
+			// not exist, so memory is the binding cause. Only cycles
+			// where every blocked warp sits in a short arithmetic
+			// dependency are pipeline stalls.
+			if s.blockedMem > 0 {
+				return StallMem
+			}
+			return StallPipe
+		}
+
+		w := &s.warps[idx]
+		in, ok := w.prog.Next()
+		if !ok {
+			s.retire(idx)
+			continue // retirement is free; pick another warp this cycle
+		}
+		s.current = idx
+		w.lastIssue = s.launchSeq
+		s.launchSeq++
+		s.stats.Instructions++
+		switch in.Kind {
+		case trace.Compute:
+			w.readyAt = now + s.computeLat
+		case trace.Load:
+			s.stats.MemInstructions++
+			w.readyAt = mem.Access(now, in)
+			if w.readyAt <= now {
+				w.readyAt = now + 1
+			}
+			w.waitMem = true
+			s.blockedMem++
+		case trace.Store:
+			s.stats.MemInstructions++
+			mem.Access(now, in)
+			w.readyAt = now + 1
+		}
+		s.pending.push(idx, w.readyAt)
+		return Issued
+	}
+}
+
+func (s *SM) retire(idx int) {
+	w := &s.warps[idx]
+	w.live = false
+	s.liveWarps--
+	s.freeWarps = append(s.freeWarps, idx)
+	if s.current == idx {
+		s.current = -1
+	}
+	slot := w.ctaSlot
+	s.ctaLive[slot]--
+	if s.ctaLive[slot] == 0 {
+		s.freeCTASlots = append(s.freeCTASlots, slot)
+		s.stats.CTAsCompleted++
+	}
+}
+
+// readyKey returns the priority key for the ready heap: launch age under
+// GTO (oldest first), last-issue recency under LRR (least recently issued
+// first).
+func (s *SM) readyKey(idx int) int64 {
+	if s.policy == LRR {
+		return s.warps[idx].lastIssue
+	}
+	return s.warps[idx].launch
+}
+
+// Accrue adds weight cycles of the given classification to the statistics.
+func (s *SM) Accrue(kind TickKind, weight uint64) {
+	switch kind {
+	case Issued:
+		s.stats.IssuedCycles += weight
+	case StallMem:
+		s.stats.MemStallCycles += weight
+	case StallPipe:
+		s.stats.PipeStallCycles += weight
+	case Idle:
+		s.stats.IdleCycles += weight
+	}
+}
+
+// NextEvent returns the earliest cycle at which a blocked warp becomes
+// ready, and false when nothing is pending (the SM is idle or has a warp
+// ready right now).
+func (s *SM) NextEvent() (int64, bool) {
+	if s.ready.len() > 0 {
+		return 0, false // a warp is ready immediately; no skipping possible
+	}
+	if s.pending.len() == 0 {
+		return 0, false
+	}
+	return s.pending.minKey(), true
+}
+
+// Stats returns a copy of the SM's counters.
+func (s *SM) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the SM's counters without touching warp or CTA state,
+// so measurement can start after a warm-up period.
+func (s *SM) ResetStats() { s.stats = Stats{} }

@@ -1,0 +1,413 @@
+package sm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpuscale/internal/trace"
+)
+
+// fixedMem is a MemPort with a constant latency.
+type fixedMem struct {
+	lat      int64
+	accesses int
+	stores   int
+}
+
+func (m *fixedMem) Access(now int64, in trace.Instr) int64 {
+	m.accesses++
+	if in.Kind == trace.Store {
+		m.stores++
+	}
+	return now + m.lat
+}
+
+func computeProg(n int) trace.Program {
+	return trace.NewPhaseProgram(trace.Phase{N: n})
+}
+
+func loadProg(n int) trace.Program {
+	g := &trace.SeqGen{Base: 0, Stride: 128, Extent: 1 << 30}
+	return trace.NewPhaseProgram(trace.Phase{N: n, ComputePer: 0, Gen: g})
+}
+
+// run drives the SM until the grid drains, returning total cycles.
+func run(t *testing.T, s *SM, mem MemPort, maxCycles int64) int64 {
+	t.Helper()
+	now := int64(0)
+	for s.LiveWarps() > 0 {
+		if now > maxCycles {
+			t.Fatalf("SM did not drain within %d cycles", maxCycles)
+		}
+		kind := s.Tick(now, mem)
+		s.Accrue(kind, 1)
+		now++
+	}
+	return now
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 4); err == nil {
+		t.Error("zero warps accepted")
+	}
+	if _, err := New(1, 0, 4); err == nil {
+		t.Error("zero CTAs accepted")
+	}
+	if _, err := New(1, 1, 0); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestTickKindString(t *testing.T) {
+	for k, want := range map[TickKind]string{Issued: "issued", StallMem: "stall-mem", StallPipe: "stall-pipe", Idle: "idle", TickKind(9): "TickKind(9)"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestCanAcceptLimits(t *testing.T) {
+	s := MustNew(4, 1, 4)
+	if !s.CanAccept(4) {
+		t.Error("should accept 4 warps")
+	}
+	if s.CanAccept(5) {
+		t.Error("accepted more warps than capacity")
+	}
+	s.LaunchCTA([]trace.Program{computeProg(1)})
+	if s.CanAccept(1) {
+		t.Error("accepted a CTA with no free slots")
+	}
+}
+
+func TestLaunchWithoutCanAcceptPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s := MustNew(1, 1, 4)
+	s.LaunchCTA([]trace.Program{computeProg(1), computeProg(1)})
+}
+
+func TestSingleWarpComputeTiming(t *testing.T) {
+	// 10 dependent compute instructions at latency 4: one issue every 4
+	// cycles -> ~40 cycles, IPC 0.25.
+	s := MustNew(4, 1, 4)
+	s.LaunchCTA([]trace.Program{computeProg(10)})
+	cycles := run(t, s, &fixedMem{lat: 1}, 1000)
+	if cycles < 37 || cycles > 45 {
+		t.Errorf("cycles = %d, want ≈40", cycles)
+	}
+	st := s.Stats()
+	if st.Instructions != 10 {
+		t.Errorf("instructions = %d, want 10", st.Instructions)
+	}
+	if st.MemStallCycles != 0 {
+		t.Errorf("mem stalls = %d, want 0", st.MemStallCycles)
+	}
+	if st.PipeStallCycles == 0 {
+		t.Error("expected pipeline stalls from dependent latency")
+	}
+}
+
+func TestMultiWarpLatencyHiding(t *testing.T) {
+	// 4 warps of dependent compute at latency 4 interleave to IPC ≈ 1.
+	s := MustNew(4, 1, 4)
+	s.LaunchCTA([]trace.Program{computeProg(25), computeProg(25), computeProg(25), computeProg(25)})
+	cycles := run(t, s, &fixedMem{lat: 1}, 1000)
+	if cycles > 110 {
+		t.Errorf("cycles = %d, want ≈100 (latency hidden)", cycles)
+	}
+	if ipc := float64(s.Stats().Instructions) / float64(cycles); ipc < 0.9 {
+		t.Errorf("IPC = %v, want ≈1", ipc)
+	}
+}
+
+func TestMemStallClassification(t *testing.T) {
+	// One warp issuing loads with 100-cycle latency: almost all cycles are
+	// memory stalls and FMem approaches 1.
+	s := MustNew(4, 1, 4)
+	s.LaunchCTA([]trace.Program{loadProg(5)})
+	mem := &fixedMem{lat: 100}
+	run(t, s, mem, 10000)
+	st := s.Stats()
+	if st.MemStallCycles == 0 {
+		t.Fatal("no memory stalls recorded")
+	}
+	if f := st.FMem(); f < 0.9 {
+		t.Errorf("FMem = %v, want > 0.9", f)
+	}
+	if mem.accesses != 5 {
+		t.Errorf("mem accesses = %d, want 5", mem.accesses)
+	}
+}
+
+func TestStoresDoNotBlock(t *testing.T) {
+	g := &trace.SeqGen{Base: 0, Stride: 128, Extent: 1 << 30}
+	prog := trace.NewPhaseProgram(trace.Phase{N: 10, ComputePer: 0, Gen: g, Store: true})
+	s := MustNew(4, 1, 4)
+	s.LaunchCTA([]trace.Program{prog})
+	mem := &fixedMem{lat: 500}
+	cycles := run(t, s, mem, 1000)
+	if cycles > 20 {
+		t.Errorf("stores blocked the warp: %d cycles for 10 stores", cycles)
+	}
+	if mem.stores != 10 {
+		t.Errorf("stores seen = %d, want 10", mem.stores)
+	}
+}
+
+func TestCTACompletionFreesSlot(t *testing.T) {
+	s := MustNew(8, 2, 4)
+	s.LaunchCTA([]trace.Program{computeProg(3)})
+	s.LaunchCTA([]trace.Program{computeProg(30)})
+	if s.FreeCTASlots() != 0 {
+		t.Fatal("slots should be exhausted")
+	}
+	mem := &fixedMem{lat: 1}
+	now := int64(0)
+	for s.FreeCTASlots() == 0 {
+		kind := s.Tick(now, mem)
+		s.Accrue(kind, 1)
+		now++
+		if now > 1000 {
+			t.Fatal("first CTA never completed")
+		}
+	}
+	if s.Stats().CTAsCompleted != 1 {
+		t.Errorf("CTAsCompleted = %d, want 1", s.Stats().CTAsCompleted)
+	}
+	if !s.CanAccept(1) {
+		t.Error("freed slot not reusable")
+	}
+}
+
+func TestIdleWhenEmpty(t *testing.T) {
+	s := MustNew(4, 1, 4)
+	if kind := s.Tick(0, &fixedMem{lat: 1}); kind != Idle {
+		t.Errorf("empty SM tick = %v, want Idle", kind)
+	}
+}
+
+func TestNextEvent(t *testing.T) {
+	s := MustNew(4, 1, 4)
+	if _, ok := s.NextEvent(); ok {
+		t.Error("empty SM reported event")
+	}
+	s.LaunchCTA([]trace.Program{loadProg(2)})
+	if _, ok := s.NextEvent(); ok {
+		t.Error("ready warp should inhibit skipping")
+	}
+	s.Accrue(s.Tick(0, &fixedMem{lat: 100}), 1)
+	ev, ok := s.NextEvent()
+	if !ok || ev != 100 {
+		t.Errorf("NextEvent = %d,%v, want 100,true", ev, ok)
+	}
+}
+
+func TestAccrueWeights(t *testing.T) {
+	s := MustNew(4, 1, 4)
+	s.Accrue(Issued, 2)
+	s.Accrue(StallMem, 3)
+	s.Accrue(StallPipe, 5)
+	s.Accrue(Idle, 7)
+	st := s.Stats()
+	if st.IssuedCycles != 2 || st.MemStallCycles != 3 || st.PipeStallCycles != 5 || st.IdleCycles != 7 {
+		t.Errorf("accrued counters wrong: %+v", st)
+	}
+	if st.TotalCycles() != 17 {
+		t.Errorf("TotalCycles = %d, want 17", st.TotalCycles())
+	}
+}
+
+func TestFMemZeroWhenNoCycles(t *testing.T) {
+	var st Stats
+	if st.FMem() != 0 {
+		t.Error("FMem of empty stats should be 0")
+	}
+}
+
+func TestGTOPrefersOldestWarp(t *testing.T) {
+	// Two warps with loads; the older warp (launched first) should issue
+	// first whenever both are ready.
+	s := MustNew(4, 1, 4)
+	order := []uint64{}
+	mem := &recordingMem{lat: 1, order: &order}
+	s.LaunchCTA([]trace.Program{
+		trace.NewPhaseProgram(trace.Phase{N: 1, Gen: &trace.SeqGen{Base: 1000, Stride: 128, Extent: 1 << 20}}),
+		trace.NewPhaseProgram(trace.Phase{N: 1, Gen: &trace.SeqGen{Base: 2000, Stride: 128, Extent: 1 << 20}}),
+	})
+	run(t, s, mem, 100)
+	if len(order) != 2 || order[0] != 1000 || order[1] != 2000 {
+		t.Errorf("issue order = %v, want [1000 2000]", order)
+	}
+}
+
+type recordingMem struct {
+	lat   int64
+	order *[]uint64
+}
+
+func (m *recordingMem) Access(now int64, in trace.Instr) int64 {
+	*m.order = append(*m.order, in.Addr)
+	return now + m.lat
+}
+
+func TestDrainAlwaysTerminatesProperty(t *testing.T) {
+	// Property: any mix of small programs drains, and instruction counts
+	// add up.
+	f := func(nWarps uint8, nInstr uint8, memLat uint8) bool {
+		w := int(nWarps)%6 + 1
+		n := int(nInstr)%20 + 1
+		s := MustNew(8, 2, 4)
+		progs := make([]trace.Program, w)
+		for i := range progs {
+			progs[i] = loadProg(n)
+		}
+		s.LaunchCTA(progs)
+		mem := &fixedMem{lat: int64(memLat) + 1}
+		now := int64(0)
+		for s.LiveWarps() > 0 {
+			if now > 1_000_000 {
+				return false
+			}
+			s.Accrue(s.Tick(now, mem), 1)
+			now++
+		}
+		return s.Stats().Instructions == uint64(w*n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapPushPopOrder(t *testing.T) {
+	var h warpHeap
+	h.push(0, 30)
+	h.push(1, 10)
+	h.push(2, 20)
+	if h.len() != 3 || h.minKey() != 10 {
+		t.Fatalf("len/min = %d/%d, want 3/10", h.len(), h.minKey())
+	}
+	i, k := h.pop()
+	if i != 1 || k != 10 {
+		t.Errorf("pop = %d,%d, want 1,10", i, k)
+	}
+	if h.contains(1) {
+		t.Error("popped element still contained")
+	}
+	h.remove(2)
+	if h.contains(2) || h.len() != 1 {
+		t.Error("remove failed")
+	}
+}
+
+func TestHeapDoublePushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var h warpHeap
+	h.push(0, 1)
+	h.push(0, 2)
+}
+
+func TestHeapRemoveAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var h warpHeap
+	h.push(0, 1)
+	h.remove(5)
+}
+
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(keys []int16) bool {
+		if len(keys) > 64 {
+			keys = keys[:64]
+		}
+		var h warpHeap
+		for i, k := range keys {
+			h.push(i, int64(k))
+		}
+		last := int64(-1 << 62)
+		for h.len() > 0 {
+			_, k := h.pop()
+			if k < last {
+				return false
+			}
+			last = k
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if GTO.String() != "gto" || LRR.String() != "lrr" {
+		t.Error("policy strings wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy string wrong")
+	}
+}
+
+func TestNewWithPolicyValidation(t *testing.T) {
+	if _, err := NewWithPolicy(4, 1, 4, Policy(9)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	s, err := NewWithPolicy(4, 1, 4, LRR)
+	if err != nil || s == nil {
+		t.Fatalf("LRR construction failed: %v", err)
+	}
+}
+
+func TestLRRRotatesAcrossWarps(t *testing.T) {
+	// Three compute-only warps under LRR with latency 1: issues rotate
+	// round-robin rather than sticking with one warp.
+	s, err := NewWithPolicy(4, 1, 1, LRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []uint64
+	mem := &recordingMem{lat: 1, order: &order}
+	g0 := &trace.SeqGen{Base: 0, Stride: 128, Extent: 1 << 20}
+	g1 := &trace.SeqGen{Base: 1 << 30, Stride: 128, Extent: 1 << 20}
+	s.LaunchCTA([]trace.Program{
+		trace.NewPhaseProgram(trace.Phase{N: 4, ComputePer: 0, Gen: g0}),
+		trace.NewPhaseProgram(trace.Phase{N: 4, ComputePer: 0, Gen: g1}),
+	})
+	now := int64(0)
+	for s.LiveWarps() > 0 && now < 1000 {
+		s.Accrue(s.Tick(now, mem), 1)
+		now++
+	}
+	if len(order) != 8 {
+		t.Fatalf("issued %d memory ops, want 8", len(order))
+	}
+	// Under LRR the two warps alternate strictly (both always ready with
+	// 1-cycle memory latency).
+	for i := 1; i < len(order); i++ {
+		sameRegion := (order[i] >= 1<<30) == (order[i-1] >= 1<<30)
+		if sameRegion {
+			t.Fatalf("LRR did not rotate at issue %d: %v", i, order)
+		}
+	}
+}
+
+func TestResidentCTAs(t *testing.T) {
+	s := MustNew(8, 2, 4)
+	if s.ResidentCTAs() != 0 {
+		t.Errorf("ResidentCTAs = %d, want 0", s.ResidentCTAs())
+	}
+	s.LaunchCTA([]trace.Program{computeProg(1)})
+	if s.ResidentCTAs() != 1 {
+		t.Errorf("ResidentCTAs = %d, want 1", s.ResidentCTAs())
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsPctError(t *testing.T) {
+	if got := AbsPctError(110, 100); got != 10 {
+		t.Errorf("AbsPctError(110,100) = %v, want 10", got)
+	}
+	if got := AbsPctError(90, 100); got != 10 {
+		t.Errorf("AbsPctError(90,100) = %v, want 10", got)
+	}
+	if got := AbsPctError(100, 100); got != 0 {
+		t.Errorf("exact prediction error = %v, want 0", got)
+	}
+	if got := AbsPctError(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero actual should be +Inf, got %v", got)
+	}
+}
+
+func TestMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Errorf("Mean = %v, want 2", Mean(xs))
+	}
+	if Max(xs) != 3 {
+		t.Errorf("Max = %v, want 3", Max(xs))
+	}
+	if Min(xs) != 1 {
+		t.Errorf("Min = %v, want 1", Min(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty slices should yield 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty GeoMean should be 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive GeoMean should be 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s, err := Speedup(10, 2)
+	if err != nil || s != 5 {
+		t.Errorf("Speedup(10,2) = %v, %v", s, err)
+	}
+	if _, err := Speedup(0, 1); err == nil {
+		t.Error("zero base accepted")
+	}
+	if _, err := Speedup(1, 0); err == nil {
+		t.Error("zero new accepted")
+	}
+}
+
+func TestBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		mean, mx, mn := Mean(xs), Max(xs), Min(xs)
+		return mn <= mean+1e-9 && mean <= mx+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+// Strided2DGen walks a row-major 2-D tile: for each of Rows rows it emits
+// Cols addresses Stride bytes apart, then jumps RowPitch bytes to the next
+// row, wrapping after the last row. It models the tile walks of stencil and
+// matrix kernels, whose reuse structure differs from flat streams: adjacent
+// rows revisit nearby lines, so the pattern exercises set-conflict and
+// partial-reuse behaviour that SeqGen cannot express.
+type Strided2DGen struct {
+	Base     uint64
+	Cols     int
+	Rows     int
+	Stride   uint64 // bytes between consecutive elements in a row
+	RowPitch uint64 // bytes between row starts (≥ Cols*Stride for padding)
+	row, col int
+}
+
+// Next implements AddrGen.
+func (g *Strided2DGen) Next() uint64 {
+	a := g.Base + uint64(g.row)*g.RowPitch + uint64(g.col)*g.Stride
+	g.col++
+	if g.col >= g.Cols {
+		g.col = 0
+		g.row++
+		if g.row >= g.Rows {
+			g.row = 0
+		}
+	}
+	return a
+}
+
+// IndirectGen models gather accesses (A[idx[i]]): it alternates between the
+// index stream (addresses from Index) and the gathered element (addresses
+// from Data). Graph and sparse-matrix kernels produce exactly this
+// two-level pattern: a sequential index array plus an irregular data array.
+type IndirectGen struct {
+	Index AddrGen
+	Data  AddrGen
+	phase bool
+}
+
+// Next implements AddrGen.
+func (g *IndirectGen) Next() uint64 {
+	if !g.phase {
+		g.phase = true
+		return g.Index.Next()
+	}
+	g.phase = false
+	return g.Data.Next()
+}
+
+// PingPongGen alternates direction over a region of Lines lines: forward
+// then backward, like time-stepped solvers that sweep a grid in alternating
+// order. Its reuse distance is short near the turning points and long
+// mid-sweep. The zero-positioned generator sweeps forward first.
+type PingPongGen struct {
+	Base     uint64
+	Stride   uint64
+	Lines    int
+	pos      int
+	backward bool
+}
+
+// Next implements AddrGen.
+func (g *PingPongGen) Next() uint64 {
+	if g.Lines <= 0 {
+		return g.Base
+	}
+	a := g.Base + uint64(g.pos)*g.Stride
+	if !g.backward {
+		g.pos++
+		if g.pos >= g.Lines {
+			g.pos = g.Lines - 1
+			g.backward = true
+		}
+	} else {
+		g.pos--
+		if g.pos < 0 {
+			g.pos = 0
+			g.backward = false
+		}
+	}
+	return a
+}

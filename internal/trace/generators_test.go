@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStrided2DGenRowMajorWalk(t *testing.T) {
+	g := &Strided2DGen{Base: 1000, Cols: 3, Rows: 2, Stride: 4, RowPitch: 100}
+	want := []uint64{
+		1000, 1004, 1008, // row 0
+		1100, 1104, 1108, // row 1
+		1000, 1004, 1008, // wrapped back to row 0
+	}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("access %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestStrided2DGenPaddingRespected(t *testing.T) {
+	// RowPitch larger than Cols*Stride leaves a gap between rows.
+	g := &Strided2DGen{Base: 0, Cols: 2, Rows: 2, Stride: 8, RowPitch: 64}
+	g.Next() // 0
+	g.Next() // 8
+	if got := g.Next(); got != 64 {
+		t.Errorf("row 1 start = %d, want 64", got)
+	}
+}
+
+func TestIndirectGenAlternates(t *testing.T) {
+	idx := &SeqGen{Base: 0, Stride: 8, Extent: 1 << 20}
+	data := NewRandGen(1<<30, 128, 1<<20, 7)
+	g := &IndirectGen{Index: idx, Data: data}
+	for i := 0; i < 10; i++ {
+		a := g.Next()
+		if i%2 == 0 {
+			if a >= 1<<30 {
+				t.Fatalf("access %d should be an index read, got %d", i, a)
+			}
+		} else if a < 1<<30 {
+			t.Fatalf("access %d should be a data read, got %d", i, a)
+		}
+	}
+}
+
+func TestPingPongGenSweeps(t *testing.T) {
+	g := &PingPongGen{Base: 0, Stride: 128, Lines: 3}
+	want := []uint64{0, 128, 256, 256, 128, 0, 0, 128}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("access %d = %d, want %d (got sequence so far wrong)", i, got, w)
+		}
+	}
+}
+
+func TestPingPongGenDegenerate(t *testing.T) {
+	g := &PingPongGen{Base: 42, Stride: 128, Lines: 0}
+	if g.Next() != 42 || g.Next() != 42 {
+		t.Error("zero-line ping-pong should pin to Base")
+	}
+	one := &PingPongGen{Base: 0, Stride: 128, Lines: 1}
+	for i := 0; i < 5; i++ {
+		if one.Next() != 0 {
+			t.Fatal("single-line ping-pong should stay at 0")
+		}
+	}
+}
+
+func TestPingPongStaysInRangeProperty(t *testing.T) {
+	f := func(linesRaw uint8, steps uint8) bool {
+		lines := int(linesRaw)%16 + 1
+		g := &PingPongGen{Base: 0, Stride: 128, Lines: lines}
+		for i := 0; i < int(steps); i++ {
+			a := g.Next()
+			if a%128 != 0 || a >= uint64(lines)*128 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrided2DStaysInTileProperty(t *testing.T) {
+	f := func(colsRaw, rowsRaw, steps uint8) bool {
+		cols := int(colsRaw)%8 + 1
+		rows := int(rowsRaw)%8 + 1
+		g := &Strided2DGen{Base: 0, Cols: cols, Rows: rows, Stride: 4, RowPitch: 64}
+		max := uint64(rows-1)*64 + uint64(cols-1)*4
+		for i := 0; i < int(steps); i++ {
+			if a := g.Next(); a > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

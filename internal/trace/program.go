@@ -1,0 +1,189 @@
+package trace
+
+import "fmt"
+
+// AddrGen produces a deterministic sequence of byte addresses for the memory
+// instructions of one warp. Generators are stateful and single-use, like
+// Programs.
+type AddrGen interface {
+	Next() uint64
+}
+
+// SeqGen walks addresses Base + ((Start + i*Stride) mod Extent) for
+// i = 0, 1, 2, …. With Extent larger than the data ever touched it models
+// pure streaming; with a small Extent the walk wraps, producing cyclic reuse
+// over a working set of Extent bytes — the access pattern that creates
+// miss-rate-curve cliffs when the working set fits in the LLC.
+type SeqGen struct {
+	Base   uint64
+	Start  uint64
+	Stride uint64
+	Extent uint64
+	i      uint64
+}
+
+// Next implements AddrGen.
+func (g *SeqGen) Next() uint64 {
+	a := g.Base + (g.Start+g.i*g.Stride)%g.Extent
+	g.i++
+	return a
+}
+
+// RandGen produces uniformly random line-granular addresses in
+// [Base, Base+Extent), quantised to Stride bytes, from a seeded xorshift64
+// stream. It models irregular access patterns (graph traversals, hash
+// lookups) whose reuse is footprint-dependent but unordered.
+type RandGen struct {
+	Base   uint64
+	Stride uint64
+	Extent uint64
+	rng    XorShift
+}
+
+// NewRandGen returns a RandGen seeded deterministically.
+func NewRandGen(base, stride, extent uint64, seed uint64) *RandGen {
+	return &RandGen{Base: base, Stride: stride, Extent: extent, rng: NewXorShift(seed)}
+}
+
+// Next implements AddrGen.
+func (g *RandGen) Next() uint64 {
+	n := g.Extent / g.Stride
+	if n == 0 {
+		return g.Base
+	}
+	return g.Base + (g.rng.Next()%n)*g.Stride
+}
+
+// InterleaveGen alternates between two generators with the given period:
+// out of every (A+B) addresses, the first A come from GenA and the next B
+// from GenB. It composes patterns such as "stream over private data but hit
+// a small shared region every few accesses" (the camping pattern).
+type InterleaveGen struct {
+	GenA, GenB AddrGen
+	A, B       int
+	i          int
+}
+
+// Next implements AddrGen.
+func (g *InterleaveGen) Next() uint64 {
+	period := g.A + g.B
+	pos := g.i % period
+	g.i++
+	if pos < g.A {
+		return g.GenA.Next()
+	}
+	return g.GenB.Next()
+}
+
+// Phase is one segment of a warp's execution: N total instructions emitted
+// as repeating groups of ComputePer compute instructions followed by one
+// memory instruction drawn from Gen. A nil Gen yields pure compute. Store
+// marks the memory instructions as stores instead of loads.
+type Phase struct {
+	N          int
+	ComputePer int
+	Gen        AddrGen
+	Store      bool
+	Flags      Flags
+}
+
+// PhaseProgram executes a sequence of Phases. It implements Program.
+type PhaseProgram struct {
+	phases []Phase
+	pi     int // current phase
+	i      int // instructions emitted in current phase
+	k      int // position within the compute/memory group
+}
+
+// NewPhaseProgram returns a Program over the given phases. Phases with
+// non-positive N are skipped.
+func NewPhaseProgram(phases ...Phase) *PhaseProgram {
+	return &PhaseProgram{phases: phases}
+}
+
+// Next implements Program.
+func (p *PhaseProgram) Next() (Instr, bool) {
+	for p.pi < len(p.phases) {
+		ph := &p.phases[p.pi]
+		if p.i >= ph.N {
+			p.pi++
+			p.i = 0
+			p.k = 0
+			continue
+		}
+		p.i++
+		if ph.Gen == nil {
+			return Instr{Kind: Compute}, true
+		}
+		group := ph.ComputePer + 1
+		pos := p.k
+		p.k = (p.k + 1) % group
+		if pos < ph.ComputePer {
+			return Instr{Kind: Compute}, true
+		}
+		kind := Load
+		if ph.Store {
+			kind = Store
+		}
+		return Instr{Kind: kind, Flags: ph.Flags, Addr: ph.Gen.Next()}, true
+	}
+	return Instr{}, false
+}
+
+// XorShift is a tiny deterministic PRNG (xorshift64*). The zero value is not
+// valid; use NewXorShift.
+type XorShift struct{ s uint64 }
+
+// NewXorShift seeds the generator; a zero seed is remapped to a fixed
+// non-zero constant because xorshift has an all-zeros fixed point.
+func NewXorShift(seed uint64) XorShift {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return XorShift{s: seed}
+}
+
+// Next returns the next pseudo-random value.
+func (x *XorShift) Next() uint64 {
+	s := x.s
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	x.s = s
+	return s * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (x *XorShift) Float64() float64 {
+	return float64(x.Next()>>11) / float64(1<<53)
+}
+
+// WarpSeed derives a deterministic seed for (workload, cta, warp) using a
+// split-mix style hash so that distinct warps get decorrelated streams.
+func WarpSeed(base uint64, cta, warp int) uint64 {
+	z := base + uint64(cta)*0x9e3779b97f4a7c15 + uint64(warp)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FuncWorkload adapts plain functions into a Workload; useful in tests.
+type FuncWorkload struct {
+	WName   string
+	Spec    KernelSpec
+	Factory func(cta, warp int) Program
+}
+
+// Name implements Workload.
+func (f *FuncWorkload) Name() string { return f.WName }
+
+// Kernel implements Workload.
+func (f *FuncWorkload) Kernel() KernelSpec { return f.Spec }
+
+// NewProgram implements Workload.
+func (f *FuncWorkload) NewProgram(cta, warp int) Program {
+	if f.Factory == nil {
+		panic(fmt.Sprintf("trace: FuncWorkload %q has no Factory", f.WName))
+	}
+	return f.Factory(cta, warp)
+}

@@ -1,0 +1,135 @@
+// Package trace defines the workload representation shared by the timing
+// simulator (internal/gpu) and the miss-rate-curve tool (internal/mrc):
+// kernels made of CTAs, CTAs made of warps, and per-warp lazy instruction
+// generators. Workloads are deterministic — the same (workload, cta, warp)
+// triple always yields the same instruction stream — which is what makes the
+// simulator reproducible and the miss-rate curve consistent with the timing
+// runs.
+package trace
+
+import "fmt"
+
+// Kind discriminates dynamic instruction types.
+type Kind uint8
+
+const (
+	// Compute is an arithmetic instruction with a fixed dependent latency.
+	Compute Kind = iota
+	// Load is a memory read; Addr carries the byte address.
+	Load
+	// Store is a memory write; Addr carries the byte address. Stores are
+	// modelled as fire-and-forget for timing but still occupy bandwidth
+	// and update cache state.
+	Store
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Flags annotate memory instructions.
+type Flags uint8
+
+const (
+	// BypassL1 marks an access that skips the SM-private L1 and goes
+	// straight to the shared LLC, as GPU atomics and coherent accesses to
+	// shared data do. Such accesses are what create "camping" in front of
+	// LLC slices (paper Section IV-3): every SM's requests for the same
+	// hot lines serialise at the one slice that owns each line.
+	BypassL1 Flags = 1 << iota
+)
+
+// Instr is one dynamic warp-level instruction. Memory instructions carry a
+// representative byte address for the warp's coalesced access (the model
+// works at warp granularity, as reuse-distance GPU cache models do).
+type Instr struct {
+	Kind  Kind
+	Flags Flags
+	Addr  uint64
+}
+
+// Program generates the instruction stream of a single warp. Next returns
+// the next instruction and true, or a zero Instr and false when the warp has
+// retired all of its instructions. Programs are single-use; obtain a fresh
+// one from the Workload to replay a warp.
+type Program interface {
+	Next() (Instr, bool)
+}
+
+// KernelSpec describes the launch geometry of a workload's kernel grid.
+type KernelSpec struct {
+	// NumCTAs is the number of thread blocks in the grid.
+	NumCTAs int
+	// WarpsPerCTA is the number of warps in each thread block.
+	WarpsPerCTA int
+	// CTAsPerSMLimit caps how many CTAs of this kernel can be resident on
+	// one SM, modelling occupancy limits from shared-memory or register
+	// usage. Zero means no kernel-imposed limit (the SM's own limits
+	// still apply). Occupancy-limited kernels cannot fully hide memory
+	// latency, which is what makes their performance latency-sensitive —
+	// and therefore what makes miss-rate-curve cliffs translate into
+	// super-linear performance jumps.
+	CTAsPerSMLimit int
+}
+
+// TotalWarps returns the number of warps in the grid.
+func (k KernelSpec) TotalWarps() int { return k.NumCTAs * k.WarpsPerCTA }
+
+// Validate reports the first structural problem with the spec.
+func (k KernelSpec) Validate() error {
+	if k.NumCTAs <= 0 {
+		return fmt.Errorf("trace: NumCTAs must be positive, got %d", k.NumCTAs)
+	}
+	if k.WarpsPerCTA <= 0 {
+		return fmt.Errorf("trace: WarpsPerCTA must be positive, got %d", k.WarpsPerCTA)
+	}
+	if k.CTAsPerSMLimit < 0 {
+		return fmt.Errorf("trace: CTAsPerSMLimit must be non-negative, got %d", k.CTAsPerSMLimit)
+	}
+	return nil
+}
+
+// Workload is a complete GPU kernel grid whose warps can be instantiated on
+// demand. Implementations must be deterministic: NewProgram(c, w) must
+// produce the identical stream every time it is called.
+type Workload interface {
+	// Name identifies the workload, e.g. "dct".
+	Name() string
+	// Kernel returns the launch geometry.
+	Kernel() KernelSpec
+	// NewProgram instantiates the instruction stream of warp w of CTA c.
+	NewProgram(cta, warp int) Program
+}
+
+// InstructionCount replays every warp of w and returns the total dynamic
+// instruction count and the number of memory instructions. It is O(total
+// instructions); intended for tests and metadata tables, not inner loops.
+func InstructionCount(w Workload) (total, mem uint64) {
+	k := w.Kernel()
+	for c := 0; c < k.NumCTAs; c++ {
+		for wp := 0; wp < k.WarpsPerCTA; wp++ {
+			p := w.NewProgram(c, wp)
+			for {
+				in, ok := p.Next()
+				if !ok {
+					break
+				}
+				total++
+				if in.Kind == Load || in.Kind == Store {
+					mem++
+				}
+			}
+		}
+	}
+	return total, mem
+}

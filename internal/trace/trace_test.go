@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func collect(p Program) []Instr {
+	var out []Instr
+	for {
+		in, ok := p.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, in)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Load.String() != "load" || Store.String() != "store" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind string = %q", Kind(9).String())
+	}
+}
+
+func TestKernelSpec(t *testing.T) {
+	k := KernelSpec{NumCTAs: 4, WarpsPerCTA: 8}
+	if k.TotalWarps() != 32 {
+		t.Errorf("TotalWarps = %d, want 32", k.TotalWarps())
+	}
+	if err := k.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (KernelSpec{NumCTAs: 0, WarpsPerCTA: 1}).Validate(); err == nil {
+		t.Error("zero CTAs accepted")
+	}
+	if err := (KernelSpec{NumCTAs: 1, WarpsPerCTA: 0}).Validate(); err == nil {
+		t.Error("zero warps accepted")
+	}
+}
+
+func TestSeqGenStreaming(t *testing.T) {
+	g := &SeqGen{Base: 1000, Stride: 128, Extent: 1 << 40}
+	for i := 0; i < 10; i++ {
+		want := uint64(1000 + 128*i)
+		if got := g.Next(); got != want {
+			t.Fatalf("access %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSeqGenWrapsAtExtent(t *testing.T) {
+	g := &SeqGen{Base: 0, Stride: 128, Extent: 512}
+	seen := map[uint64]int{}
+	for i := 0; i < 12; i++ {
+		seen[g.Next()]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("distinct addresses = %d, want 4 (working set 512/128)", len(seen))
+	}
+	for a, n := range seen {
+		if n != 3 {
+			t.Errorf("address %d visited %d times, want 3", a, n)
+		}
+	}
+}
+
+func TestSeqGenStartOffset(t *testing.T) {
+	g := &SeqGen{Base: 0, Start: 256, Stride: 128, Extent: 512}
+	if got := g.Next(); got != 256 {
+		t.Errorf("first = %d, want 256", got)
+	}
+	g.Next() // 384
+	if got := g.Next(); got != 0 {
+		t.Errorf("third = %d, want 0 (wrapped)", got)
+	}
+}
+
+func TestRandGenStaysInRangeAndAligned(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewRandGen(4096, 128, 1<<20, seed)
+		for i := 0; i < 200; i++ {
+			a := g.Next()
+			if a < 4096 || a >= 4096+1<<20 {
+				return false
+			}
+			if (a-4096)%128 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandGenDeterministic(t *testing.T) {
+	a := NewRandGen(0, 128, 1<<20, 42)
+	b := NewRandGen(0, 128, 1<<20, 42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRandGenZeroExtent(t *testing.T) {
+	g := NewRandGen(77, 128, 0, 1)
+	if got := g.Next(); got != 77 {
+		t.Errorf("zero-extent RandGen = %d, want Base", got)
+	}
+}
+
+func TestInterleaveGen(t *testing.T) {
+	a := &SeqGen{Base: 0, Stride: 1, Extent: 1 << 30}
+	b := &SeqGen{Base: 1 << 40, Stride: 1, Extent: 1 << 30}
+	g := &InterleaveGen{GenA: a, GenB: b, A: 2, B: 1}
+	want := []uint64{0, 1, 1 << 40, 2, 3, 1<<40 + 1}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("access %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPhaseProgramPureCompute(t *testing.T) {
+	p := NewPhaseProgram(Phase{N: 5})
+	instrs := collect(p)
+	if len(instrs) != 5 {
+		t.Fatalf("len = %d, want 5", len(instrs))
+	}
+	for _, in := range instrs {
+		if in.Kind != Compute {
+			t.Fatalf("got %v, want compute", in.Kind)
+		}
+	}
+}
+
+func TestPhaseProgramComputeMemRatio(t *testing.T) {
+	g := &SeqGen{Base: 0, Stride: 128, Extent: 1 << 30}
+	p := NewPhaseProgram(Phase{N: 12, ComputePer: 3, Gen: g})
+	instrs := collect(p)
+	if len(instrs) != 12 {
+		t.Fatalf("len = %d, want 12", len(instrs))
+	}
+	var loads int
+	for i, in := range instrs {
+		if (i+1)%4 == 0 {
+			if in.Kind != Load {
+				t.Fatalf("instr %d = %v, want load", i, in.Kind)
+			}
+			loads++
+		} else if in.Kind != Compute {
+			t.Fatalf("instr %d = %v, want compute", i, in.Kind)
+		}
+	}
+	if loads != 3 {
+		t.Fatalf("loads = %d, want 3", loads)
+	}
+}
+
+func TestPhaseProgramStore(t *testing.T) {
+	g := &SeqGen{Base: 0, Stride: 128, Extent: 1 << 30}
+	p := NewPhaseProgram(Phase{N: 2, ComputePer: 0, Gen: g, Store: true})
+	instrs := collect(p)
+	if len(instrs) != 2 || instrs[0].Kind != Store || instrs[1].Kind != Store {
+		t.Fatalf("got %+v, want two stores", instrs)
+	}
+}
+
+func TestPhaseProgramMultiPhase(t *testing.T) {
+	g := &SeqGen{Base: 0, Stride: 128, Extent: 1 << 30}
+	p := NewPhaseProgram(
+		Phase{N: 3},
+		Phase{N: 0, Gen: g}, // empty phase skipped
+		Phase{N: 2, ComputePer: 0, Gen: g},
+	)
+	instrs := collect(p)
+	if len(instrs) != 5 {
+		t.Fatalf("len = %d, want 5", len(instrs))
+	}
+	if instrs[3].Kind != Load || instrs[4].Kind != Load {
+		t.Fatal("phase 3 should be loads")
+	}
+}
+
+func TestPhaseProgramExhaustedStaysExhausted(t *testing.T) {
+	p := NewPhaseProgram(Phase{N: 1})
+	collect(p)
+	if _, ok := p.Next(); ok {
+		t.Error("Next returned true after exhaustion")
+	}
+}
+
+func TestXorShiftDeterministicAndNonZero(t *testing.T) {
+	a, b := NewXorShift(7), NewXorShift(7)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatal("same seed diverged")
+		}
+		if va == 0 {
+			t.Fatal("xorshift produced zero")
+		}
+	}
+}
+
+func TestXorShiftZeroSeedRemapped(t *testing.T) {
+	x := NewXorShift(0)
+	if x.Next() == 0 {
+		t.Error("zero seed not remapped")
+	}
+}
+
+func TestXorShiftFloat64Range(t *testing.T) {
+	x := NewXorShift(123)
+	for i := 0; i < 1000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestWarpSeedDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for c := 0; c < 20; c++ {
+		for w := 0; w < 20; w++ {
+			s := WarpSeed(99, c, w)
+			if seen[s] {
+				t.Fatalf("duplicate seed for cta=%d warp=%d", c, w)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestInstructionCount(t *testing.T) {
+	w := &FuncWorkload{
+		WName: "tiny",
+		Spec:  KernelSpec{NumCTAs: 2, WarpsPerCTA: 3},
+		Factory: func(cta, warp int) Program {
+			g := &SeqGen{Base: 0, Stride: 128, Extent: 1 << 20}
+			return NewPhaseProgram(Phase{N: 4, ComputePer: 1, Gen: g})
+		},
+	}
+	total, mem := InstructionCount(w)
+	if total != 24 {
+		t.Errorf("total = %d, want 24", total)
+	}
+	if mem != 12 {
+		t.Errorf("mem = %d, want 12", mem)
+	}
+}
+
+func TestFuncWorkloadPanicsWithoutFactory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w := &FuncWorkload{WName: "broken", Spec: KernelSpec{NumCTAs: 1, WarpsPerCTA: 1}}
+	w.NewProgram(0, 0)
+}
+
+func TestWorkloadDeterminismProperty(t *testing.T) {
+	// Property: instantiating the same warp twice yields identical streams.
+	f := func(seed uint64, ctaRaw, warpRaw uint8) bool {
+		cta, warp := int(ctaRaw)%8, int(warpRaw)%8
+		mk := func() Program {
+			s := WarpSeed(seed, cta, warp)
+			return NewPhaseProgram(
+				Phase{N: 50, ComputePer: 2, Gen: NewRandGen(0, 128, 1<<22, s)},
+				Phase{N: 30, ComputePer: 1, Gen: &SeqGen{Base: 1 << 30, Start: uint64(cta) * 4096, Stride: 128, Extent: 1 << 20}},
+			)
+		}
+		a, b := collect(mk()), collect(mk())
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

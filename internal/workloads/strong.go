@@ -1,0 +1,405 @@
+package workloads
+
+import "gpuscale/internal/trace"
+
+// MiB is one mebibyte in bytes.
+const MiB = 1 << 20
+
+// --- Super-linearly scaling benchmarks (Table II, top block) ---------------
+//
+// These model kernels whose active working set is comparable to a target
+// system's LLC: smaller than the biggest LLC, bigger than the scale models'.
+// They are occupancy-limited (heavy shared-memory use in the originals), so
+// too few warps are resident to hide DRAM latency; once the working set
+// becomes LLC-resident the memory-stall fraction collapses and performance
+// jumps — the cliff.
+
+// cliffBench builds an occupancy-limited, reuse-heavy kernel. Each warp
+// walks warpLoads consecutive lines with six compute instructions between
+// loads; a CTA covers a contiguous chunk and successive CTAs chain chunks
+// around the ws-byte working-set ring, wrapping at the end, so every line's
+// reuse distance is ≈ ws under any interleaving — the sharp-cliff
+// structure. The 6:1 compute:memory ratio keeps the post-cliff regime
+// issue-bound (so the memory-stall fraction collapses, as Eq. 3 assumes)
+// and the 6-CTA occupancy limit keeps the pre-cliff regime
+// DRAM-latency-bound. passes × ring is always a multiple of 768 = 128×6 so
+// every system size executes whole CTA waves.
+func cliffBench(name string, passes, warpLoads int, ws uint64) trace.Workload {
+	warpBytes := uint64(warpLoads) * lineSize
+	ctaBytes := 4 * warpBytes
+	ringCTAs := int(ws / ctaBytes)
+	return spec{
+		name:     name,
+		ctas:     passes * ringCTAs,
+		warps:    4,
+		ctaLimit: 6,
+		phases: func(cta, warp int) []trace.Phase {
+			start := (uint64(cta)*ctaBytes + uint64(warp)*warpBytes) % ws
+			return []trace.Phase{{
+				N:          7 * warpLoads,
+				ComputePer: 6,
+				Gen:        &trace.SeqGen{Base: sharedRegion, Start: start, Stride: lineSize, Extent: ws},
+			}}
+		},
+	}.build()
+}
+
+// DCT models the Discrete Cosine Transform (CUDA SDK): a 33 MB footprint
+// with intense reuse whose active working set (24 MB here) fits only the
+// 128-SM system's LLC, producing the paper's flagship cliff.
+func DCT() Benchmark {
+	return Benchmark{
+		Name: "dct", FullName: "Discrete Cosine Transform", Suite: "CUDA SDK",
+		PaperFootprintMB: 33.0, PaperInsnsM: 10270, Class: SuperLinear,
+		PaperCTASizes: "2,304; 36,864; 512",
+		Workload:      cliffBench("dct", 6, 64, 24*MiB),
+	}
+}
+
+// FWT models the Fast Walsh Transform (CUDA SDK): like dct its working set
+// fits only at 128 SMs, but with finer-grained CTAs.
+func FWT() Benchmark {
+	return Benchmark{
+		Name: "fwt", FullName: "Fast Walsh Transform", Suite: "CUDA SDK",
+		PaperFootprintMB: 67.1, PaperInsnsM: 4163, Class: SuperLinear,
+		PaperCTASizes: "8,192; 4,096; 128",
+		Workload:      cliffBench("fwt", 4, 32, 24*MiB),
+	}
+}
+
+// BP models Back Propagation (Rodinia): a 12 MB active working set that
+// becomes resident at the 64-SM system.
+func BP() Benchmark {
+	return Benchmark{
+		Name: "bp", FullName: "Back Propagation", Suite: "Rodinia",
+		PaperFootprintMB: 18.8, PaperInsnsM: 424, Class: SuperLinear,
+		PaperCTASizes: "8,192",
+		Workload:      cliffBench("bp", 6, 64, 12*MiB),
+	}
+}
+
+// VA models Vector Add (CUDA SDK) with a 6 MB reused slice that fits from
+// 32 SMs on.
+func VA() Benchmark {
+	return Benchmark{
+		Name: "va", FullName: "Vector Add", Suite: "CUDA SDK",
+		PaperFootprintMB: 50.3, PaperInsnsM: 92, Class: SuperLinear,
+		PaperCTASizes: "16,384",
+		Workload:      cliffBench("va", 8, 64, 6*MiB),
+	}
+}
+
+// AS models Async (CUDA SDK): a 6 MB working set fitting from 32 SMs, with
+// finer CTAs than va.
+func AS() Benchmark {
+	return Benchmark{
+		Name: "as", FullName: "Async", Suite: "CUDA SDK",
+		PaperFootprintMB: 67.1, PaperInsnsM: 218, Class: SuperLinear,
+		PaperCTASizes: "32,768",
+		Workload:      cliffBench("as", 6, 32, 6*MiB),
+	}
+}
+
+// LU models LU decomposition (Polybench): a 12 MB working set fitting at
+// 64 SMs.
+func LU() Benchmark {
+	return Benchmark{
+		Name: "lu", FullName: "LU Decomposition", Suite: "Polybench",
+		PaperFootprintMB: 16.8, PaperInsnsM: 146, Class: SuperLinear,
+		PaperCTASizes: "16,384",
+		Workload:      cliffBench("lu", 6, 32, 12*MiB),
+	}
+}
+
+// ST models Stencil (Parboil): a 6 MB active tile set fitting at 32 SMs,
+// walked in small tiles.
+func ST() Benchmark {
+	return Benchmark{
+		Name: "st", FullName: "Stencil", Suite: "Parboil",
+		PaperFootprintMB: 131.9, PaperInsnsM: 557, Class: SuperLinear,
+		PaperCTASizes: "2,096",
+		Workload:      cliffBench("st", 6, 16, 6*MiB),
+	}
+}
+
+// --- Sub-linearly scaling benchmarks (Table II, middle block) --------------
+
+// BFS models Breadth-First Search (Rodinia): 1,024 irregularly sized CTAs
+// whose random traversal spans a 48 MB graph. Limited CTA parallelism and
+// bandwidth pressure erode the benefit of added SMs — the paper's
+// workload-architecture-imbalance mechanism.
+func BFS() Benchmark {
+	return Benchmark{
+		Name: "bfs", FullName: "Breadth-First Search", Suite: "Rodinia",
+		PaperFootprintMB: 20.4, PaperInsnsM: 257, Class: SubLinear,
+		PaperCTASizes: "1,024",
+		Workload: spec{
+			name: "bfs", ctas: 1024, warps: 4,
+			phases: func(cta, warp int) []trace.Phase {
+				n := 400 + (cta%7)*160 // irregular frontier sizes
+				return []trace.Phase{{
+					N:          n,
+					ComputePer: 1,
+					Gen:        randomWalk(0xbf5, cta, warp, 48*MiB),
+				}}
+			},
+		}.build(),
+	}
+}
+
+// campingPhases interleaves other work with periodic L1-bypassing accesses
+// to a tiny shared hot region — atomics on shared data. With a single hot
+// line, the one LLC slice that owns it has the same bandwidth at every
+// system size, so it is the bottleneck from the smallest scale model up:
+// throughput saturates and scaling is strongly sub-linear — the paper's
+// camping mechanism, already visible to the scale models.
+func campingPhases(rounds, workN, hotN int, work trace.AddrGen, hot uint64, cta, warp int) []trace.Phase {
+	hotGen := hotWalk(cta, warp, hot)
+	phases := make([]trace.Phase, 0, 2*rounds)
+	for r := 0; r < rounds; r++ {
+		phases = append(phases,
+			trace.Phase{N: workN, ComputePer: 1, Gen: work},
+			trace.Phase{N: hotN, ComputePer: 0, Gen: hotGen, Flags: trace.BypassL1},
+		)
+	}
+	return phases
+}
+
+// UNet models 3D-UNet inference (MLPerf): a limited grid of irregularly
+// sized CTAs randomly touching a 96 MB activation footprint — sub-linear
+// through workload-architecture imbalance like bfs, but with heavier
+// compute per access.
+func UNet() Benchmark {
+	return Benchmark{
+		Name: "unet", FullName: "3D-UNet", Suite: "MLPerf",
+		PaperFootprintMB: 615.0, PaperInsnsM: 20071, Class: SubLinear,
+		PaperCTASizes: "from 128 to 21,846",
+		Workload: spec{
+			name: "unet", ctas: 1152, warps: 4,
+			phases: func(cta, warp int) []trace.Phase {
+				n := 300 + (cta%5)*150
+				return []trace.Phase{{
+					N:          n,
+					ComputePer: 2,
+					Gen:        randomWalk(0x03e7, cta, warp, 96*MiB),
+				}}
+			},
+		}.build(),
+	}
+}
+
+// SR models Sradv2 (Rodinia): irregular image-region updates over a 64 MB
+// frame, with too few CTAs to fill large machines — mildly sub-linear.
+func SR() Benchmark {
+	return Benchmark{
+		Name: "sr", FullName: "Sradv2", Suite: "Rodinia",
+		PaperFootprintMB: 25.2, PaperInsnsM: 661, Class: SubLinear,
+		PaperCTASizes: "4,096",
+		Workload: spec{
+			name: "sr", ctas: 1536, warps: 4,
+			phases: func(cta, warp int) []trace.Phase {
+				n := 160 + (cta%11)*48
+				return []trace.Phase{{
+					N:          n,
+					ComputePer: 1,
+					Gen:        randomWalk(0x5c, cta, warp, 64*MiB),
+				}}
+			},
+		}.build(),
+	}
+}
+
+// GR models Gradient (CUDA SDK): streaming with very frequent atomic
+// updates to a shared accumulator — the heaviest camping in the suite.
+func GR() Benchmark {
+	return Benchmark{
+		Name: "gr", FullName: "Gradient", Suite: "CUDA SDK",
+		PaperFootprintMB: 46.1, PaperInsnsM: 318, Class: SubLinear,
+		PaperCTASizes: "4,096; 816; 1,536; 2,048",
+		Workload: spec{
+			name: "gr", ctas: 2048, warps: 4,
+			phases: func(cta, warp int) []trace.Phase {
+				return campingPhases(25, 2, 3,
+					privateStream(4, cta, warp, 32*1024), lineSize, cta, warp)
+			},
+		}.build(),
+	}
+}
+
+// BTree models B+trees (Rodinia): random key lookups that all traverse the
+// same root/inner nodes (camping) before fanning out to leaves.
+func BTree() Benchmark {
+	return Benchmark{
+		Name: "btree", FullName: "B+trees", Suite: "Rodinia",
+		PaperFootprintMB: 17.4, PaperInsnsM: 670, Class: SubLinear,
+		PaperCTASizes: "6,000; 10,000",
+		Workload: spec{
+			name: "btree", ctas: 2048, warps: 4,
+			phases: func(cta, warp int) []trace.Phase {
+				return campingPhases(25, 2, 2,
+					randomWalk(0xb7ee, cta, warp, 64*MiB), lineSize, cta, warp)
+			},
+		}.build(),
+	}
+}
+
+// --- Linearly scaling benchmarks (Table II, bottom block) ------------------
+
+// streamBench builds a memory-streaming kernel: each warp walks its own
+// private region, so the footprint vastly exceeds every LLC and the
+// miss-rate curve is flat — linear scaling under proportional resources.
+// CTA counts are multiples of 1536 = 128 SMs × 12 resident CTAs so that
+// every size executes whole waves.
+func streamBench(name string, ctas, loads, computePer int, stores bool) trace.Workload {
+	bytesPerWarp := uint64(loads) * lineSize
+	return spec{
+		name: name, ctas: ctas, warps: 4,
+		phases: func(cta, warp int) []trace.Phase {
+			id := uint64(cta*4 + warp)
+			in := &trace.SeqGen{Base: privateRegion + id*bytesPerWarp, Stride: lineSize, Extent: bytesPerWarp}
+			if !stores {
+				return []trace.Phase{{N: loads * (computePer + 1), ComputePer: computePer, Gen: in}}
+			}
+			// Loads and stores alternate in short phases so the
+			// store stream is paced by the loads' blocking rather
+			// than bursting at one store per cycle.
+			out := &trace.SeqGen{
+				Base:   privateRegion + (1 << 45) + id*bytesPerWarp,
+				Stride: lineSize,
+				Extent: bytesPerWarp,
+			}
+			rounds := loads / 2
+			phases := make([]trace.Phase, 0, 2*rounds)
+			for r := 0; r < rounds; r++ {
+				phases = append(phases,
+					trace.Phase{N: 2 * (computePer + 1), ComputePer: computePer, Gen: in},
+					trace.Phase{N: computePer + 1, ComputePer: computePer, Gen: out, Store: true},
+				)
+			}
+			return phases
+		},
+	}.build()
+}
+
+// computeBench builds a compute-dominated kernel with a small, fully
+// cache-resident shared tile set: low flat MPKI, linear scaling.
+func computeBench(name string, ctas, n, computePer int, tile uint64, seed uint64) trace.Workload {
+	return spec{
+		name: name, ctas: ctas, warps: 4,
+		phases: func(cta, warp int) []trace.Phase {
+			return []trace.Phase{{
+				N:          n,
+				ComputePer: computePer,
+				Gen:        sharedWalk(seed, cta, warp, tile),
+			}}
+		},
+	}.build()
+}
+
+// PF models Path Finder (Rodinia): a 404 MB footprint streamed with high
+// reuse distance — a flat, high miss-rate curve and linear scaling.
+func PF() Benchmark {
+	return Benchmark{
+		Name: "pf", FullName: "Path Finder", Suite: "Rodinia",
+		PaperFootprintMB: 404.1, PaperInsnsM: 4037, Class: Linear,
+		PaperCTASizes: "4,630",
+		Workload:      streamBench("pf", 4608, 75, 2, false),
+	}
+}
+
+// Res50 models ResNet-50 inference (MLPerf): a huge streamed footprint with
+// interleaved compute.
+func Res50() Benchmark {
+	return Benchmark{
+		Name: "res50", FullName: "ResNet-50", Suite: "MLPerf",
+		PaperFootprintMB: 1388.1, PaperInsnsM: 85067, Class: Linear,
+		PaperCTASizes: "from 64 to 66,904",
+		Workload:      streamBench("res50", 6144, 53, 3, false),
+	}
+}
+
+// Res34 models SSD-ResNet-34 inference (MLPerf).
+func Res34() Benchmark {
+	return Benchmark{
+		Name: "res34", FullName: "SSD-ResNet-34", Suite: "MLPerf",
+		PaperFootprintMB: 845.8, PaperInsnsM: 47369, Class: Linear,
+		PaperCTASizes: "from 32 to 306,383",
+		Workload:      streamBench("res34", 4608, 51, 3, false),
+	}
+}
+
+// HT models HotSpot (Rodinia): a 12.5 MB footprint with almost zero data
+// reuse — small enough to fit big LLCs, but with no reuse there is no cliff
+// and scaling stays linear (the paper's explicit counter-example).
+func HT() Benchmark {
+	return Benchmark{
+		Name: "ht", FullName: "HotSpot", Suite: "Rodinia",
+		PaperFootprintMB: 12.5, PaperInsnsM: 421, Class: Linear,
+		PaperCTASizes: "7,396",
+		Workload: spec{
+			name: "ht", ctas: 3072, warps: 4,
+			phases: func(cta, warp int) []trace.Phase {
+				// Each warp touches its slice of the grid exactly
+				// once: zero reuse.
+				return []trace.Phase{{
+					N:          11 * 21,
+					ComputePer: 20,
+					Gen:        privateStream(4, cta, warp, 11*lineSize),
+				}}
+			},
+		}.build(),
+	}
+}
+
+// AT models Aligned Types (CUDA SDK): pure bandwidth streaming.
+func AT() Benchmark {
+	return Benchmark{
+		Name: "at", FullName: "Aligned Types", Suite: "CUDA SDK",
+		PaperFootprintMB: 100.0, PaperInsnsM: 2150, Class: Linear,
+		PaperCTASizes: "2,048",
+		Workload:      streamBench("at", 4608, 51, 1, false),
+	}
+}
+
+// GEMM models dense matrix multiply (Polybench): compute-bound with
+// cache-resident tiles.
+func GEMM() Benchmark {
+	return Benchmark{
+		Name: "gemm", FullName: "Matrix Multiply (GEMM)", Suite: "Polybench",
+		PaperFootprintMB: 12.6, PaperInsnsM: 7030, Class: Linear,
+		PaperCTASizes: "4,096",
+		Workload:      computeBench("gemm", 1536, 480, 15, 1536*1024, 0x6e),
+	}
+}
+
+// TwoMM models two chained matrix multiplies (Polybench).
+func TwoMM() Benchmark {
+	return Benchmark{
+		Name: "2mm", FullName: "2 Matrix Multiplications", Suite: "Polybench",
+		PaperFootprintMB: 21.0, PaperInsnsM: 12921, Class: Linear,
+		PaperCTASizes: "8,192",
+		Workload:      computeBench("2mm", 1536, 390, 12, 1536*1024, 0x22),
+	}
+}
+
+// LBM models the Lattice-Boltzmann Method (Parboil): streaming loads and
+// stores over a large lattice.
+func LBM() Benchmark {
+	return Benchmark{
+		Name: "lbm", FullName: "Lattice-Boltzmann Method", Suite: "Parboil",
+		PaperFootprintMB: 359.4, PaperInsnsM: 553, Class: Linear,
+		PaperCTASizes: "18,000",
+		Workload:      streamBench("lbm", 3072, 51, 2, true),
+	}
+}
+
+// BS models Black-Scholes (CUDA SDK): option pricing, streaming with
+// moderate compute.
+func BS() Benchmark {
+	return Benchmark{
+		Name: "bs", FullName: "Black-Scholes", Suite: "CUDA SDK",
+		PaperFootprintMB: 80.1, PaperInsnsM: 863, Class: Linear,
+		PaperCTASizes: "15,625",
+		Workload:      streamBench("bs", 4608, 31, 4, false),
+	}
+}

@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpuscale/internal/trace"
+)
+
+// WeakBenchmark is one weak-scaling benchmark family (paper Table IV): the
+// workload's input — and therefore its CTA count and footprint — scales
+// proportionally with the number of SMs, mirroring how the paper rescaled
+// each benchmark's input data set.
+type WeakBenchmark struct {
+	// Name is the benchmark abbreviation (bfs, bs, btree, as, bp, va).
+	Name string
+	// Class is the paper's weak-scaling classification: only linear and
+	// sub-linear occur under weak scaling (Section III).
+	Class ScalingClass
+	// MCM marks families used in the multi-chip-module case study
+	// (Table IV's MCM column); btree is excluded there, as in the paper.
+	MCM bool
+	// ForSMs instantiates the workload scaled for a system of numSMs SMs.
+	ForSMs func(numSMs int) trace.Workload
+}
+
+// CTAsAt reports the CTA count of the scaled workload for numSMs SMs — the
+// Table IV "CTA" column equivalent.
+func (w WeakBenchmark) CTAsAt(numSMs int) int {
+	return w.ForSMs(numSMs).Kernel().NumCTAs
+}
+
+// WeakAll returns the six weak-scaling families in Table IV order.
+func WeakAll() []WeakBenchmark {
+	return []WeakBenchmark{WeakBFS(), WeakBS(), WeakBTree(), WeakAS(), WeakBP(), WeakVA()}
+}
+
+// WeakByName returns the weak-scaling family with the given name.
+func WeakByName(name string) (WeakBenchmark, error) {
+	for _, w := range WeakAll() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return WeakBenchmark{}, fmt.Errorf("workloads: unknown weak-scaling benchmark %q", name)
+}
+
+// WeakMCM returns the weak-scaling families used in the chiplet case study.
+func WeakMCM() []WeakBenchmark {
+	var out []WeakBenchmark
+	for _, w := range WeakAll() {
+		if w.MCM {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// WeakBFS models breadth-first search under weak scaling: the graph (and
+// CTA count) grows with the machine, but every CTA still synchronises
+// through the same fixed-size frontier structures. Traffic to those fixed
+// hot lines grows with SM count while the owning LLC slices' bandwidth does
+// not: camping makes weak-scaled bfs sub-linear, as in the paper.
+func WeakBFS() WeakBenchmark {
+	return WeakBenchmark{
+		Name: "bfs", Class: SubLinear, MCM: true,
+		ForSMs: func(numSMs int) trace.Workload {
+			scale := uint64(numSMs)
+			return spec{
+				name: fmt.Sprintf("bfs-weak-%dsm", numSMs),
+				ctas: 16 * numSMs, warps: 4,
+				phases: func(cta, warp int) []trace.Phase {
+					graph := 6 * MiB * scale / 8
+					phases := make([]trace.Phase, 0, 32)
+					walk := randomWalk(0xbf5+scale, cta, warp, graph)
+					frontier := hotWalk(cta, warp, 16*lineSize)
+					for r := 0; r < 16; r++ {
+						phases = append(phases,
+							trace.Phase{N: 6, ComputePer: 1, Gen: walk},
+							trace.Phase{N: 1, ComputePer: 0, Gen: frontier, Flags: trace.BypassL1},
+						)
+					}
+					return phases
+				},
+			}.build()
+		},
+	}
+}
+
+// WeakBS models Black-Scholes under weak scaling: the option array grows
+// with the machine, but results accumulate into a fixed reduction buffer —
+// a milder camping effect than bfs, hence mildly sub-linear.
+func WeakBS() WeakBenchmark {
+	return WeakBenchmark{
+		Name: "bs", Class: SubLinear, MCM: true,
+		ForSMs: func(numSMs int) trace.Workload {
+			return spec{
+				name: fmt.Sprintf("bs-weak-%dsm", numSMs),
+				ctas: 32 * numSMs, warps: 4,
+				phases: func(cta, warp int) []trace.Phase {
+					phases := make([]trace.Phase, 0, 16)
+					stream := privateStream(4, cta, warp, 512)
+					reduce := hotWalk(cta, warp, 2*lineSize)
+					for r := 0; r < 10; r++ {
+						phases = append(phases,
+							trace.Phase{N: 5, ComputePer: 4, Gen: stream},
+							trace.Phase{N: 3, ComputePer: 0, Gen: reduce, Flags: trace.BypassL1},
+						)
+					}
+					return phases
+				},
+			}.build()
+		},
+	}
+}
+
+// WeakBTree models B+tree lookups under weak scaling: the tree grows with
+// the machine, so the root/inner working set (and the slices serving it)
+// scales too — camping stays constant in relative terms and scaling is
+// linear.
+func WeakBTree() WeakBenchmark {
+	return WeakBenchmark{
+		Name: "btree", Class: Linear, MCM: false,
+		ForSMs: func(numSMs int) trace.Workload {
+			scale := uint64(numSMs)
+			return spec{
+				name: fmt.Sprintf("btree-weak-%dsm", numSMs),
+				ctas: 16 * numSMs, warps: 4,
+				phases: func(cta, warp int) []trace.Phase {
+					leafBytes := 4 * MiB * scale / 8
+					rootBytes := 2 * lineSize * scale
+					phases := make([]trace.Phase, 0, 24)
+					leaf := randomWalk(0xb7ee+scale, cta, warp, leafBytes)
+					root := hotWalk(cta, warp, rootBytes)
+					for r := 0; r < 12; r++ {
+						phases = append(phases,
+							trace.Phase{N: 2, ComputePer: 0, Gen: root, Flags: trace.BypassL1},
+							trace.Phase{N: 8, ComputePer: 1, Gen: leaf},
+						)
+					}
+					return phases
+				},
+			}.build()
+		},
+	}
+}
+
+// weakRing builds a weak-scaled version of the occupancy-limited ring
+// kernels (as, bp, va): the working set scales with the machine so its
+// size relative to the LLC never changes — no cliff, linear scaling.
+func weakRing(name string, numSMs int, wsPerSM uint64, passes int) trace.Workload {
+	const warpLoads = 64
+	const warpBytes = warpLoads * lineSize
+	const ctaBytes = 4 * warpBytes
+	ws := wsPerSM * uint64(numSMs)
+	ringCTAs := int(ws / ctaBytes)
+	return spec{
+		name:     fmt.Sprintf("%s-weak-%dsm", name, numSMs),
+		ctas:     passes * ringCTAs,
+		warps:    4,
+		ctaLimit: 6,
+		phases: func(cta, warp int) []trace.Phase {
+			start := (uint64(cta)*ctaBytes + uint64(warp)*warpBytes) % ws
+			return []trace.Phase{{
+				N:          7 * warpLoads,
+				ComputePer: 6,
+				Gen:        &trace.SeqGen{Base: sharedRegion, Start: start, Stride: lineSize, Extent: ws},
+			}}
+		},
+	}.build()
+}
+
+// WeakAS models Async under weak scaling: 192 KiB of working set per SM —
+// always LLC-resident in relative terms, hence linear.
+func WeakAS() WeakBenchmark {
+	return WeakBenchmark{
+		Name: "as", Class: Linear, MCM: true,
+		ForSMs: func(numSMs int) trace.Workload {
+			return weakRing("as", numSMs, 192*1024, 4)
+		},
+	}
+}
+
+// WeakBP models Back Propagation under weak scaling: 384 KiB of working
+// set per SM — always larger than the proportional LLC share, so uniformly
+// DRAM-latency-bound and linear.
+func WeakBP() WeakBenchmark {
+	return WeakBenchmark{
+		Name: "bp", Class: Linear, MCM: true,
+		ForSMs: func(numSMs int) trace.Workload {
+			return weakRing("bp", numSMs, 384*1024, 3)
+		},
+	}
+}
+
+// WeakVA models Vector Add under weak scaling: 128 KiB per SM, resident
+// everywhere, linear.
+func WeakVA() WeakBenchmark {
+	return WeakBenchmark{
+		Name: "va", Class: Linear, MCM: true,
+		ForSMs: func(numSMs int) trace.Workload {
+			return weakRing("va", numSMs, 128*1024, 6)
+		},
+	}
+}
