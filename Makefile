@@ -1,0 +1,33 @@
+# Development targets. `make quick` is the fast pre-commit gate; `make
+# verify` is the full tier-1 gate (ROADMAP.md) plus static analysis and the
+# race-enabled concurrency tests guarding the parallel experiment engine.
+
+GO ?= go
+
+.PHONY: build vet short test race quick verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+short:
+	$(GO) test -short ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency gate: race-enabled tests of every code path that runs on
+# or feeds the worker-pool engine. The harness run is restricted to its
+# concurrency tests (singleflight, pre-warm, progress) because the rest of
+# its short suite is sequential simulation that the race detector slows
+# ~7x for no extra coverage; `go test -race -short ./internal/harness/`
+# still passes if you want the whole package raced.
+race:
+	$(GO) test -race -short ./internal/engine/... ./internal/mrc/...
+	$(GO) test -race -short -run 'Singleflight|Prewarm|SetParallel' ./internal/harness/
+
+quick: build vet race short
+
+verify: build vet race test

@@ -15,7 +15,9 @@
 package gpuscale_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -28,7 +30,11 @@ import (
 	"gpuscale/internal/workloads"
 )
 
-// strongResults runs (or reuses) the full strong-scaling sweep.
+// strongResults runs (or reuses) the full strong-scaling sweep. The
+// 21 × 5 simulation grid is fanned across all CPUs by the harness's
+// worker-pool pre-warm (internal/engine); results are identical to a
+// sequential sweep, so every figure regenerated below is unaffected by the
+// parallelism.
 func strongResults(b *testing.B) []*harness.StrongResult {
 	b.Helper()
 	rs, err := harness.Default.RunStrongAll()
@@ -38,6 +44,8 @@ func strongResults(b *testing.B) []*harness.StrongResult {
 	return rs
 }
 
+// weakResults runs (or reuses) the weak-scaling sweep, parallelised the
+// same way as strongResults.
 func weakResults(b *testing.B) []*harness.WeakResult {
 	b.Helper()
 	rs, err := harness.Default.RunWeakAll()
@@ -45,6 +53,53 @@ func weakResults(b *testing.B) []*harness.WeakResult {
 		b.Fatal(err)
 	}
 	return rs
+}
+
+// BenchmarkEngineParallelSweep measures the parallel experiment engine on a
+// paperbench-style grid (three benchmarks of different scaling classes on
+// the 8- and 16-SM scale models), reporting the wall-clock speedup of the
+// all-CPU worker pool over the sequential path and verifying bit-identical
+// statistics. On a single-CPU host the speedup metric is ~1 by
+// construction.
+func BenchmarkEngineParallelSweep(b *testing.B) {
+	base := gpuscale.Baseline128()
+	var jobs []gpuscale.Job
+	for _, name := range []string{"dct", "bfs", "pf"} {
+		bench, err := gpuscale.BenchmarkByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range []int{8, 16} {
+			jobs = append(jobs, gpuscale.NewJob(gpuscale.MustScale(base, n), bench.Workload))
+		}
+	}
+	ctx := context.Background()
+	t0 := testingNow()
+	seq, err := gpuscale.RunJobs(ctx, jobs, gpuscale.EngineOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tSeq := testingNow() - t0
+	t0 = testingNow()
+	par, err := gpuscale.RunJobs(ctx, jobs, gpuscale.EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tPar := testingNow() - t0
+	for i := range jobs {
+		if seq[i].Err != nil || par[i].Err != nil {
+			b.Fatalf("job %d failed: seq=%v par=%v", i, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Stats != par[i].Stats {
+			b.Fatalf("job %q: parallel stats differ from sequential", jobs[i].Label())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = par[0].Stats.IPC
+	}
+	b.ReportMetric(float64(runtime.NumCPU()), "workers")
+	b.ReportMetric(tSeq/tPar, "wall_speedup")
 }
 
 // BenchmarkTable1ScaleModelConfigs regenerates Table I: deriving the 8- and

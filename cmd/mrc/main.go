@@ -6,12 +6,19 @@
 //
 //	mrc -bench dct
 //	mrc -bench dct -method stack
+//	mrc -bench dct -parallel 4      # fan the five replays across 4 workers
+//
+// The -parallel flag (default: all CPUs) fans the per-configuration cache
+// replays of the functional method across a worker pool; the curve is
+// identical at any setting. The stack method is a single pass by nature and
+// ignores the flag.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"gpuscale"
 )
@@ -21,6 +28,8 @@ func main() {
 		bench  = flag.String("bench", "", "benchmark abbreviation")
 		method = flag.String("method", "functional",
 			"curve method: functional (cache sweep, matches the simulator) or stack (single-pass reuse distance, fully associative)")
+		parallel = flag.Int("parallel", runtime.NumCPU(),
+			"worker pool size for the functional sweep (<=0: all CPUs)")
 	)
 	flag.Parse()
 	if *bench == "" {
@@ -36,7 +45,7 @@ func main() {
 	var curve gpuscale.Curve
 	switch *method {
 	case "functional":
-		curve, err = gpuscale.MissRateCurve(b.Workload, cfgs)
+		curve, err = gpuscale.MissRateCurveParallel(b.Workload, cfgs, *parallel)
 	case "stack":
 		caps := make([]int64, len(cfgs))
 		for i, c := range cfgs {

@@ -18,9 +18,14 @@
 //	paperbench -exp fig8            # multi-chiplet prediction error
 //	paperbench -exp artifact        # alternate 16/32-SM scale models
 //	paperbench -exp all             # everything (slow: full sweeps)
+//	paperbench -exp all -parallel 8 # fan the simulation grid over 8 cores
 //
 // Heavy experiments share one in-process cache, so "-exp all" costs little
-// more than the union of its parts.
+// more than the union of its parts. The sweeps behind the heavy experiments
+// fan their independent (workload, configuration) cells across -parallel
+// workers (default: all CPUs); results are bit-identical at any setting,
+// and live progress (jobs done, simulated cycles/sec, ETA) is reported on
+// stderr.
 package main
 
 import (
@@ -28,8 +33,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"gpuscale"
+	"gpuscale/internal/engine"
 	"gpuscale/internal/harness"
 	"gpuscale/internal/workloads"
 )
@@ -37,8 +44,15 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..table5, fig1..fig8, artifact, all)")
 	csvDir := flag.String("csv", "", "also export raw results as CSV files into this directory")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker pool size for simulation sweeps (1: sequential, <=0: all CPUs)")
+	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
 	flag.Parse()
 	h := harness.New()
+	h.SetParallel(*parallel)
+	if !*quiet {
+		h.SetProgress(progressLine)
+	}
 	run := func(name string, f func(*harness.Harness) error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -68,6 +82,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paperbench: csv export:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// progressLine renders sweep progress as a carriage-return-overwritten
+// stderr line, finishing with a newline so the experiment output that
+// follows starts clean.
+func progressLine(p engine.Progress) {
+	fmt.Fprintf(os.Stderr, "\r[%d/%d] %.1fM simulated cycles/s, ETA %v    ",
+		p.Done, p.Total, p.CyclesPerSec/1e6, p.ETA.Round(1e9))
+	if p.Done == p.Total {
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

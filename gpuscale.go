@@ -42,13 +42,32 @@
 //		Mode:      gpuscale.StrongScaling,
 //	})
 //
+// # Parallel sweeps
+//
+// Every experiment cell — a (workload, configuration) pair — is independent,
+// so sweeps parallelise perfectly. RunJobs fans a job list across a worker
+// pool with deterministic, input-ordered results, per-job panic isolation
+// and optional progress reporting:
+//
+//	jobs := []gpuscale.Job{
+//		gpuscale.NewJob(gpuscale.MustScale(base, 8), bench.Workload),
+//		gpuscale.NewJob(gpuscale.MustScale(base, 16), bench.Workload),
+//	}
+//	results, _ := gpuscale.RunJobs(context.Background(), jobs, gpuscale.EngineOptions{})
+//
+// A parallel sweep returns bit-identical statistics to a sequential one;
+// see docs/ARCHITECTURE.md for why this holds.
+//
 // See the examples/ directory for complete programs.
 package gpuscale
 
 import (
+	"context"
+
 	"gpuscale/internal/chiplet"
 	"gpuscale/internal/config"
 	"gpuscale/internal/core"
+	"gpuscale/internal/engine"
 	"gpuscale/internal/gpu"
 	"gpuscale/internal/mrc"
 	"gpuscale/internal/regress"
@@ -142,6 +161,33 @@ func SimulateSequence(cfg SystemConfig, kernels []Workload) (SimStats, error) {
 // SimulateMCM runs workload w on a multi-chiplet GPU.
 func SimulateMCM(cfg ChipletConfig, w Workload) (MCMStats, error) { return chiplet.Run(cfg, w) }
 
+// Parallel experiment engine: fan independent simulation jobs across a
+// worker pool with deterministic result ordering.
+type (
+	// Job is one simulation cell for RunJobs: a kernel sequence on one
+	// system configuration.
+	Job = engine.Job
+	// JobResult is one Job's outcome, in job order.
+	JobResult = engine.Result
+	// EngineOptions tunes a RunJobs sweep (worker count, progress).
+	EngineOptions = engine.Options
+	// EngineProgress is the snapshot passed to the progress callback.
+	EngineProgress = engine.Progress
+)
+
+// NewJob builds a single-kernel Job.
+func NewJob(cfg SystemConfig, w Workload) Job { return engine.NewJob(cfg, w) }
+
+// RunJobs executes jobs on a worker pool (default: all CPUs) and returns
+// one result per job, in job order regardless of completion order. A
+// failing or panicking simulation surfaces in its own JobResult.Err without
+// aborting the sweep; the returned error is non-nil only when ctx is
+// cancelled. Parallel sweeps return statistics bit-identical to sequential
+// ones.
+func RunJobs(ctx context.Context, jobs []Job, opt EngineOptions) ([]JobResult, error) {
+	return engine.Run(ctx, jobs, opt)
+}
+
 // Miss-rate curves.
 type (
 	// Curve is a miss-rate curve: MPKI versus LLC capacity.
@@ -155,6 +201,13 @@ type (
 // Figure 3 workflow.
 func MissRateCurve(w Workload, cfgs []SystemConfig) (Curve, error) {
 	return mrc.FunctionalSweep(w, cfgs)
+}
+
+// MissRateCurveParallel is MissRateCurve with the per-configuration replays
+// fanned across workers goroutines (<= 0 means all CPUs). The curve is
+// identical to the sequential one.
+func MissRateCurveParallel(w Workload, cfgs []SystemConfig, workers int) (Curve, error) {
+	return mrc.FunctionalSweepParallel(w, cfgs, workers)
 }
 
 // StackDistanceCurve computes a fully-associative miss-rate curve with the

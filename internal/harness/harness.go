@@ -2,18 +2,31 @@
 // every benchmark at every system size, collects miss-rate curves, runs the
 // scale-model predictor and the four baseline extrapolations, and computes
 // the per-benchmark prediction errors behind Figures 4–8 and the artifact
-// appendix. Simulation results are memoised so that the many benchmarks
-// and tables sharing runs (e.g. Fig. 1, Fig. 4 and Fig. 5 all need the same
-// strong-scaling sweeps) pay for each simulation once per process.
+// appendix.
+//
+// Two properties make full-paper regeneration affordable. First, simulation
+// results are memoised (with single-flight deduplication) so that the many
+// benchmarks and tables sharing runs — e.g. Fig. 1, Fig. 4 and Fig. 5 all
+// need the same strong-scaling sweeps — pay for each simulation once per
+// process, even when requested concurrently. Second, the sweep entry points
+// (RunStrongAll, RunWeakAll, RunChipletAll) pre-warm the memo by fanning
+// every independent (configuration, workload) cell across a worker pool via
+// internal/engine; the per-benchmark analysis then runs sequentially over
+// cache hits, so parallel and sequential execution produce identical
+// results. SetParallel tunes (or disables) the fan-out and SetProgress
+// attaches a live progress callback.
 package harness
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
 	"gpuscale/internal/config"
 	"gpuscale/internal/core"
+	"gpuscale/internal/engine"
 	"gpuscale/internal/gpu"
 	"gpuscale/internal/mrc"
 	"gpuscale/internal/regress"
@@ -36,20 +49,47 @@ type TimedStats struct {
 	Wall time.Duration
 }
 
-// Harness memoises simulation runs and miss-rate curves.
-type Harness struct {
-	mu          sync.Mutex
-	runs        map[string]TimedStats
-	chipletRuns map[string]ChipletTimedStats
-	mrcs        map[string]mrc.Curve
+// runEntry is a single-flight memo cell: the first caller computes under
+// the sync.Once, every other caller (concurrent or later) waits for and
+// shares the same result.
+type runEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
 }
 
-// New returns an empty Harness.
+// entryFor returns (creating if needed) the memo cell for key.
+func entryFor[V any](mu *sync.Mutex, m map[string]*runEntry[V], key string) *runEntry[V] {
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := m[key]
+	if !ok {
+		e = &runEntry[V]{}
+		m[key] = e
+	}
+	return e
+}
+
+// Harness memoises simulation runs and miss-rate curves, deduplicating
+// concurrent requests for the same key, and fans sweep entry points across
+// a worker pool. The zero value is not usable; call New.
+type Harness struct {
+	mu          sync.Mutex
+	runs        map[string]*runEntry[TimedStats]
+	chipletRuns map[string]*runEntry[ChipletTimedStats]
+	mrcs        map[string]*runEntry[mrc.Curve]
+
+	parallel int
+	progress func(engine.Progress)
+}
+
+// New returns an empty Harness with parallelism runtime.NumCPU().
 func New() *Harness {
 	return &Harness{
-		runs:        make(map[string]TimedStats),
-		chipletRuns: make(map[string]ChipletTimedStats),
-		mrcs:        make(map[string]mrc.Curve),
+		runs:        make(map[string]*runEntry[TimedStats]),
+		chipletRuns: make(map[string]*runEntry[ChipletTimedStats]),
+		mrcs:        make(map[string]*runEntry[mrc.Curve]),
+		parallel:    runtime.NumCPU(),
 	}
 }
 
@@ -57,45 +97,139 @@ func New() *Harness {
 // every table and figure reuses the same memoised simulations.
 var Default = New()
 
-// Run simulates w on cfg, memoised by (config, workload) name.
-func (h *Harness) Run(cfg config.SystemConfig, w trace.Workload) (TimedStats, error) {
-	key := cfg.Name + "/" + w.Name()
+// SetParallel sets the worker-pool size used by the sweep entry points
+// (RunStrongAll, RunWeakAll, RunChipletAll). n <= 1 disables the parallel
+// pre-warm and restores fully sequential execution; n <= 0 resets to
+// runtime.NumCPU(). Results are identical at every setting — only wall
+// clock changes.
+func (h *Harness) SetParallel(n int) {
 	h.mu.Lock()
-	if st, ok := h.runs[key]; ok {
-		h.mu.Unlock()
-		return st, nil
+	defer h.mu.Unlock()
+	if n <= 0 {
+		n = runtime.NumCPU()
 	}
-	h.mu.Unlock()
-	start := time.Now()
-	st, err := gpu.Run(cfg, w)
-	if err != nil {
-		return TimedStats{}, fmt.Errorf("harness: simulating %s on %s: %w", w.Name(), cfg.Name, err)
-	}
-	ts := TimedStats{Stats: st, Wall: time.Since(start)}
-	h.mu.Lock()
-	h.runs[key] = ts
-	h.mu.Unlock()
-	return ts, nil
+	h.parallel = n
 }
 
-// Curve computes (memoised) the functional-simulation miss-rate curve of w
-// across the given configurations.
+// SetProgress attaches a callback that receives a progress snapshot after
+// every pre-warm job completion (jobs done, simulated cycles/sec, ETA).
+// Pass nil to detach. The callback is never invoked concurrently.
+func (h *Harness) SetProgress(fn func(engine.Progress)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.progress = fn
+}
+
+// settings snapshots the parallelism configuration.
+func (h *Harness) settings() (int, func(engine.Progress)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.parallel, h.progress
+}
+
+// Run simulates w on cfg, memoised by (config, workload) name. Concurrent
+// calls with the same key run the simulation once and share the result.
+func (h *Harness) Run(cfg config.SystemConfig, w trace.Workload) (TimedStats, error) {
+	key := cfg.Name + "/" + w.Name()
+	e := entryFor(&h.mu, h.runs, key)
+	e.once.Do(func() {
+		start := time.Now()
+		st, err := gpu.Run(cfg, w)
+		if err != nil {
+			e.err = fmt.Errorf("harness: simulating %s on %s: %w", w.Name(), cfg.Name, err)
+			return
+		}
+		e.val = TimedStats{Stats: st, Wall: time.Since(start)}
+	})
+	return e.val, e.err
+}
+
+// Curve computes (memoised, single-flight) the functional-simulation
+// miss-rate curve of w across the given configurations.
 func (h *Harness) Curve(w trace.Workload, cfgs []config.SystemConfig) (mrc.Curve, error) {
-	key := w.Name()
-	h.mu.Lock()
-	if c, ok := h.mrcs[key]; ok {
-		h.mu.Unlock()
-		return c, nil
+	e := entryFor(&h.mu, h.mrcs, w.Name())
+	e.once.Do(func() {
+		c, err := mrc.FunctionalSweep(w, cfgs)
+		if err != nil {
+			e.err = fmt.Errorf("harness: miss-rate curve for %s: %w", w.Name(), err)
+			return
+		}
+		e.val = c
+	})
+	return e.val, e.err
+}
+
+// prewarmUnit is one independent cell of a sweep's pre-warm phase: either a
+// timing simulation or a miss-rate-curve collection.
+type prewarmUnit struct {
+	cfg   config.SystemConfig
+	w     trace.Workload
+	curve bool                  // collect the MRC instead of a timing run
+	cfgs  []config.SystemConfig // curve configurations (curve units only)
+
+	chiplet    bool // run on the MCM simulator instead
+	chipletCfg config.ChipletConfig
+}
+
+// prewarm fans the units across the harness worker pool, filling the memo
+// caches so that subsequent sequential analysis hits them. With parallelism
+// <= 1 it is a no-op: the analysis paths compute lazily exactly as the
+// sequential harness always has. Unit failures are not reported here — the
+// analysis path re-encounters the memoised error with full context.
+func (h *Harness) prewarm(units []prewarmUnit) {
+	workers, progress := h.settings()
+	if workers <= 1 || len(units) <= 1 {
+		return
 	}
-	h.mu.Unlock()
-	c, err := mrc.FunctionalSweep(w, cfgs)
-	if err != nil {
-		return mrc.Curve{}, fmt.Errorf("harness: miss-rate curve for %s: %w", w.Name(), err)
+	start := time.Now()
+	var mu sync.Mutex
+	var done, failed int
+	var cycles int64
+	note := func(st TimedStats, err error) {
+		if progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		if err != nil {
+			failed++
+		} else {
+			cycles += st.Cycles
+		}
+		p := engine.Progress{
+			Done:    done,
+			Failed:  failed,
+			Total:   len(units),
+			Cycles:  cycles,
+			Elapsed: time.Since(start),
+		}
+		if secs := p.Elapsed.Seconds(); secs > 0 {
+			p.CyclesPerSec = float64(cycles) / secs
+		}
+		if done > 0 && done < len(units) {
+			p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(len(units)-done))
+		}
+		progress(p)
+		mu.Unlock()
 	}
-	h.mu.Lock()
-	h.mrcs[key] = c
-	h.mu.Unlock()
-	return c, nil
+	// Errors are deliberately dropped: each unit's outcome (value or error)
+	// is memoised, and the sequential analysis re-reads it with the right
+	// experiment context attached.
+	_, _ = engine.Map(context.Background(), workers, units,
+		func(_ context.Context, _ int, u prewarmUnit) (struct{}, error) {
+			switch {
+			case u.curve:
+				_, err := h.Curve(u.w, u.cfgs)
+				note(TimedStats{}, err)
+			case u.chiplet:
+				st, err := h.runChiplet(u.chipletCfg, u.w)
+				note(TimedStats{Stats: gpu.Stats{Cycles: st.Cycles}}, err)
+			default:
+				st, err := h.Run(u.cfg, u.w)
+				note(st, err)
+			}
+			return struct{}{}, nil
+		})
 }
 
 // StrongResult holds one benchmark's full strong-scaling experiment.
@@ -209,10 +343,23 @@ func (h *Harness) runStrongFrom(b workloads.Benchmark, sizes []int, sm [2]int) (
 }
 
 // RunStrongAll runs the strong-scaling experiment for every Table II
-// benchmark.
+// benchmark. The 21 × 5 simulation grid and the 21 miss-rate curves are
+// pre-warmed in parallel (see SetParallel); the analysis itself is
+// sequential over memoised results, so the output is identical to a fully
+// sequential run.
 func (h *Harness) RunStrongAll() ([]*StrongResult, error) {
+	benches := workloads.All()
+	base := config.Baseline128()
+	var units []prewarmUnit
+	for _, b := range benches {
+		for _, n := range config.StandardSizes {
+			units = append(units, prewarmUnit{cfg: config.MustScale(base, n), w: b.Workload})
+		}
+		units = append(units, prewarmUnit{w: b.Workload, curve: true, cfgs: config.StandardConfigs()})
+	}
+	h.prewarm(units)
 	var out []*StrongResult
-	for _, b := range workloads.All() {
+	for _, b := range benches {
 		r, err := h.RunStrong(b)
 		if err != nil {
 			return nil, err

@@ -99,9 +99,20 @@ func (h *Harness) RunWeak(wb workloads.WeakBenchmark) (*WeakResult, error) {
 }
 
 // RunWeakAll runs the weak-scaling experiment for every Table IV family.
+// The family × size simulation grid is pre-warmed in parallel (see
+// SetParallel); the analysis runs sequentially over memoised results.
 func (h *Harness) RunWeakAll() ([]*WeakResult, error) {
+	fams := workloads.WeakAll()
+	base := config.Baseline128()
+	var units []prewarmUnit
+	for _, wb := range fams {
+		for _, n := range config.StandardSizes {
+			units = append(units, prewarmUnit{cfg: config.MustScale(base, n), w: wb.ForSMs(n)})
+		}
+	}
+	h.prewarm(units)
 	var out []*WeakResult
-	for _, wb := range workloads.WeakAll() {
+	for _, wb := range fams {
 		r, err := h.RunWeak(wb)
 		if err != nil {
 			return nil, err

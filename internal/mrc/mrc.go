@@ -17,11 +17,13 @@
 package mrc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"gpuscale/internal/cache"
 	"gpuscale/internal/config"
+	"gpuscale/internal/engine"
 	"gpuscale/internal/trace"
 )
 
@@ -79,6 +81,16 @@ func (c Curve) Validate() error {
 // approximating the thread-level parallelism a timing run would exhibit.
 // Configurations must be ordered by ascending LLC capacity.
 func FunctionalSweep(w trace.Workload, cfgs []config.SystemConfig) (Curve, error) {
+	return FunctionalSweepParallel(w, cfgs, 1)
+}
+
+// FunctionalSweepParallel is FunctionalSweep with the per-configuration
+// replays fanned across a pool of workers (<= 0 means runtime.NumCPU(); 1
+// runs sequentially in the calling goroutine). Each configuration's replay
+// is independent and deterministic, so the returned curve is identical to
+// FunctionalSweep's; only wall-clock time changes. The workload must be
+// safe for concurrent NewProgram calls, as the built-in suite is.
+func FunctionalSweepParallel(w trace.Workload, cfgs []config.SystemConfig, workers int) (Curve, error) {
 	if w == nil {
 		return Curve{}, fmt.Errorf("mrc: nil workload")
 	}
@@ -86,12 +98,25 @@ func FunctionalSweep(w trace.Workload, cfgs []config.SystemConfig) (Curve, error
 		return Curve{}, fmt.Errorf("mrc: no configurations")
 	}
 	var curve Curve
-	for _, cfg := range cfgs {
-		mpki, err := functionalRun(w, cfg)
+	if workers == 1 || len(cfgs) == 1 {
+		for _, cfg := range cfgs {
+			mpki, err := functionalRun(w, cfg)
+			if err != nil {
+				return Curve{}, err
+			}
+			curve.Points = append(curve.Points, Point{CapacityBytes: cfg.LLCSizeBytes, MPKI: mpki})
+		}
+	} else {
+		mpkis, err := engine.Map(context.Background(), workers, cfgs,
+			func(_ context.Context, _ int, cfg config.SystemConfig) (float64, error) {
+				return functionalRun(w, cfg)
+			})
 		if err != nil {
 			return Curve{}, err
 		}
-		curve.Points = append(curve.Points, Point{CapacityBytes: cfg.LLCSizeBytes, MPKI: mpki})
+		for i, cfg := range cfgs {
+			curve.Points = append(curve.Points, Point{CapacityBytes: cfg.LLCSizeBytes, MPKI: mpkis[i]})
+		}
 	}
 	if err := curve.Validate(); err != nil {
 		return Curve{}, err

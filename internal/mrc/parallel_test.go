@@ -1,0 +1,41 @@
+package mrc
+
+import (
+	"reflect"
+	"testing"
+
+	"gpuscale/internal/config"
+)
+
+// TestFunctionalSweepParallelMatchesSequential asserts that fanning the
+// per-configuration replays across a worker pool changes wall-clock time
+// only: the curve is bit-identical to the sequential sweep's at several
+// pool sizes.
+func TestFunctionalSweepParallelMatchesSequential(t *testing.T) {
+	w := seqWorkload(8, 2, 200, 4<<20)
+	cfgs := config.StandardConfigs()
+	seq, err := FunctionalSweep(w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par, err := FunctionalSweepParallel(w, cfgs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Errorf("workers=%d: parallel curve %+v differs from sequential %+v", workers, par, seq)
+		}
+	}
+}
+
+// TestFunctionalSweepParallelErrors checks that input validation matches
+// the sequential path.
+func TestFunctionalSweepParallelErrors(t *testing.T) {
+	if _, err := FunctionalSweepParallel(nil, config.StandardConfigs(), 4); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := FunctionalSweepParallel(seqWorkload(2, 2, 8, 1<<20), nil, 4); err == nil {
+		t.Error("empty configuration list accepted")
+	}
+}
