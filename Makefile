@@ -1,10 +1,11 @@
 # Development targets. `make quick` is the fast pre-commit gate; `make
-# verify` is the full tier-1 gate (ROADMAP.md) plus static analysis and the
-# race-enabled concurrency tests guarding the parallel experiment engine.
+# verify` is the full tier-1 gate (ROADMAP.md) plus static analysis, the
+# race-enabled concurrency tests guarding the parallel experiment engine,
+# and the deprecated-API usage gate.
 
 GO ?= go
 
-.PHONY: build vet short test race quick verify
+.PHONY: build vet short test race quick verify noalloc deprecated-gate
 
 build:
 	$(GO) build ./...
@@ -23,11 +24,33 @@ test:
 # concurrency tests (singleflight, pre-warm, progress) because the rest of
 # its short suite is sequential simulation that the race detector slows
 # ~7x for no extra coverage; `go test -race -short ./internal/harness/`
-# still passes if you want the whole package raced.
-race:
-	$(GO) test -race -short ./internal/engine/... ./internal/mrc/...
+# still passes if you want the whole package raced. AllocsPerRun is
+# unreliable under -race, so the zero-allocation guard for the disabled
+# observability path runs as a separate non-race step (noalloc).
+race: noalloc
+	$(GO) test -race -short ./internal/engine/... ./internal/mrc/... ./internal/obs/...
 	$(GO) test -race -short -run 'Singleflight|Prewarm|SetParallel' ./internal/harness/
 
-quick: build vet race short
+# The zero-cost-when-disabled guard: with a nil observer the simulator hot
+# path must not allocate. Run without -race (see above).
+noalloc:
+	$(GO) test -run 'TestNilObserverNoAllocs' .
+	$(GO) test -run 'TestNilHooksNoAllocs' ./internal/obs/
 
-verify: build vet race test
+# The API migration gate: the deprecated entry points (Simulate,
+# SimulateWithOptions, SimulateSequence, SimulateMCM) may be called only by
+# their wrappers in gpuscale.go and the facade wrapper tests that pin the
+# wrapper/Context-form agreement. Everything else — commands, examples,
+# internal packages, benchmarks — must use the context-aware API.
+deprecated-gate:
+	@bad=$$(grep -rnE 'gpuscale\.(Simulate|SimulateWithOptions|SimulateSequence|SimulateMCM)\(' \
+		cmd/ examples/ internal/ bench_test.go gpuscale_obs_test.go 2>/dev/null); \
+	if [ -n "$$bad" ]; then \
+		echo "deprecated simulation entry points in use (switch to SimulateContext/SimulateSequenceContext/SimulateMCMContext):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "deprecated-gate: ok"
+
+quick: build vet race short deprecated-gate
+
+verify: build vet race test deprecated-gate

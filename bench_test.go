@@ -496,7 +496,7 @@ func BenchmarkAblationEventSkip(b *testing.B) {
 	cfg := gpuscale.MustScale(gpuscale.Baseline128(), 8)
 	run := func(disable bool) (gpu.Stats, float64) {
 		start := testingNow()
-		st, err := gpuscale.SimulateWithOptions(cfg, bench.Workload, gpuscale.SimOptions{DisableEventSkip: disable})
+		st, err := gpuscale.SimulateContext(context.Background(), cfg, bench.Workload, gpuscale.WithEventSkip(!disable))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -521,6 +521,34 @@ func testingNow() float64 {
 	return float64(time.Now().UnixNano()) / 1e9
 }
 
+// TestNilObserverNoAllocs guards the zero-cost contract of the
+// observability layer: without an observer, every hook the simulator's
+// per-cycle hot path can reach (counters, gauges, histograms, stream
+// events) must be a nil-check branch with zero allocations. AllocsPerRun
+// is unreliable under the race detector, so `make race` runs this test
+// separately without -race.
+func TestNilObserverNoAllocs(t *testing.T) {
+	var rec *gpuscale.Observer
+	if rec.Enabled() {
+		t.Fatal("nil observer reports enabled")
+	}
+	st := rec.Stream("nil-guard")
+	sc := rec.Scope("nil-guard")
+	c := sc.Counter("c")
+	g := sc.Gauge("g")
+	h := sc.Histogram("h", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(1.5)
+		h.Observe(42)
+		st.Instant(1, "cat", "name")
+		st.Span(0, 2, "cat", "name")
+	}); n != 0 {
+		t.Fatalf("nil-observer hooks allocated %.1f times per run, want 0", n)
+	}
+}
+
 // BenchmarkAblationWarpScheduler compares the Table III GTO policy against
 // loose round-robin (LRR) on a latency-sensitive cliff benchmark: the
 // policy changes absolute IPC but not the scale-model methodology, whose
@@ -531,14 +559,14 @@ func BenchmarkAblationWarpScheduler(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := gpuscale.MustScale(gpuscale.Baseline128(), 8)
-	gto, err := gpuscale.Simulate(cfg, bench.Workload)
+	gto, err := gpuscale.SimulateContext(context.Background(), cfg, bench.Workload)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfgLRR := cfg
 	cfgLRR.WarpScheduler = "lrr"
 	cfgLRR.Name = cfg.Name + "-lrr"
-	lrr, err := gpuscale.Simulate(cfgLRR, bench.Workload)
+	lrr, err := gpuscale.SimulateContext(context.Background(), cfgLRR, bench.Workload)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -560,12 +588,12 @@ func BenchmarkAblationWarmup(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := gpuscale.MustScale(gpuscale.Baseline128(), 8)
-	plain, err := gpuscale.Simulate(cfg, bench.Workload)
+	plain, err := gpuscale.SimulateContext(context.Background(), cfg, bench.Workload)
 	if err != nil {
 		b.Fatal(err)
 	}
-	warm, err := gpuscale.SimulateWithOptions(cfg, bench.Workload,
-		gpuscale.SimOptions{WarmupInstructions: plain.Instructions / 2})
+	warm, err := gpuscale.SimulateContext(context.Background(), cfg, bench.Workload,
+		gpuscale.WithWarmupInstructions(plain.Instructions/2))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -7,15 +7,26 @@
 //	gpusim -bench dct -sms 16
 //	gpusim -bench bfs -weak -sms 32
 //	gpusim -bench va -weak -chiplets 8
+//	gpusim -bench dct -sms 16 -trace-out dct.trace.json -metrics-out dct.json
 //	gpusim -list
+//
+// The observability flags are shared with paperbench (see cmd/internal/
+// cliutil): -trace-out writes a Chrome trace_event file loadable in
+// chrome://tracing or https://ui.perfetto.dev (a .jsonl extension selects
+// JSON Lines), -metrics-out dumps the per-component metrics registry and
+// interval samples as JSON, and -sample-every tunes the sampling cadence in
+// simulated cycles. -quiet suppresses the statistics block, which is useful
+// when only the observability outputs are wanted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"gpuscale"
+	"gpuscale/cmd/internal/cliutil"
 )
 
 func main() {
@@ -26,6 +37,8 @@ func main() {
 		weak     = flag.Bool("weak", false, "use the weak-scaling variant (input scales with size)")
 		warmup   = flag.Uint64("warmup", 0, "discard statistics until this many instructions have issued (monolithic GPU only)")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		quiet    = cliutil.Quiet(flag.CommandLine)
+		obsFlags = cliutil.Obs(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -64,24 +77,36 @@ func main() {
 		workload = b.Workload
 	}
 
+	ctx := context.Background()
+	observer := obsFlags.Observer()
+	opts := []gpuscale.SimOption{
+		gpuscale.WithObserver(observer),
+		gpuscale.WithSampleInterval(obsFlags.SampleEvery),
+	}
+
 	if *chiplets > 0 {
 		cfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), *chiplets)
 		if err != nil {
 			fatal(err)
 		}
-		st, err := gpuscale.SimulateMCM(cfg, workload)
+		st, err := gpuscale.SimulateMCMContext(ctx, cfg, workload, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("config:        %s (%d SMs total)\n", cfg.Name, cfg.TotalSMs())
-		fmt.Printf("workload:      %s\n", workload.Name())
-		fmt.Printf("cycles:        %d\n", st.Cycles)
-		fmt.Printf("instructions:  %d\n", st.Instructions)
-		fmt.Printf("IPC:           %.2f\n", st.IPC)
-		fmt.Printf("f_mem:         %.3f\n", st.FMem)
-		fmt.Printf("LLC MPKI:      %.2f\n", st.LLCMPKI)
-		fmt.Printf("remote frac:   %.3f\n", st.RemoteFraction)
-		fmt.Printf("CTAs:          %d\n", st.CTAs)
+		if !*quiet {
+			fmt.Printf("config:        %s (%d SMs total)\n", cfg.Name, cfg.TotalSMs())
+			fmt.Printf("workload:      %s\n", workload.Name())
+			fmt.Printf("cycles:        %d\n", st.Cycles)
+			fmt.Printf("instructions:  %d\n", st.Instructions)
+			fmt.Printf("IPC:           %.2f\n", st.IPC)
+			fmt.Printf("f_mem:         %.3f\n", st.FMem)
+			fmt.Printf("LLC MPKI:      %.2f\n", st.LLCMPKI)
+			fmt.Printf("remote frac:   %.3f\n", st.RemoteFraction)
+			fmt.Printf("CTAs:          %d\n", st.CTAs)
+		}
+		if err := obsFlags.WriteOutputs(observer); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -89,22 +114,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	st, err := gpuscale.SimulateWithOptions(cfg, workload, gpuscale.SimOptions{WarmupInstructions: *warmup})
+	opts = append(opts, gpuscale.WithWarmupInstructions(*warmup))
+	st, err := gpuscale.SimulateContext(ctx, cfg, workload, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("config:        %s\n", cfg.Name)
-	fmt.Printf("workload:      %s\n", workload.Name())
-	fmt.Printf("cycles:        %d\n", st.Cycles)
-	fmt.Printf("instructions:  %d\n", st.Instructions)
-	fmt.Printf("IPC:           %.2f  (%.3f per SM)\n", st.IPC, st.IPC/float64(cfg.NumSMs))
-	fmt.Printf("f_mem:         %.3f\n", st.FMem)
-	fmt.Printf("L1 miss rate:  %.3f\n", st.L1MissRate)
-	fmt.Printf("LLC MPKI:      %.2f  (%d misses / %d accesses)\n", st.LLCMPKI, st.LLCMisses, st.LLCAccesses)
-	fmt.Printf("avg load lat:  %.0f cycles\n", st.AvgLoadLatency)
-	fmt.Printf("NoC util:      %.2f\n", st.NoCUtilization)
-	fmt.Printf("DRAM util:     %.2f\n", st.DRAMUtilization)
-	fmt.Printf("CTAs:          %d\n", st.CTAs)
+	if !*quiet {
+		fmt.Printf("config:        %s\n", cfg.Name)
+		fmt.Printf("workload:      %s\n", workload.Name())
+		fmt.Printf("cycles:        %d\n", st.Cycles)
+		fmt.Printf("instructions:  %d\n", st.Instructions)
+		fmt.Printf("IPC:           %.2f  (%.3f per SM)\n", st.IPC, st.IPC/float64(cfg.NumSMs))
+		fmt.Printf("f_mem:         %.3f\n", st.FMem)
+		fmt.Printf("L1 miss rate:  %.3f  (%d misses / %d accesses)\n", st.L1MissRate, st.L1Misses, st.L1Accesses)
+		fmt.Printf("LLC MPKI:      %.2f  (%d misses / %d accesses)\n", st.LLCMPKI, st.LLCMisses, st.LLCAccesses)
+		fmt.Printf("avg load lat:  %.0f cycles\n", st.AvgLoadLatency)
+		fmt.Printf("NoC util:      %.2f  (%d bytes)\n", st.NoCUtilization, st.NoCBytes)
+		fmt.Printf("DRAM util:     %.2f  (%d bytes)\n", st.DRAMUtilization, st.DRAMBytes)
+		fmt.Printf("CTAs:          %d\n", st.CTAs)
+	}
+	if err := obsFlags.WriteOutputs(observer); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,110 @@
+// Package cliutil centralises the flag conventions shared by this
+// repository's commands (gpusim, mrc, paperbench, predict), so that the
+// same flag always has the same name, default and help text everywhere:
+//
+//   - -parallel: worker-pool size for simulation sweeps (Parallel)
+//   - -quiet: suppress auxiliary stderr/stdout output (Quiet)
+//   - -metrics-out, -trace-out, -sample-every: the observability outputs
+//     (Obs), backed by the gpuscale Observer
+//
+// Commands whose work a flag cannot apply to (e.g. -parallel on the
+// single-simulation gpusim, or any of these on the pure-math predict)
+// simply do not register it.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpuscale"
+)
+
+// Parallel registers the shared -parallel flag on fs with the conventional
+// default (0, meaning all CPUs) and help text.
+func Parallel(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0,
+		"worker pool size for simulation sweeps (1: sequential, <=0: all CPUs)")
+}
+
+// Quiet registers the shared -quiet flag on fs.
+func Quiet(fs *flag.FlagSet) *bool {
+	return fs.Bool("quiet", false, "suppress auxiliary output (progress lines, per-run summaries)")
+}
+
+// ObsFlags carries the shared observability flags. Register with Obs, build
+// the recorder with Observer, and serialise with WriteOutputs after the
+// simulations finish.
+type ObsFlags struct {
+	MetricsOut  string
+	TraceOut    string
+	SampleEvery int64
+}
+
+// Obs registers -metrics-out, -trace-out and -sample-every on fs.
+func Obs(fs *flag.FlagSet) *ObsFlags {
+	o := &ObsFlags{}
+	fs.StringVar(&o.MetricsOut, "metrics-out", "",
+		"write the metrics registry and interval samples as JSON to this file")
+	fs.StringVar(&o.TraceOut, "trace-out", "",
+		"write the event trace to this file: Chrome trace_event JSON (load in chrome://tracing or ui.perfetto.dev); a .jsonl extension selects JSON Lines instead")
+	fs.Int64Var(&o.SampleEvery, "sample-every", 0,
+		"observability sampling interval in simulated cycles (0: default 8192)")
+	return o
+}
+
+// Enabled reports whether any observability output was requested.
+func (o *ObsFlags) Enabled() bool { return o.MetricsOut != "" || o.TraceOut != "" }
+
+// Observer returns a recorder configured from the flags, or nil when no
+// output was requested — the nil observer keeps simulations on their
+// zero-overhead path.
+func (o *ObsFlags) Observer() *gpuscale.Observer {
+	if !o.Enabled() {
+		return nil
+	}
+	var opts []gpuscale.ObserverOption
+	if o.SampleEvery > 0 {
+		opts = append(opts, gpuscale.ObserverSampleEvery(o.SampleEvery))
+	}
+	return gpuscale.NewObserver(opts...)
+}
+
+// WriteOutputs writes whichever outputs the flags requested from rec. It is
+// a no-op when rec is nil or no output was requested.
+func (o *ObsFlags) WriteOutputs(rec *gpuscale.Observer) error {
+	if rec == nil {
+		return nil
+	}
+	if o.TraceOut != "" {
+		if err := writeFile(o.TraceOut, func(f *os.File) error {
+			if strings.HasSuffix(o.TraceOut, ".jsonl") {
+				return rec.WriteJSONL(f)
+			}
+			return rec.WriteTrace(f)
+		}); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if o.MetricsOut != "" {
+		if err := writeFile(o.MetricsOut, func(f *os.File) error {
+			return rec.WriteMetrics(f)
+		}); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -18,9 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
 	"gpuscale"
+	"gpuscale/cmd/internal/cliutil"
 )
 
 func main() {
@@ -28,8 +28,7 @@ func main() {
 		bench  = flag.String("bench", "", "benchmark abbreviation")
 		method = flag.String("method", "functional",
 			"curve method: functional (cache sweep, matches the simulator) or stack (single-pass reuse distance, fully associative)")
-		parallel = flag.Int("parallel", runtime.NumCPU(),
-			"worker pool size for the functional sweep (<=0: all CPUs)")
+		parallel = cliutil.Parallel(flag.CommandLine)
 	)
 	flag.Parse()
 	if *bench == "" {

@@ -26,6 +26,13 @@
 // workers (default: all CPUs); results are bit-identical at any setting,
 // and live progress (jobs done, simulated cycles/sec, ETA) is reported on
 // stderr.
+//
+// The shared observability flags (see cmd/internal/cliutil) attach one
+// recorder to every simulation the selected experiments run: -trace-out
+// writes a Chrome trace_event file with one named stream per (config,
+// workload) pair, -metrics-out dumps the metrics registry, and
+// -sample-every tunes the sampling cadence. Memoisation means a simulation
+// appears in the trace only the first time an experiment needs it.
 package main
 
 import (
@@ -33,9 +40,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 
 	"gpuscale"
+	"gpuscale/cmd/internal/cliutil"
 	"gpuscale/internal/engine"
 	"gpuscale/internal/harness"
 	"gpuscale/internal/workloads"
@@ -44,15 +51,17 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..table5, fig1..fig8, artifact, all)")
 	csvDir := flag.String("csv", "", "also export raw results as CSV files into this directory")
-	parallel := flag.Int("parallel", runtime.NumCPU(),
-		"worker pool size for simulation sweeps (1: sequential, <=0: all CPUs)")
-	quiet := flag.Bool("quiet", false, "suppress the stderr progress line")
+	parallel := cliutil.Parallel(flag.CommandLine)
+	quiet := cliutil.Quiet(flag.CommandLine)
+	obsFlags := cliutil.Obs(flag.CommandLine)
 	flag.Parse()
 	h := harness.New()
 	h.SetParallel(*parallel)
 	if !*quiet {
 		h.SetProgress(progressLine)
 	}
+	observer := obsFlags.Observer()
+	h.SetObserver(observer)
 	run := func(name string, f func(*harness.Harness) error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -82,6 +91,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paperbench: csv export:", err)
 			os.Exit(1)
 		}
+	}
+	if err := obsFlags.WriteOutputs(observer); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
 	}
 }
 

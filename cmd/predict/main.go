@@ -13,7 +13,8 @@
 // each target, smallest system first). -fmem supplies the large scale
 // model's memory-stall fraction, required only when the curve has a cliff
 // beyond the scale models. -weak switches to weak scaling (no curve
-// needed).
+// needed). -quiet (shared convention, see cmd/internal/cliutil) suppresses
+// the preamble so only the prediction table is printed.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"strconv"
 
 	"gpuscale"
+	"gpuscale/cmd/internal/cliutil"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		smallSMs = flag.Int("small-sms", 8, "size (SMs or chiplets) of the smallest scale model; the large one is twice as big")
 		fmem     = flag.Float64("fmem", 0, "memory-stall fraction of the largest scale model (required for cliff workloads)")
 		weak     = flag.Bool("weak", false, "weak-scaling workload scenario (ignores the miss-rate curve)")
+		quiet    = cliutil.Quiet(flag.CommandLine)
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -82,14 +85,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	c := gpuscale.CorrectionFactor(sizes[0], smallIPC, sizes[1], largeIPC)
-	fmt.Printf("scale models: %.0f SMs (IPC %.2f), %.0f SMs (IPC %.2f); correction factor C = %.3f\n",
-		sizes[0], smallIPC, sizes[1], largeIPC, c)
-	if !*weak {
-		if i, ok := gpuscale.DetectCliff(in.MPKI, 0, 0); ok {
-			fmt.Printf("miss-rate cliff between %.0f and %.0f SMs\n", sizes[i], sizes[i+1])
-		} else {
-			fmt.Println("no miss-rate cliff detected")
+	if !*quiet {
+		c := gpuscale.CorrectionFactor(sizes[0], smallIPC, sizes[1], largeIPC)
+		fmt.Printf("scale models: %.0f SMs (IPC %.2f), %.0f SMs (IPC %.2f); correction factor C = %.3f\n",
+			sizes[0], smallIPC, sizes[1], largeIPC, c)
+		if !*weak {
+			if i, ok := gpuscale.DetectCliff(in.MPKI, 0, 0); ok {
+				fmt.Printf("miss-rate cliff between %.0f and %.0f SMs\n", sizes[i], sizes[i+1])
+			} else {
+				fmt.Println("no miss-rate cliff detected")
+			}
 		}
 	}
 

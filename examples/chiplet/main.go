@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	family, err := gpuscale.WeakBenchmarkByName("bp")
 	if err != nil {
 		log.Fatal(err)
@@ -28,7 +30,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err := gpuscale.SimulateMCM(cfg, family.ForSMs(chiplets*smsPerChiplet))
+		st, err := gpuscale.SimulateMCMContext(ctx, cfg, family.ForSMs(chiplets*smsPerChiplet))
 		if err != nil {
 			log.Fatal(err)
 		}

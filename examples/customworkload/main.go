@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,14 +43,15 @@ func graphUpdate(ctas int) gpuscale.Workload {
 }
 
 func main() {
+	ctx := context.Background()
 	w := graphUpdate(2048)
 	base := gpuscale.Baseline128()
 
-	small, err := gpuscale.Simulate(gpuscale.MustScale(base, 8), w)
+	small, err := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, 8), w)
 	if err != nil {
 		log.Fatal(err)
 	}
-	large, err := gpuscale.Simulate(gpuscale.MustScale(base, 16), w)
+	large, err := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, 16), w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func main() {
 	}
 	fmt.Printf("\n%-8s %-12s %-12s %s\n", "SMs", "predicted", "simulated", "error")
 	for _, p := range preds {
-		st, err := gpuscale.Simulate(gpuscale.MustScale(base, int(p.Size)), w)
+		st, err := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, int(p.Size)), w)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,6 +49,7 @@ func appKernels() []gpuscale.Workload {
 }
 
 func main() {
+	ctx := context.Background()
 	kernels := appKernels()
 	base := gpuscale.Baseline128()
 
@@ -76,11 +78,11 @@ func main() {
 	estimate := map[string]float64{}
 	for _, r := range reps {
 		w := r.Profile.Kernel
-		small, err := gpuscale.Simulate(gpuscale.MustScale(base, 8), w)
+		small, err := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, 8), w)
 		if err != nil {
 			log.Fatal(err)
 		}
-		large, err := gpuscale.Simulate(gpuscale.MustScale(base, 16), w)
+		large, err := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, 16), w)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,7 +103,7 @@ func main() {
 
 	// Step 4 (verification): simulate the whole 12-kernel application at
 	// 128 SMs and compare.
-	full, err := gpuscale.SimulateSequence(gpuscale.MustScale(base, 128), kernels)
+	full, err := gpuscale.SimulateSequenceContext(ctx, gpuscale.MustScale(base, 128), kernels)
 	if err != nil {
 		log.Fatal(err)
 	}

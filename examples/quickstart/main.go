@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	bench, err := gpuscale.BenchmarkByName("dct")
 	if err != nil {
 		log.Fatal(err)
@@ -27,11 +29,11 @@ func main() {
 
 	// Step 1: simulate the scale models (the only timing simulations the
 	// methodology requires).
-	small, err := gpuscale.Simulate(gpuscale.MustScale(base, 8), bench.Workload)
+	small, err := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, 8), bench.Workload)
 	if err != nil {
 		log.Fatal(err)
 	}
-	large, err := gpuscale.Simulate(gpuscale.MustScale(base, 16), bench.Workload)
+	large, err := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, 16), bench.Workload)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +73,7 @@ func main() {
 	// Step 4 (verification only): simulate the targets and compare.
 	fmt.Printf("%-8s %-12s %-12s %-10s %s\n", "SMs", "predicted", "simulated", "error", "region")
 	for _, p := range preds {
-		st, err := gpuscale.Simulate(gpuscale.MustScale(base, int(p.Size)), bench.Workload)
+		st, err := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, int(p.Size)), bench.Workload)
 		if err != nil {
 			log.Fatal(err)
 		}

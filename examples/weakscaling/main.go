@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -33,7 +34,7 @@ func main() {
 	simulate := func(sms int) run {
 		cfg := gpuscale.MustScale(base, sms)
 		start := time.Now()
-		st, err := gpuscale.Simulate(cfg, family.ForSMs(sms))
+		st, err := gpuscale.SimulateContext(context.Background(), cfg, family.ForSMs(sms))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,10 +28,11 @@
 // Simulate a workload on two scale models, collect its miss-rate curve, and
 // predict a 128-SM target:
 //
+//	ctx := context.Background()
 //	bench, _ := gpuscale.BenchmarkByName("dct")
 //	base := gpuscale.Baseline128()
-//	small, _ := gpuscale.Simulate(gpuscale.MustScale(base, 8), bench.Workload)
-//	large, _ := gpuscale.Simulate(gpuscale.MustScale(base, 16), bench.Workload)
+//	small, _ := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, 8), bench.Workload)
+//	large, _ := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, 16), bench.Workload)
 //	curve, _ := gpuscale.MissRateCurve(bench.Workload, gpuscale.StandardConfigs())
 //	preds, _ := gpuscale.Predict(gpuscale.PredictionInput{
 //		Sizes:     []float64{8, 16, 32, 64, 128},
@@ -70,6 +71,7 @@ import (
 	"gpuscale/internal/engine"
 	"gpuscale/internal/gpu"
 	"gpuscale/internal/mrc"
+	"gpuscale/internal/obs"
 	"gpuscale/internal/regress"
 	"gpuscale/internal/trace"
 	"gpuscale/internal/workloads"
@@ -136,30 +138,153 @@ func NewPhaseProgram(phases ...Phase) Program { return trace.NewPhaseProgram(pha
 type (
 	// SimStats is the result of a monolithic-GPU simulation.
 	SimStats = gpu.Stats
-	// SimOptions tunes a simulation run.
+	// SimOptions is the struct form of the simulation options, kept for
+	// Job.Options and the WithOptions bridge. New code should prefer the
+	// SimOption functional options on SimulateContext.
 	SimOptions = gpu.Options
 	// MCMStats is the result of a multi-chiplet simulation.
 	MCMStats = chiplet.Stats
 )
 
-// Simulate runs workload w to completion on cfg and returns its statistics
-// (IPC, f_mem, MPKI, utilisations, …).
-func Simulate(cfg SystemConfig, w Workload) (SimStats, error) { return gpu.Run(cfg, w) }
+// Observability: attach an Observer to a simulation (WithObserver) or a
+// sweep and it collects a metrics registry (per-component counters, gauges,
+// latency histograms), a cycle-stamped Chrome trace_event log, and interval
+// samples of occupancy / queue depth / bandwidth utilisation. A nil
+// *Observer disables everything at zero cost. One Observer is safe to share
+// across a parallel sweep; each simulation gets its own trace stream.
+type (
+	// Observer records metrics, trace events and interval samples from the
+	// simulations it is attached to. Use NewObserver; serialise with its
+	// WriteTrace (Chrome trace_event JSON, loadable in chrome://tracing or
+	// https://ui.perfetto.dev), WriteJSONL and WriteMetrics methods.
+	Observer = obs.Recorder
+	// ObserverOption configures NewObserver.
+	ObserverOption = obs.Option
+)
 
-// SimulateWithOptions is Simulate with explicit options.
-func SimulateWithOptions(cfg SystemConfig, w Workload, opt SimOptions) (SimStats, error) {
-	return gpu.RunWithOptions(cfg, w, opt)
+// NewObserver returns an enabled Observer.
+func NewObserver(opts ...ObserverOption) *Observer { return obs.New(opts...) }
+
+// ObserverSampleEvery sets the observer's default sampling interval in
+// simulated cycles (overridable per run with WithSampleInterval).
+func ObserverSampleEvery(cycles int64) ObserverOption { return obs.SampleEvery(cycles) }
+
+// ObserverMaxEvents caps the observer's in-memory trace buffer; further
+// events are dropped and counted.
+func ObserverMaxEvents(n int) ObserverOption { return obs.MaxEvents(n) }
+
+// SimOption is a functional option for SimulateContext and friends.
+type SimOption func(*SimOptions)
+
+// WithMaxCycles aborts the simulation with an error if it exceeds n cycles;
+// zero means no limit.
+func WithMaxCycles(n int64) SimOption {
+	return func(o *SimOptions) { o.MaxCycles = n }
 }
 
-// SimulateSequence runs several kernels back to back (grid barriers
-// between kernels, caches persisting across them), as multi-kernel GPU
-// applications do.
+// WithWarmupInstructions discards statistics gathered before n instructions
+// have issued, so the reported SimStats reflect steady state only.
+func WithWarmupInstructions(n uint64) SimOption {
+	return func(o *SimOptions) { o.WarmupInstructions = n }
+}
+
+// WithEventSkip enables or disables event-skip fast-forwarding (enabled by
+// default; results are identical either way, only host time differs).
+func WithEventSkip(enabled bool) SimOption {
+	return func(o *SimOptions) { o.DisableEventSkip = !enabled }
+}
+
+// WithObserver attaches an Observer to the simulation. A nil observer is
+// allowed and means "don't observe" (the hooks cost nothing).
+func WithObserver(rec *Observer) SimOption {
+	return func(o *SimOptions) { o.Recorder = rec }
+}
+
+// WithSampleInterval sets the observer's sampling cadence for this run, in
+// simulated cycles; it has no effect without WithObserver.
+func WithSampleInterval(cycles int64) SimOption {
+	return func(o *SimOptions) { o.SampleEvery = cycles }
+}
+
+// WithOptions applies a whole SimOptions struct, bridging legacy
+// struct-based call sites onto the functional-options API. Later options
+// override its fields.
+func WithOptions(opt SimOptions) SimOption {
+	return func(o *SimOptions) { *o = opt }
+}
+
+// SimulateContext runs workload w to completion on cfg and returns its
+// statistics (IPC, f_mem, MPKI, utilisations, …). It is the blessed
+// simulation entry point: cancelling ctx aborts the run loop within a few
+// thousand iterations, and functional options select everything else
+// (cycle limits, warm-up, observability).
+func SimulateContext(ctx context.Context, cfg SystemConfig, w Workload, opts ...SimOption) (SimStats, error) {
+	return SimulateSequenceContext(ctx, cfg, []Workload{w}, opts...)
+}
+
+// SimulateSequenceContext is SimulateContext over several kernels executed
+// back to back (grid barriers between kernels, caches persisting across
+// them), as multi-kernel GPU applications do.
+func SimulateSequenceContext(ctx context.Context, cfg SystemConfig, kernels []Workload, opts ...SimOption) (SimStats, error) {
+	var o SimOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	sim, err := gpu.NewSequence(cfg, kernels, o)
+	if err != nil {
+		return SimStats{}, err
+	}
+	return sim.RunContext(ctx)
+}
+
+// SimulateMCMContext is SimulateContext on a multi-chiplet GPU. MCM runs
+// honour WithMaxCycles, WithObserver and WithSampleInterval; the remaining
+// options do not apply to the chiplet model and are ignored.
+func SimulateMCMContext(ctx context.Context, cfg ChipletConfig, w Workload, opts ...SimOption) (MCMStats, error) {
+	var o SimOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	sim, err := chiplet.New(cfg, w, chiplet.Options{
+		MaxCycles:   o.MaxCycles,
+		Recorder:    o.Recorder,
+		SampleEvery: o.SampleEvery,
+	})
+	if err != nil {
+		return MCMStats{}, err
+	}
+	return sim.RunContext(ctx)
+}
+
+// Simulate runs workload w to completion on cfg.
+//
+// Deprecated: Use SimulateContext, which adds cancellation and functional
+// options. Simulate(cfg, w) is SimulateContext(context.Background(), cfg, w).
+func Simulate(cfg SystemConfig, w Workload) (SimStats, error) {
+	return SimulateContext(context.Background(), cfg, w)
+}
+
+// SimulateWithOptions is Simulate with explicit struct options.
+//
+// Deprecated: Use SimulateContext with functional options, or bridge an
+// existing SimOptions with WithOptions(opt).
+func SimulateWithOptions(cfg SystemConfig, w Workload, opt SimOptions) (SimStats, error) {
+	return SimulateContext(context.Background(), cfg, w, WithOptions(opt))
+}
+
+// SimulateSequence runs several kernels back to back.
+//
+// Deprecated: Use SimulateSequenceContext.
 func SimulateSequence(cfg SystemConfig, kernels []Workload) (SimStats, error) {
-	return gpu.RunSequence(cfg, kernels)
+	return SimulateSequenceContext(context.Background(), cfg, kernels)
 }
 
 // SimulateMCM runs workload w on a multi-chiplet GPU.
-func SimulateMCM(cfg ChipletConfig, w Workload) (MCMStats, error) { return chiplet.Run(cfg, w) }
+//
+// Deprecated: Use SimulateMCMContext.
+func SimulateMCM(cfg ChipletConfig, w Workload) (MCMStats, error) {
+	return SimulateMCMContext(context.Background(), cfg, w)
+}
 
 // Parallel experiment engine: fan independent simulation jobs across a
 // worker pool with deterministic result ordering.

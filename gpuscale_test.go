@@ -1,6 +1,7 @@
 package gpuscale_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -60,6 +61,13 @@ func TestFacadeSimulate(t *testing.T) {
 	}
 	if st != st2 {
 		t.Error("Simulate and SimulateWithOptions{} disagree")
+	}
+	st3, err := gpuscale.SimulateContext(context.Background(), cfg, smallLinear("facade-sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != st3 {
+		t.Error("deprecated Simulate and SimulateContext disagree")
 	}
 }
 

@@ -5,7 +5,11 @@
 // to the same line.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpuscale/internal/obs"
+)
 
 // Cache is a set-associative, LRU-replacement cache operating at cache-line
 // granularity. It is a functional hit/miss model: timing is handled by the
@@ -150,3 +154,14 @@ func (c *Cache) CapacityLines() int { return c.sets * c.ways }
 
 // ResetStats clears hit/miss counters without touching cache contents.
 func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// PublishObs stores the cache's hit/miss totals into the given metrics
+// scope. Idempotent (Store semantics); no-op on a nil scope.
+func (c *Cache) PublishObs(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("hits").Store(c.hits)
+	sc.Counter("misses").Store(c.misses)
+	sc.Gauge("miss_rate").Set(c.MissRate())
+}

@@ -1,5 +1,7 @@
 package cache
 
+import "gpuscale/internal/obs"
+
 // MSHRFile models a miss-status holding register file: a bounded table of
 // outstanding misses keyed by line address. Concurrent misses to the same
 // line merge into one entry (and one memory request); the table rejects new
@@ -81,3 +83,13 @@ func (m *MSHRFile) Outstanding() int { return len(m.entries) }
 
 // Capacity returns the entry capacity.
 func (m *MSHRFile) Capacity() int { return m.capacity }
+
+// PublishObs stores the MSHR file's occupancy into the given metrics scope.
+// No-op on a nil scope.
+func (m *MSHRFile) PublishObs(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.Gauge("outstanding").Set(float64(len(m.entries)))
+	sc.Gauge("occupancy").Set(float64(len(m.entries)) / float64(m.capacity))
+}

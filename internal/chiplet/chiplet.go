@@ -11,16 +11,23 @@
 package chiplet
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"gpuscale/internal/bandwidth"
 	"gpuscale/internal/cache"
 	"gpuscale/internal/config"
 	"gpuscale/internal/dram"
 	"gpuscale/internal/noc"
+	"gpuscale/internal/obs"
 	"gpuscale/internal/sm"
 	"gpuscale/internal/trace"
 )
+
+// ctxCheckEvery is how many run-loop iterations pass between context
+// cancellation checks (see gpu.RunContext for rationale).
+const ctxCheckEvery = 1024
 
 // Stats is the result of one MCM simulation.
 type Stats struct {
@@ -77,12 +84,23 @@ type Simulator struct {
 	accesses uint64
 	events   uint64
 	maxCyc   int64
+
+	// Observability handles; all nil when Options.Recorder is nil.
+	stream      *obs.Stream
+	scope       *obs.Scope
+	sampleEvery int64
+	nextSample  int64
 }
 
 // Options tune a simulation run.
 type Options struct {
 	// MaxCycles aborts the run when exceeded; zero means no limit.
 	MaxCycles int64
+	// Recorder attaches the observability layer; nil disables every hook.
+	Recorder *obs.Recorder
+	// SampleEvery overrides the recorder's sampling interval in simulated
+	// cycles; zero or negative uses the recorder's default.
+	SampleEvery int64
 }
 
 // New validates and builds an MCM simulator.
@@ -148,6 +166,19 @@ func New(cfg config.ChipletConfig, w trace.Workload, opt Options) (*Simulator, e
 		})
 		cs.link = bandwidth.MustNewServer(ch.BytesPerCycle(cfg.InterChipletGBpsPerChiplet))
 		s.chips[c] = cs
+	}
+	if rec := opt.Recorder; rec.Enabled() {
+		label := cfg.Name + "/" + w.Name()
+		s.stream = rec.Stream(label)
+		s.scope = rec.Scope(label + "#" + strconv.FormatInt(s.stream.ID(), 10))
+		s.sampleEvery = opt.SampleEvery
+		if s.sampleEvery <= 0 {
+			s.sampleEvery = rec.SampleInterval()
+		}
+		if s.sampleEvery <= 0 {
+			s.sampleEvery = obs.DefaultSampleInterval
+		}
+		s.nextSample = s.sampleEvery
 	}
 	return s, nil
 }
@@ -261,6 +292,12 @@ func (s *Simulator) fillCTAs() {
 
 // Run executes the workload to completion.
 func (s *Simulator) Run() (Stats, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run honouring context cancellation, checked every
+// ctxCheckEvery run-loop iterations.
+func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
 	type smRef struct {
 		m *sm.SM
 		p *port
@@ -273,7 +310,18 @@ func (s *Simulator) Run() (Stats, error) {
 	}
 	kinds := make([]sm.TickKind, len(all))
 	s.fillCTAs()
+	iters := 0
 	for {
+		iters++
+		if iters >= ctxCheckEvery {
+			iters = 0
+			select {
+			case <-ctx.Done():
+				return Stats{}, fmt.Errorf("chiplet: %q on %s cancelled at cycle %d: %w",
+					s.workload.Name(), s.cfg.Name, s.now, ctx.Err())
+			default:
+			}
+		}
 		live := 0
 		for _, r := range all {
 			live += r.m.LiveWarps()
@@ -314,7 +362,16 @@ func (s *Simulator) Run() (Stats, error) {
 			}
 			s.now = next
 		}
+		if s.stream != nil && s.now >= s.nextSample {
+			s.sampleObs()
+			for s.nextSample <= s.now {
+				s.nextSample += s.sampleEvery
+			}
+		}
 		s.fillCTAs()
+	}
+	if s.stream != nil {
+		s.stream.Span(0, s.now, "kernel", s.workload.Name())
 	}
 	var st Stats
 	st.Cycles = s.now
@@ -338,7 +395,63 @@ func (s *Simulator) Run() (Stats, error) {
 		st.RemoteFraction = float64(s.remote) / float64(s.accesses)
 	}
 	st.SimEvents = s.events + st.Instructions
+	s.publishObs()
 	return st, nil
+}
+
+// sampleObs takes one interval-sampler snapshot across the package: mean
+// warp occupancy, remote-access share, and the worst inter-chiplet link
+// backlog. Called only when a recorder is attached.
+func (s *Simulator) sampleObs() {
+	liveWarps, totalWarps := 0, 0
+	var linkBacklog float64
+	for _, cs := range s.chips {
+		for _, m := range cs.sms {
+			liveWarps += m.LiveWarps()
+			totalWarps += s.cfg.Chiplet.WarpsPerSM
+		}
+		if b := cs.link.Backlog(s.now); b > linkBacklog {
+			linkBacklog = b
+		}
+	}
+	remote := 0.0
+	if s.accesses > 0 {
+		remote = float64(s.remote) / float64(s.accesses)
+	}
+	s.stream.Sample(s.now, map[string]float64{
+		"occupancy":       float64(liveWarps) / float64(totalWarps),
+		"remote_fraction": remote,
+		"link_backlog":    linkBacklog,
+	})
+	s.publishObs()
+}
+
+// publishObs stores per-chiplet component metrics into the recorder's
+// registry with Store semantics (idempotent; see gpu.publishObs). No-op
+// without a recorder.
+func (s *Simulator) publishObs() {
+	if s.scope == nil {
+		return
+	}
+	for c, cs := range s.chips {
+		chipScope := s.scope.Sub("chiplet").Sub(strconv.Itoa(c))
+		for i, m := range cs.sms {
+			id := strconv.Itoa(i)
+			m.PublishObs(chipScope.Sub("sm").Sub(id))
+			cs.l1s[i].PublishObs(chipScope.Sub("l1").Sub(id))
+			cs.mshrs[i].PublishObs(chipScope.Sub("mshr").Sub(id))
+		}
+		for i, llc := range cs.llc {
+			llc.PublishObs(chipScope.Sub("llc").Sub(strconv.Itoa(i)))
+		}
+		cs.xbar.PublishObs(chipScope.Sub("noc"), s.now, s.now)
+		cs.mem.PublishObs(chipScope.Sub("dram"), s.now, s.now)
+		chipScope.Counter("link/bytes").Store(cs.link.TotalBytes())
+	}
+	s.scope.Counter("llc/accesses").Store(s.llcAcc)
+	s.scope.Counter("llc/misses").Store(s.llcMiss)
+	s.scope.Counter("remote_accesses").Store(s.remote)
+	s.scope.Counter("accesses").Store(s.accesses)
 }
 
 // Run is the one-call convenience API: simulate w on the MCM config.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"gpuscale/internal/bandwidth"
+	"gpuscale/internal/obs"
 )
 
 // Memory is a collection of memory controllers.
@@ -94,4 +95,29 @@ func (m *Memory) Utilization(elapsed int64) float64 {
 		u += mc.Utilization(elapsed)
 	}
 	return u / float64(len(m.mcs))
+}
+
+// MaxBacklog returns the largest controller backlog (in cycles) at cycle
+// now — how deep the worst memory-controller queue currently is.
+func (m *Memory) MaxBacklog(now int64) float64 {
+	var b float64
+	for _, mc := range m.mcs {
+		if x := mc.Backlog(now); x > b {
+			b = x
+		}
+	}
+	return b
+}
+
+// PublishObs stores the memory system's bandwidth-saturation state into the
+// given metrics scope: cumulative bytes served, mean controller busy
+// fraction over the elapsed measurement window, and the worst controller
+// backlog at cycle now. No-op on a nil scope.
+func (m *Memory) PublishObs(sc *obs.Scope, elapsed, now int64) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("bytes").Store(m.TotalBytes())
+	sc.Gauge("util").Set(m.Utilization(elapsed))
+	sc.Gauge("max_backlog").Set(m.MaxBacklog(now))
 }

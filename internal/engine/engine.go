@@ -13,7 +13,9 @@
 //     that job's Result.Err (with a stack trace) instead of killing the
 //     whole sweep.
 //   - Context-based cancellation: cancelling the context stops dispatching
-//     new jobs; in-flight jobs finish and Run reports the context error.
+//     new jobs AND aborts in-flight simulations (the simulator run loop
+//     checks the context every few thousand iterations); Run reports the
+//     context error.
 //   - Progress reporting: an optional callback receives jobs-done counts,
 //     aggregate simulated cycles per second, and an ETA after every job.
 //
@@ -175,9 +177,9 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 		mu.Unlock()
 	}
 	ran := make([]bool, len(jobs))
-	results, err := Map(ctx, opt.Workers, jobs, func(_ context.Context, i int, j Job) (Result, error) {
+	results, err := Map(ctx, opt.Workers, jobs, func(ctx context.Context, i int, j Job) (Result, error) {
 		ran[i] = true
-		r := runJob(j)
+		r := runJob(ctx, j)
 		note(r)
 		return r, nil
 	})
@@ -190,8 +192,10 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, error) {
 	return results, err
 }
 
-// runJob executes one job, converting panics into the job's error.
-func runJob(j Job) (res Result) {
+// runJob executes one job, converting panics into the job's error. The
+// context is threaded into the simulator's run loop, so cancelling a sweep
+// stops in-flight simulations, not just undispatched ones.
+func runJob(ctx context.Context, j Job) (res Result) {
 	res.Job = j
 	start := time.Now()
 	defer func() {
@@ -209,7 +213,7 @@ func runJob(j Job) (res Result) {
 		res.Err = err
 		return res
 	}
-	res.Stats, res.Err = sim.Run()
+	res.Stats, res.Err = sim.RunContext(ctx)
 	return res
 }
 

@@ -14,15 +14,23 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"gpuscale/internal/cache"
 	"gpuscale/internal/config"
 	"gpuscale/internal/dram"
 	"gpuscale/internal/noc"
+	"gpuscale/internal/obs"
 	"gpuscale/internal/sm"
 	"gpuscale/internal/trace"
 )
+
+// ctxCheckEvery is how many run-loop iterations pass between context
+// cancellation checks: frequent enough that cancellation lands within
+// microseconds of host time, rare enough to cost nothing per cycle.
+const ctxCheckEvery = 1024
 
 // Options tune a simulation run.
 type Options struct {
@@ -39,6 +47,14 @@ type Options struct {
 	// Stats reflect steady-state behaviour only. Cycles and IPC are then
 	// measured over the post-warm-up window.
 	WarmupInstructions uint64
+	// Recorder attaches the observability layer (metrics registry, event
+	// trace, interval sampler). Nil disables every hook: the run loop then
+	// pays only nil-check branches and allocates nothing extra.
+	Recorder *obs.Recorder
+	// SampleEvery overrides the recorder's sampling interval, in simulated
+	// cycles, for this run. Zero or negative uses the recorder's default.
+	// Ignored when Recorder is nil.
+	SampleEvery int64
 }
 
 // Stats is the result of one simulation run.
@@ -58,6 +74,10 @@ type Stats struct {
 	FMem float64
 	// L1MissRate is misses/accesses across all private L1s.
 	L1MissRate float64
+	// L1Accesses and L1Misses count aggregate private-L1 traffic (the raw
+	// counts behind L1MissRate).
+	L1Accesses uint64
+	L1Misses   uint64
 	// LLCAccesses and LLCMisses count shared-LLC traffic.
 	LLCAccesses uint64
 	LLCMisses   uint64
@@ -66,8 +86,12 @@ type Stats struct {
 	LLCMPKI float64
 	// NoCUtilization is the bisection busy fraction.
 	NoCUtilization float64
+	// NoCBytes counts bytes moved through the NoC bisection.
+	NoCBytes uint64
 	// DRAMUtilization is the mean memory-controller busy fraction.
 	DRAMUtilization float64
+	// DRAMBytes counts bytes served by the memory controllers.
+	DRAMBytes uint64
 	// CTAs is the number of thread blocks executed.
 	CTAs uint64
 	// Kernels is the number of kernels executed (1 unless NewSequence).
@@ -117,6 +141,15 @@ type Simulator struct {
 	mshrStall   uint64
 	skipped     int64
 	events      uint64
+
+	// Observability handles; all nil when Options.Recorder is nil, so
+	// every hook below degrades to one predictable nil-check branch.
+	stream      *obs.Stream
+	scope       *obs.Scope
+	loadHist    *obs.Histogram
+	sampleEvery int64
+	nextSample  int64
+	kernelStart int64
 }
 
 // New validates cfg and workload and builds a single-kernel Simulator.
@@ -196,6 +229,23 @@ func NewSequence(cfg config.SystemConfig, kernels []trace.Workload, opt Options)
 		BytesPerCyclePerMC: cfg.BytesPerCycle(cfg.MemBWPerMCGBps),
 		Latency:            cfg.DRAMLatency,
 	})
+	if rec := opt.Recorder; rec.Enabled() {
+		label := cfg.Name + "/" + kernels[0].Name()
+		s.stream = rec.Stream(label)
+		// The metrics namespace carries the stream id so that parallel
+		// runs of the same (config, workload) pair under one recorder
+		// keep separate metrics.
+		s.scope = rec.Scope(label + "#" + strconv.FormatInt(s.stream.ID(), 10))
+		s.loadHist = s.scope.Histogram("load_latency", obs.LatencyBuckets)
+		s.sampleEvery = opt.SampleEvery
+		if s.sampleEvery <= 0 {
+			s.sampleEvery = rec.SampleInterval()
+		}
+		if s.sampleEvery <= 0 {
+			s.sampleEvery = obs.DefaultSampleInterval
+		}
+		s.nextSample = s.sampleEvery
+	}
 	return s, nil
 }
 
@@ -216,6 +266,7 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 			if in.Kind == trace.Load {
 				s.loads++
 				s.loadLat += uint64(s.cfg.L1HitLatency)
+				s.loadHist.Observe(float64(s.cfg.L1HitLatency))
 			}
 			return now + int64(s.cfg.L1HitLatency)
 		}
@@ -259,6 +310,7 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 	if load {
 		s.loads++
 		s.loadLat += uint64(t - now)
+		s.loadHist.Observe(float64(t - now))
 	}
 	return t
 }
@@ -308,18 +360,41 @@ func (s *Simulator) advanceKernel() bool {
 
 // Run executes the workload to completion and returns the statistics.
 func (s *Simulator) Run() (Stats, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run honouring context cancellation: the run loop checks
+// ctx every ctxCheckEvery iterations and aborts with ctx's error, so a
+// cancelled sweep stops its in-flight simulations, not just unstarted ones.
+func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
 	ports := make([]*port, len(s.sms))
 	for i := range ports {
 		ports[i] = &port{sim: s, smID: i}
 	}
 	kinds := make([]sm.TickKind, len(s.sms))
 	s.fillCTAs()
+	s.kernelStart = s.now
+	iters := 0
 	for {
+		iters++
+		if iters >= ctxCheckEvery {
+			iters = 0
+			select {
+			case <-ctx.Done():
+				return Stats{}, fmt.Errorf("gpu: %q on %s cancelled at cycle %d: %w",
+					s.kernels[s.kernelIdx].Name(), s.cfg.Name, s.now, ctx.Err())
+			default:
+			}
+		}
 		live := 0
 		for _, m := range s.sms {
 			live += m.LiveWarps()
 		}
 		if live == 0 && s.nextCTA >= s.numCTAs {
+			if s.stream != nil {
+				s.stream.Span(s.kernelStart, s.now, "kernel", s.kernels[s.kernelIdx].Name())
+				s.kernelStart = s.now
+			}
 			if !s.advanceKernel() {
 				break
 			}
@@ -365,6 +440,12 @@ func (s *Simulator) Run() (Stats, error) {
 			s.skipped += int64(w) - 1
 			s.now = next
 		}
+		if s.stream != nil && s.now >= s.nextSample {
+			s.sampleObs()
+			for s.nextSample <= s.now {
+				s.nextSample += s.sampleEvery
+			}
+		}
 		s.fillCTAs()
 	}
 	return s.stats(), nil
@@ -391,6 +472,74 @@ func (s *Simulator) resetStats() {
 	s.mshrStall = 0
 	s.skipped = 0
 	s.events = 0
+	s.loadHist.Reset()
+	if s.stream != nil {
+		s.stream.Instant(s.now, "sim", "warmup-reset")
+		s.kernelStart = s.now
+	}
+}
+
+// sampleObs takes one interval-sampler snapshot — occupancy, queue depths,
+// bandwidth utilisation — and refreshes the metrics registry. Called only
+// when a recorder is attached.
+func (s *Simulator) sampleObs() {
+	elapsed := s.now - s.statsSince
+	liveWarps, mshrOut := 0, 0
+	var instr uint64
+	for i, m := range s.sms {
+		liveWarps += m.LiveWarps()
+		mshrOut += s.mshrs[i].Outstanding()
+		instr += m.Stats().Instructions
+	}
+	ipc := 0.0
+	if elapsed > 0 {
+		ipc = float64(instr) / float64(elapsed)
+	}
+	s.stream.Sample(s.now, map[string]float64{
+		"occupancy":        float64(liveWarps) / float64(len(s.sms)*s.cfg.WarpsPerSM),
+		"ipc":              ipc,
+		"mshr_outstanding": float64(mshrOut),
+		"noc_util":         s.xbar.BisectionUtilization(elapsed),
+		"noc_backlog":      s.xbar.MaxPortBacklog(s.now),
+		"dram_util":        s.mem.Utilization(elapsed),
+		"dram_backlog":     s.mem.MaxBacklog(s.now),
+	})
+	s.publishObs()
+}
+
+// publishObs stores the simulation's per-component metrics into the
+// recorder's registry. All totals come from the same counters stats()
+// reads and use Store semantics, so after a run the registry agrees
+// exactly with the returned Stats no matter how often it was refreshed
+// (including across a warm-up reset). No-op without a recorder.
+func (s *Simulator) publishObs() {
+	if s.scope == nil {
+		return
+	}
+	elapsed := s.now - s.statsSince
+	var l1Hits, l1Misses uint64
+	smScope := s.scope.Sub("sm")
+	l1Scope := s.scope.Sub("l1")
+	mshrScope := s.scope.Sub("mshr")
+	for i, m := range s.sms {
+		id := strconv.Itoa(i)
+		m.PublishObs(smScope.Sub(id))
+		s.l1s[i].PublishObs(l1Scope.Sub(id))
+		s.mshrs[i].PublishObs(mshrScope.Sub(id))
+		l1Hits += s.l1s[i].Hits()
+		l1Misses += s.l1s[i].Misses()
+	}
+	llcScope := s.scope.Sub("llc")
+	for i, c := range s.llc {
+		c.PublishObs(llcScope.Sub(strconv.Itoa(i)))
+	}
+	s.xbar.PublishObs(s.scope.Sub("noc"), elapsed, s.now)
+	s.mem.PublishObs(s.scope.Sub("dram"), elapsed, s.now)
+	s.scope.Counter("l1/accesses").Store(l1Hits + l1Misses)
+	s.scope.Counter("l1/misses").Store(l1Misses)
+	s.scope.Counter("llc/accesses").Store(s.llcAcc)
+	s.scope.Counter("llc/misses").Store(s.llcMiss)
+	s.scope.Counter("mshr/stalls").Store(s.mshrStall)
 }
 
 func (s *Simulator) stats() Stats {
@@ -414,13 +563,17 @@ func (s *Simulator) stats() Stats {
 	if l1Hits+l1Misses > 0 {
 		st.L1MissRate = float64(l1Misses) / float64(l1Hits+l1Misses)
 	}
+	st.L1Accesses = l1Hits + l1Misses
+	st.L1Misses = l1Misses
 	st.LLCAccesses = s.llcAcc
 	st.LLCMisses = s.llcMiss
 	if st.Instructions > 0 {
 		st.LLCMPKI = float64(s.llcMiss) / (float64(st.Instructions) / 1000)
 	}
 	st.NoCUtilization = s.xbar.BisectionUtilization(st.Cycles)
+	st.NoCBytes = s.xbar.TotalBytes()
 	st.DRAMUtilization = s.mem.Utilization(st.Cycles)
+	st.DRAMBytes = s.mem.TotalBytes()
 	st.Kernels = s.kernelIdx + 1
 	st.MSHRStalls = s.mshrStall
 	if s.loads > 0 {
@@ -428,6 +581,9 @@ func (s *Simulator) stats() Stats {
 	}
 	st.SkippedCycles = s.skipped
 	st.SimEvents = s.events + st.Instructions
+	// Final registry refresh so the published totals match the Stats just
+	// computed from the same counters.
+	s.publishObs()
 	return st
 }
 

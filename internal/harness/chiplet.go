@@ -26,7 +26,12 @@ func (h *Harness) runChiplet(cfg config.ChipletConfig, w trace.Workload) (Chiple
 	e := entryFor(&h.mu, h.chipletRuns, key)
 	e.once.Do(func() {
 		start := time.Now()
-		st, err := chiplet.Run(cfg, w)
+		sim, err := chiplet.New(cfg, w, chiplet.Options{Recorder: h.observerRef()})
+		if err != nil {
+			e.err = fmt.Errorf("harness: MCM %s on %s: %w", w.Name(), cfg.Name, err)
+			return
+		}
+		st, err := sim.Run()
 		if err != nil {
 			e.err = fmt.Errorf("harness: MCM %s on %s: %w", w.Name(), cfg.Name, err)
 			return

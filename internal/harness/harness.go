@@ -29,6 +29,7 @@ import (
 	"gpuscale/internal/engine"
 	"gpuscale/internal/gpu"
 	"gpuscale/internal/mrc"
+	"gpuscale/internal/obs"
 	"gpuscale/internal/regress"
 	"gpuscale/internal/stats"
 	"gpuscale/internal/trace"
@@ -81,6 +82,7 @@ type Harness struct {
 
 	parallel int
 	progress func(engine.Progress)
+	observer *obs.Recorder
 }
 
 // New returns an empty Harness with parallelism runtime.NumCPU().
@@ -120,6 +122,24 @@ func (h *Harness) SetProgress(fn func(engine.Progress)) {
 	h.progress = fn
 }
 
+// SetObserver attaches an observability recorder to every simulation the
+// harness runs from now on (memoised results that already ran are not
+// re-observed). The recorder is safe to share across the parallel pre-warm:
+// each simulation records into its own trace stream and metrics namespace.
+// Pass nil to detach.
+func (h *Harness) SetObserver(rec *obs.Recorder) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.observer = rec
+}
+
+// observerRef snapshots the attached recorder (possibly nil).
+func (h *Harness) observerRef() *obs.Recorder {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.observer
+}
+
 // settings snapshots the parallelism configuration.
 func (h *Harness) settings() (int, func(engine.Progress)) {
 	h.mu.Lock()
@@ -134,7 +154,7 @@ func (h *Harness) Run(cfg config.SystemConfig, w trace.Workload) (TimedStats, er
 	e := entryFor(&h.mu, h.runs, key)
 	e.once.Do(func() {
 		start := time.Now()
-		st, err := gpu.Run(cfg, w)
+		st, err := gpu.RunWithOptions(cfg, w, gpu.Options{Recorder: h.observerRef()})
 		if err != nil {
 			e.err = fmt.Errorf("harness: simulating %s on %s: %w", w.Name(), cfg.Name, err)
 			return

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"gpuscale/internal/bandwidth"
+	"gpuscale/internal/obs"
 )
 
 // Crossbar is a bisection-bandwidth-limited crossbar with per-destination
@@ -132,4 +133,24 @@ func (x *Crossbar) MaxPortBacklog(now int64) float64 {
 		}
 	}
 	return m
+}
+
+// BisectionBacklog returns the bisection server's queueing delay (in cycles)
+// at cycle now.
+func (x *Crossbar) BisectionBacklog(now int64) float64 {
+	return x.bisection.Backlog(now)
+}
+
+// PublishObs stores the crossbar's link-utilisation and queueing-delay state
+// into the given metrics scope: cumulative bytes through the bisection,
+// bisection busy fraction over the elapsed measurement window, and the
+// bisection / worst-port backlogs at cycle now. No-op on a nil scope.
+func (x *Crossbar) PublishObs(sc *obs.Scope, elapsed, now int64) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("bytes").Store(x.TotalBytes())
+	sc.Gauge("bisection_util").Set(x.BisectionUtilization(elapsed))
+	sc.Gauge("bisection_backlog").Set(x.BisectionBacklog(now))
+	sc.Gauge("max_port_backlog").Set(x.MaxPortBacklog(now))
 }

@@ -1,0 +1,333 @@
+// Package obs is the simulator's observability layer: a metrics registry
+// (counters, gauges, fixed-bucket histograms) with per-component namespaces,
+// a cycle-stamped event recorder that emits Chrome trace_event JSON and
+// JSONL, and an interval sampler that snapshots occupancy / queue-depth /
+// bandwidth-utilisation time series as a simulation runs.
+//
+// The design contract is zero cost when disabled: every type in this package
+// is safe to use through a nil pointer, and every method on a nil receiver
+// is a single branch that does nothing and allocates nothing. A simulator
+// holds pre-resolved *Counter / *Histogram / *Stream handles — nil when no
+// recorder is attached — so the per-cycle hot path pays one predictable
+// nil-check per hook and no interface dispatch, no map lookup, no
+// allocation. The no-alloc property is asserted by testing.AllocsPerRun
+// guards in this package's tests and in the repository-root bench_test.go.
+//
+// When a recorder is attached, the registry and event recorder are safe for
+// concurrent use, so one Recorder can observe a whole parallel sweep
+// (internal/engine): each simulation registers its own Stream (rendered as a
+// separate process track in chrome://tracing / Perfetto) and publishes its
+// metrics under its own namespace.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically written uint64 metric. The zero value is ready
+// to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Store overwrites the counter's value — used by components that publish an
+// authoritative total (e.g. a cache's miss count) rather than incrementing
+// event by event. No-op on a nil receiver.
+func (c *Counter) Store(n uint64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64 metric. The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: an observation of value v lands in
+// the first bucket whose upper bound is >= v, or in the implicit overflow
+// bucket. Bounds are fixed at creation; a nil *Histogram is a no-op.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; immutable
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// LatencyBuckets is the default bucket layout for cycle-latency histograms,
+// spanning an L1 hit to a deeply queued DRAM access.
+var LatencyBuckets = []float64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// NewHistogram builds a detached histogram (outside any registry) with the
+// given ascending bucket bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values; 0 on a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Reset zeroes all buckets and totals (used when a warm-up window is
+// discarded). No-op on a nil receiver.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// HistogramSnapshot is a histogram's state for serialisation. Counts has one
+// entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// snapshot copies the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry holds named metrics. Names are hierarchical, "/"-joined
+// namespaces — "gpu-8sm/dct/llc/misses" — usually built through Scope. The
+// zero value is not usable; use NewRegistry. A nil *Registry hands out nil
+// metric handles, which are themselves no-ops, so an unobserved component
+// needs no conditional code beyond holding nil pointers.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter with the given name; nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given name; nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram with the given name.
+// Bounds apply only on first creation; later calls with the same name return
+// the existing histogram unchanged. Nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Scope returns a namespace rooted at name; nil on a nil registry.
+func (r *Registry) Scope(name string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{reg: r, prefix: name}
+}
+
+// MetricsSnapshot is a point-in-time copy of every metric in a registry,
+// shaped for JSON serialisation.
+type MetricsSnapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every metric. On a nil registry it
+// returns an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Scope is a registry namespace: metric names created through it are
+// prefixed with the scope's "/"-joined path. A nil *Scope hands out nil
+// handles.
+type Scope struct {
+	reg    *Registry
+	prefix string
+}
+
+// Sub returns a child scope named prefix/name; nil on a nil receiver.
+func (s *Scope) Sub(name string) *Scope {
+	if s == nil {
+		return nil
+	}
+	return &Scope{reg: s.reg, prefix: s.prefix + "/" + name}
+}
+
+// Name returns the scope's full prefix; "" on a nil receiver.
+func (s *Scope) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.prefix
+}
+
+// Counter returns the scoped counter; nil on a nil receiver.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Counter(s.prefix + "/" + name)
+}
+
+// Gauge returns the scoped gauge; nil on a nil receiver.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Gauge(s.prefix + "/" + name)
+}
+
+// Histogram returns the scoped histogram; nil on a nil receiver.
+func (s *Scope) Histogram(name string, bounds []float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Histogram(s.prefix+"/"+name, bounds)
+}

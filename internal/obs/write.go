@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// traceFile is the top-level Chrome trace_event JSON object ("JSON Object
+// Format"), loadable by chrome://tracing and https://ui.perfetto.dev.
+type traceFile struct {
+	TraceEvents     []Event           `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// sortedEvents returns the recorded events ordered for serialisation:
+// metadata first, then by timestamp (stable, so same-cycle events keep
+// recording order). Trace viewers do not require sorted input, but sorted
+// output makes the files diffable and monotonicity testable.
+func (r *Recorder) sortedEvents() []Event {
+	evs := r.Events()
+	sort.SliceStable(evs, func(i, j int) bool {
+		mi, mj := evs[i].Phase == "M", evs[j].Phase == "M"
+		if mi != mj {
+			return mi
+		}
+		return evs[i].TS < evs[j].TS
+	})
+	return evs
+}
+
+// WriteTrace serialises the event trace as Chrome trace_event JSON.
+// Timestamps carry simulated cycles in the microsecond field, so viewer time
+// units read as cycles (1 "us" = 1 cycle). Safe on a nil receiver, which
+// writes a valid empty trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	tf := traceFile{
+		TraceEvents:     []Event{},
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"timeUnit": "simulated GPU cycles"},
+	}
+	if r != nil {
+		tf.TraceEvents = r.sortedEvents()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// WriteJSONL serialises the event trace as JSON Lines: one trace_event
+// object per line, in timestamp order, for streaming consumers (jq, column
+// stores). Safe on a nil receiver (writes nothing).
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range r.sortedEvents() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsDump is the schema of WriteMetrics: the full registry snapshot plus
+// the interval-sampler time series and event accounting.
+type MetricsDump struct {
+	Metrics       MetricsSnapshot `json:"metrics"`
+	Samples       []Sample        `json:"samples"`
+	Events        int             `json:"events"`
+	DroppedEvents uint64          `json:"dropped_events"`
+}
+
+// WriteMetrics serialises the metrics registry and sample series as indented
+// JSON. Safe on a nil receiver, which writes a valid empty document.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	d := MetricsDump{Metrics: r.Registry().Snapshot(), Samples: []Sample{}}
+	if r != nil {
+		d.Samples = r.Samples()
+		r.mu.Lock()
+		d.Events = len(r.events)
+		d.DroppedEvents = r.dropped
+		r.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -10,6 +10,7 @@ package sm
 import (
 	"fmt"
 
+	"gpuscale/internal/obs"
 	"gpuscale/internal/trace"
 )
 
@@ -355,6 +356,24 @@ func (s *SM) NextEvent() (int64, bool) {
 
 // Stats returns a copy of the SM's counters.
 func (s *SM) Stats() Stats { return s.stats }
+
+// PublishObs stores the SM's warp-scheduler accounting — issue slots and the
+// per-reason stall-cycle breakdown — into the given metrics scope. Totals are
+// authoritative (Store, not Add), so publishing is idempotent and repeated
+// calls track the counters exactly. No-op on a nil scope.
+func (s *SM) PublishObs(sc *obs.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("instructions").Store(s.stats.Instructions)
+	sc.Counter("mem_instructions").Store(s.stats.MemInstructions)
+	sc.Counter("issued_cycles").Store(s.stats.IssuedCycles)
+	sc.Counter("stall_mem_cycles").Store(s.stats.MemStallCycles)
+	sc.Counter("stall_pipe_cycles").Store(s.stats.PipeStallCycles)
+	sc.Counter("idle_cycles").Store(s.stats.IdleCycles)
+	sc.Counter("ctas_completed").Store(s.stats.CTAsCompleted)
+	sc.Gauge("live_warps").Set(float64(s.liveWarps))
+}
 
 // ResetStats zeroes the SM's counters without touching warp or CTA state,
 // so measurement can start after a warm-up period.
