@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet short test race quick verify noalloc deprecated-gate
+.PHONY: build vet short test race quick verify noalloc deprecated-gate bench
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,27 @@ race: noalloc
 	$(GO) test -race -short -run 'Singleflight|Prewarm|SetParallel' ./internal/harness/
 
 # The zero-cost-when-disabled guard: with a nil observer the simulator hot
-# path must not allocate. Run without -race (see above).
+# path must not allocate — neither the observability hooks themselves nor a
+# post-warm-up steady-state kernel run (warp ticks, CTA launches, cache and
+# MSHR traffic, event-skip bookkeeping). Run without -race (see above).
 noalloc:
 	$(GO) test -run 'TestNilObserverNoAllocs' .
 	$(GO) test -run 'TestNilHooksNoAllocs' ./internal/obs/
+	$(GO) test -run 'TestSteadyStateNoAllocs' ./internal/gpu/
+
+# The performance regression harness. BenchmarkSimulatorHotPath compares
+# the event-driven run loop against the dense legacy baseline on full
+# kernels and writes the machine-readable summary (simulated Mcycles/s,
+# events/s, event-vs-legacy speedup) to BENCH_hotpath.json; the micro and
+# figure benchmarks track the component hot paths and the paper pipeline.
+# Compare runs with `go run golang.org/x/perf/cmd/benchstat` if available,
+# or diff BENCH_hotpath.json.
+bench:
+	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath.json \
+		$(GO) test -run XXX -bench 'BenchmarkSimulatorHotPath|BenchmarkSteadyStateCycle' \
+		-benchmem ./internal/gpu/
+	$(GO) test -run XXX -bench 'BenchmarkCacheAccess|BenchmarkMSHR' -benchmem ./internal/cache/
+	$(GO) test -run XXX -bench 'BenchmarkFigure|BenchmarkTable' -benchmem -benchtime 1x .
 
 # The API migration gate: the deprecated entry points (Simulate,
 # SimulateWithOptions, SimulateSequence, SimulateMCM) may be called only by

@@ -39,8 +39,14 @@ func main() {
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
 		quiet    = cliutil.Quiet(flag.CommandLine)
 		obsFlags = cliutil.Obs(flag.CommandLine)
+		prof     = cliutil.Profile(flag.CommandLine)
 	)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("strong-scaling benchmarks (Table II):")

@@ -6,6 +6,8 @@
 //   - -quiet: suppress auxiliary stderr/stdout output (Quiet)
 //   - -metrics-out, -trace-out, -sample-every: the observability outputs
 //     (Obs), backed by the gpuscale Observer
+//   - -cpuprofile, -memprofile: host-side pprof profiles of the command
+//     itself (Profile), for chasing simulator hot-path regressions
 //
 // Commands whose work a flag cannot apply to (e.g. -parallel on the
 // single-simulation gpusim, or any of these on the pure-math predict)
@@ -16,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gpuscale"
@@ -95,6 +99,59 @@ func (o *ObsFlags) WriteOutputs(rec *gpuscale.Observer) error {
 		}
 	}
 	return nil
+}
+
+// ProfileFlags carries the shared host-profiling flags. Register with
+// Profile, then call Start after flag parsing and defer the returned stop
+// function — it finishes the CPU profile and snapshots the allocation
+// profile. Error exits through os.Exit skip deferred stops, so profiles are
+// complete only on successful runs; that is fine for a profiling aid.
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+}
+
+// Profile registers -cpuprofile and -memprofile on fs.
+func Profile(fs *flag.FlagSet) *ProfileFlags {
+	p := &ProfileFlags{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of this command to the file")
+	fs.StringVar(&p.MemProfile, "memprofile", "",
+		"write a pprof allocation profile of this command to the file on exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given and returns the
+// function that stops it and writes the -memprofile snapshot. The returned
+// stop is never nil, so callers can defer it unconditionally.
+func (p *ProfileFlags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cpu profile:", err)
+			}
+		}
+		if p.MemProfile != "" {
+			if err := writeFile(p.MemProfile, func(f *os.File) error {
+				runtime.GC() // settle live-heap numbers before the snapshot
+				return pprof.Lookup("allocs").WriteTo(f, 0)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+		}
+	}, nil
 }
 
 func writeFile(path string, fn func(*os.File) error) error {

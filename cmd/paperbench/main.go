@@ -54,7 +54,14 @@ func main() {
 	parallel := cliutil.Parallel(flag.CommandLine)
 	quiet := cliutil.Quiet(flag.CommandLine)
 	obsFlags := cliutil.Obs(flag.CommandLine)
+	prof := cliutil.Profile(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	h := harness.New()
 	h.SetParallel(*parallel)
 	if !*quiet {

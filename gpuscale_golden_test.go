@@ -1,0 +1,162 @@
+package gpuscale_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"gpuscale"
+)
+
+// -update regenerates testdata/golden_stats.json from the current
+// simulator. Run it ONLY when a simulation-visible change is intended and
+// reviewed; the whole point of the file is that hot-path optimisations must
+// NOT change it.
+var updateGolden = flag.Bool("update", false, "rewrite golden stats testdata")
+
+const goldenStatsPath = "testdata/golden_stats.json"
+
+// goldenEntry is one (workload, configuration) cell of the golden grid.
+// Exactly one of Sim and MCM is set.
+type goldenEntry struct {
+	Label string             `json:"label"`
+	Sim   *gpuscale.SimStats `json:"sim,omitempty"`
+	MCM   *gpuscale.MCMStats `json:"mcm,omitempty"`
+}
+
+// goldenCells simulates the full golden grid: all 21 strong-scaling
+// benchmarks on the 8- and 16-SM scale models (the two configurations every
+// prediction in the paper is derived from), one 4-chiplet MCM configuration,
+// and one multi-kernel sequence. The strong cells are fanned across the
+// worker pool; results are bit-identical to a sequential run.
+func goldenCells(t *testing.T) []goldenEntry {
+	t.Helper()
+	ctx := context.Background()
+	base := gpuscale.Baseline128()
+	benches := gpuscale.Benchmarks()
+
+	var jobs []gpuscale.Job
+	var labels []string
+	for _, bench := range benches {
+		for _, n := range []int{8, 16} {
+			jobs = append(jobs, gpuscale.NewJob(gpuscale.MustScale(base, n), bench.Workload))
+			labels = append(labels, fmt.Sprintf("strong/%s/%dsm", bench.Name, n))
+		}
+	}
+	results, err := gpuscale.RunJobs(ctx, jobs, gpuscale.EngineOptions{})
+	if err != nil {
+		t.Fatalf("golden strong sweep: %v", err)
+	}
+	var cells []goldenEntry
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("golden cell %s: %v", labels[i], r.Err)
+		}
+		st := r.Stats
+		cells = append(cells, goldenEntry{Label: labels[i], Sim: &st})
+	}
+
+	// One chiplet configuration: the 4-chiplet scale model of the paper's
+	// 16-chiplet target, on the three representative benchmarks.
+	mcmCfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), 4)
+	if err != nil {
+		t.Fatalf("golden chiplet config: %v", err)
+	}
+	for _, name := range []string{"dct", "bfs", "pf"} {
+		bench, err := gpuscale.BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := gpuscale.SimulateMCMContext(ctx, mcmCfg, bench.Workload)
+		if err != nil {
+			t.Fatalf("golden chiplet cell %s: %v", name, err)
+		}
+		cells = append(cells, goldenEntry{Label: "chiplet/" + name + "/4c", MCM: &st})
+	}
+
+	// One multi-kernel sequence: three kernels back to back with a grid
+	// barrier between them and caches persisting across them.
+	var kernels []gpuscale.Workload
+	for _, name := range []string{"dct", "bfs", "pf"} {
+		bench, err := gpuscale.BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels = append(kernels, bench.Workload)
+	}
+	seq, err := gpuscale.SimulateSequenceContext(ctx, gpuscale.MustScale(base, 8), kernels)
+	if err != nil {
+		t.Fatalf("golden sequence cell: %v", err)
+	}
+	cells = append(cells, goldenEntry{Label: "seq/dct+bfs+pf/8sm", Sim: &seq})
+
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Label < cells[j].Label })
+	return cells
+}
+
+// TestGoldenStats pins every statistic of the simulator — Cycles, IPC,
+// FMem, MPKI, every raw counter — to a committed snapshot, bit for bit.
+// Performance work on the simulator hot path (the event-driven run loop,
+// the flat MSHR file) is only acceptable while this test stays green
+// without -update: identical simulated results, faster host execution.
+func TestGoldenStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden grid simulates 47 cells; skipped in -short mode")
+	}
+	cells := goldenCells(t)
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(cells, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenStatsPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenStatsPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cells", goldenStatsPath, len(cells))
+		return
+	}
+
+	buf, err := os.ReadFile(goldenStatsPath)
+	if err != nil {
+		t.Fatalf("reading golden stats (run `go test -run TestGoldenStats -update .` to create): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenStatsPath, err)
+	}
+	wantByLabel := make(map[string]goldenEntry, len(want))
+	for _, e := range want {
+		wantByLabel[e.Label] = e
+	}
+	if len(want) != len(cells) {
+		t.Errorf("golden grid has %d cells, snapshot has %d", len(cells), len(want))
+	}
+	for _, got := range cells {
+		w, ok := wantByLabel[got.Label]
+		if !ok {
+			t.Errorf("%s: missing from golden snapshot", got.Label)
+			continue
+		}
+		switch {
+		case got.Sim != nil && w.Sim != nil:
+			if *got.Sim != *w.Sim {
+				t.Errorf("%s: stats diverged from golden snapshot\n got %+v\nwant %+v", got.Label, *got.Sim, *w.Sim)
+			}
+		case got.MCM != nil && w.MCM != nil:
+			if *got.MCM != *w.MCM {
+				t.Errorf("%s: MCM stats diverged from golden snapshot\n got %+v\nwant %+v", got.Label, *got.MCM, *w.MCM)
+			}
+		default:
+			t.Errorf("%s: golden snapshot entry kind mismatch", got.Label)
+		}
+	}
+}

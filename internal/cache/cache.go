@@ -83,29 +83,38 @@ func MustNew(capacityBytes int64, ways, lineSize int) *Cache {
 // bits stripped) for addr.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits }
 
+// findWay scans one set for the line (the full line address doubles as the
+// tag) and returns the way holding it, or -1 on a miss. base is the set's
+// first index into tags/valid. Shared by Access and Probe so the two can
+// never disagree on residency.
+func (c *Cache) findWay(base int, line uint64) int {
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.tags[base+i] == line {
+			return i
+		}
+	}
+	return -1
+}
+
 // Access looks up addr, updates LRU state and statistics, and on a miss
 // installs the line (allocate-on-miss for both loads and stores). It returns
 // true on a hit.
 func (c *Cache) Access(addr uint64) bool {
 	line := addr >> c.lineBits
-	set := int(line & c.setMask)
-	base := set * c.ways
-	tag := line >> 0 // the full line address doubles as the tag
-	for i := 0; i < c.ways; i++ {
-		if c.valid[base+i] && c.tags[base+i] == tag {
-			// Hit: move to MRU position.
-			copy(c.tags[base+1:base+i+1], c.tags[base:base+i])
-			copy(c.valid[base+1:base+i+1], c.valid[base:base+i])
-			c.tags[base] = tag
-			c.valid[base] = true
-			c.hits++
-			return true
-		}
+	base := int(line&c.setMask) * c.ways
+	if i := c.findWay(base, line); i >= 0 {
+		// Hit: move to MRU position.
+		copy(c.tags[base+1:base+i+1], c.tags[base:base+i])
+		copy(c.valid[base+1:base+i+1], c.valid[base:base+i])
+		c.tags[base] = line
+		c.valid[base] = true
+		c.hits++
+		return true
 	}
 	// Miss: evict LRU (last way), install at MRU.
 	copy(c.tags[base+1:base+c.ways], c.tags[base:base+c.ways-1])
 	copy(c.valid[base+1:base+c.ways], c.valid[base:base+c.ways-1])
-	c.tags[base] = tag
+	c.tags[base] = line
 	c.valid[base] = true
 	c.misses++
 	return false
@@ -115,14 +124,8 @@ func (c *Cache) Access(addr uint64) bool {
 // statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	line := addr >> c.lineBits
-	set := int(line & c.setMask)
-	base := set * c.ways
-	for i := 0; i < c.ways; i++ {
-		if c.valid[base+i] && c.tags[base+i] == line {
-			return true
-		}
-	}
-	return false
+	base := int(line&c.setMask) * c.ways
+	return c.findWay(base, line) >= 0
 }
 
 // Hits returns the number of hits recorded by Access.

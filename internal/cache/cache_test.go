@@ -154,13 +154,13 @@ func TestMSHRAllocateAndMerge(t *testing.T) {
 	if !m.Allocate(10, 90) {
 		t.Fatal("merge failed")
 	}
-	if c, ok := m.Lookup(10); !ok || c != 100 {
+	if c, ok := m.Lookup(0, 10); !ok || c != 100 {
 		t.Errorf("merged completion = %d,%v, want 100,true", c, ok)
 	}
 	if !m.Allocate(10, 150) {
 		t.Fatal("merge failed")
 	}
-	if c, _ := m.Lookup(10); c != 150 {
+	if c, _ := m.Lookup(0, 10); c != 150 {
 		t.Errorf("later merge should extend completion, got %d", c)
 	}
 	if m.Outstanding() != 1 {
@@ -172,7 +172,7 @@ func TestMSHRFull(t *testing.T) {
 	m := NewMSHRFile(2)
 	m.Allocate(1, 10)
 	m.Allocate(2, 10)
-	if !m.Full() {
+	if !m.Full(0) {
 		t.Error("file should be full")
 	}
 	if m.Allocate(3, 10) {
@@ -194,7 +194,7 @@ func TestMSHRExpire(t *testing.T) {
 	if m.Outstanding() != 1 {
 		t.Errorf("outstanding = %d, want 1", m.Outstanding())
 	}
-	if _, ok := m.Lookup(3); !ok {
+	if _, ok := m.Lookup(20, 3); !ok {
 		t.Error("entry 3 should survive")
 	}
 }

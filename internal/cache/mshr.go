@@ -10,9 +10,23 @@ import "gpuscale/internal/obs"
 //
 // Each entry remembers the completion time of the underlying memory request
 // so that merged requesters wake at the same cycle the data returns.
+//
+// The file is a pair of flat parallel arrays sized to capacity rather than a
+// map: MSHR capacities are small (tens of entries), so a linear scan beats
+// hashing on every Lookup and the structure never allocates after
+// NewMSHRFile. Entries whose completion time has passed are reclaimed
+// lazily: Lookup and Full take the current cycle and drop expired entries
+// before answering, and a cached minimum completion time makes that check
+// O(1) when nothing has completed. Removal order does not matter — every
+// operation (exact-match lookup, count, minimum) is order-independent, which
+// is also why the old map's random iteration order produced the same
+// results.
 type MSHRFile struct {
 	capacity int
-	entries  map[uint64]int64 // line address -> completion cycle
+	lines    []uint64 // line addresses of outstanding misses, in slots [0, n)
+	comps    []int64  // completion cycle of each outstanding miss
+	n        int
+	nextComp int64 // min of comps[:n]; meaningful only when n > 0
 }
 
 // NewMSHRFile returns an MSHR file with the given entry capacity.
@@ -20,66 +34,123 @@ func NewMSHRFile(capacity int) *MSHRFile {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &MSHRFile{capacity: capacity, entries: make(map[uint64]int64, capacity)}
+	return &MSHRFile{
+		capacity: capacity,
+		lines:    make([]uint64, capacity),
+		comps:    make([]int64, capacity),
+	}
 }
 
-// Lookup returns the completion cycle of an outstanding miss on line, if one
-// exists.
-func (m *MSHRFile) Lookup(line uint64) (completion int64, ok bool) {
-	c, ok := m.entries[line]
-	return c, ok
+// Lookup returns the completion cycle of a miss on line still outstanding at
+// cycle now, if one exists. Entries completing at or before now are
+// reclaimed first, which keeps the scan length at the number of live misses
+// (bounded by the number of blocked warps) rather than the file's capacity.
+func (m *MSHRFile) Lookup(now int64, line uint64) (completion int64, ok bool) {
+	m.Expire(now)
+	for i := 0; i < m.n; i++ {
+		if m.lines[i] == line {
+			return m.comps[i], true
+		}
+	}
+	return 0, false
 }
 
-// Full reports whether no new line can be allocated.
-func (m *MSHRFile) Full() bool { return len(m.entries) >= m.capacity }
+// Full reports whether a new line can no longer be allocated at cycle now.
+// Entries completing at or before now are reclaimed first.
+func (m *MSHRFile) Full(now int64) bool {
+	if m.n < m.capacity {
+		return false
+	}
+	m.Expire(now)
+	return m.n >= m.capacity
+}
 
 // Allocate records an outstanding miss on line completing at the given
 // cycle. It reports false if the file is full and the line is not already
 // present. Allocating an already-present line merges: the later completion
 // time wins (conservative — data cannot arrive before the slowest merge).
 func (m *MSHRFile) Allocate(line uint64, completion int64) bool {
-	if prev, ok := m.entries[line]; ok {
-		if completion > prev {
-			m.entries[line] = completion
+	for i := 0; i < m.n; i++ {
+		if m.lines[i] == line {
+			if completion > m.comps[i] {
+				wasMin := m.comps[i] == m.nextComp
+				m.comps[i] = completion
+				// Raising a non-minimum entry cannot change the minimum.
+				if wasMin {
+					m.recomputeNext()
+				}
+			}
+			return true
 		}
-		return true
 	}
-	if len(m.entries) >= m.capacity {
+	if m.n >= m.capacity {
 		return false
 	}
-	m.entries[line] = completion
+	m.lines[m.n] = line
+	m.comps[m.n] = completion
+	if m.n == 0 || completion < m.nextComp {
+		m.nextComp = completion
+	}
+	m.n++
 	return true
 }
 
 // Expire releases every entry whose completion cycle is ≤ now and returns
-// how many were released.
+// how many were released. The cached minimum makes the no-op case — nothing
+// has completed yet — a single comparison; when a scan does run, the new
+// minimum is computed in the same pass.
 func (m *MSHRFile) Expire(now int64) int {
-	n := 0
-	for line, c := range m.entries {
+	if m.n == 0 || m.nextComp > now {
+		return 0
+	}
+	released := 0
+	min := int64(0)
+	first := true
+	for i := 0; i < m.n; {
+		c := m.comps[i]
 		if c <= now {
-			delete(m.entries, line)
-			n++
+			m.n--
+			m.lines[i] = m.lines[m.n]
+			m.comps[i] = m.comps[m.n]
+			released++
+			continue // re-examine the entry swapped into slot i
+		}
+		if first || c < min {
+			min = c
+			first = false
+		}
+		i++
+	}
+	m.nextComp = min
+	return released
+}
+
+func (m *MSHRFile) recomputeNext() {
+	if m.n == 0 {
+		return
+	}
+	best := m.comps[0]
+	for i := 1; i < m.n; i++ {
+		if m.comps[i] < best {
+			best = m.comps[i]
 		}
 	}
-	return n
+	m.nextComp = best
 }
 
 // NextCompletion returns the earliest completion cycle among outstanding
 // entries, and false if the file is empty.
 func (m *MSHRFile) NextCompletion() (int64, bool) {
-	var best int64
-	found := false
-	for _, c := range m.entries {
-		if !found || c < best {
-			best = c
-			found = true
-		}
+	if m.n == 0 {
+		return 0, false
 	}
-	return best, found
+	return m.nextComp, true
 }
 
-// Outstanding returns the number of occupied entries.
-func (m *MSHRFile) Outstanding() int { return len(m.entries) }
+// Outstanding returns the number of occupied slots. Because reclamation is
+// deferred, this may include entries whose completion time has passed; call
+// Expire first for an exact live count.
+func (m *MSHRFile) Outstanding() int { return m.n }
 
 // Capacity returns the entry capacity.
 func (m *MSHRFile) Capacity() int { return m.capacity }
@@ -90,6 +161,6 @@ func (m *MSHRFile) PublishObs(sc *obs.Scope) {
 	if sc == nil {
 		return
 	}
-	sc.Gauge("outstanding").Set(float64(len(m.entries)))
-	sc.Gauge("occupancy").Set(float64(len(m.entries)) / float64(m.capacity))
+	sc.Gauge("outstanding").Set(float64(m.n))
+	sc.Gauge("occupancy").Set(float64(m.n) / float64(m.capacity))
 }

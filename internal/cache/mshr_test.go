@@ -1,0 +1,122 @@
+package cache
+
+import "testing"
+
+// TestMSHRCapacityOneBoundary pins the structural-stall boundary on the
+// smallest possible file: with one entry outstanding the file is full for
+// every other line, merges into the occupied line still succeed, and the
+// slot frees exactly when the completion cycle passes — not one cycle
+// before.
+func TestMSHRCapacityOneBoundary(t *testing.T) {
+	m := NewMSHRFile(1)
+	if !m.Allocate(7, 100) {
+		t.Fatal("allocate into empty file failed")
+	}
+	if !m.Full(99) {
+		t.Error("file with one live entry should be full at capacity 1")
+	}
+	if m.Allocate(8, 120) {
+		t.Error("second line allocated into a full capacity-1 file")
+	}
+	if !m.Allocate(7, 110) {
+		t.Error("merge into the resident line must succeed even when full")
+	}
+	// The entry now completes at 110 (merge keeps the later time). At cycle
+	// 109 it is still live; at 110 Lookup/Full reclaim it.
+	if _, ok := m.Lookup(109, 7); !ok {
+		t.Error("entry expired one cycle early")
+	}
+	if m.Full(110) {
+		t.Error("file still full at the completion cycle")
+	}
+	if _, ok := m.Lookup(110, 7); ok {
+		t.Error("completed entry still visible to Lookup")
+	}
+	if !m.Allocate(8, 200) {
+		t.Error("allocate after expiry failed")
+	}
+}
+
+// TestMSHRSimultaneousCompletions pins Expire when several entries complete
+// on the same cycle: all of them must go in one call, whatever internal
+// order they are stored in, and the cached next-completion must survive.
+func TestMSHRSimultaneousCompletions(t *testing.T) {
+	m := NewMSHRFile(4)
+	m.Allocate(1, 50)
+	m.Allocate(2, 50)
+	m.Allocate(3, 50)
+	m.Allocate(4, 60)
+	if nc, ok := m.NextCompletion(); !ok || nc != 50 {
+		t.Fatalf("NextCompletion = %d,%v, want 50,true", nc, ok)
+	}
+	if n := m.Expire(49); n != 0 {
+		t.Errorf("Expire(49) released %d entries, want 0", n)
+	}
+	if n := m.Expire(50); n != 3 {
+		t.Errorf("Expire(50) released %d entries, want 3", n)
+	}
+	if m.Outstanding() != 1 {
+		t.Errorf("outstanding = %d, want 1", m.Outstanding())
+	}
+	if nc, ok := m.NextCompletion(); !ok || nc != 60 {
+		t.Errorf("NextCompletion after expiry = %d,%v, want 60,true", nc, ok)
+	}
+	if _, ok := m.Lookup(55, 4); !ok {
+		t.Error("surviving entry lost")
+	}
+}
+
+// TestMSHRLazyExpiryViaLookupAndFull verifies that Lookup and Full reclaim
+// completed entries themselves — the simulator never calls Expire
+// explicitly anymore — and that a merge extending an entry past the current
+// minimum keeps NextCompletion correct.
+func TestMSHRLazyExpiryViaLookupAndFull(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Allocate(1, 10)
+	m.Allocate(2, 40)
+	// Merging line 1 to a later completion moves the minimum to 30.
+	m.Allocate(1, 30)
+	if nc, _ := m.NextCompletion(); nc != 30 {
+		t.Errorf("NextCompletion after merge = %d, want 30", nc)
+	}
+	// At cycle 10 nothing has completed (line 1 now completes at 30).
+	if !m.Full(10) {
+		t.Error("file should still be full at cycle 10 after the merge")
+	}
+	// Lookup at cycle 35 reclaims line 1 as a side effect.
+	if _, ok := m.Lookup(35, 1); ok {
+		t.Error("line 1 should have completed by cycle 35")
+	}
+	if m.Outstanding() != 1 {
+		t.Errorf("outstanding = %d, want 1", m.Outstanding())
+	}
+	if m.Full(35) {
+		t.Error("file should have a free slot at cycle 35")
+	}
+	// A fresh allocate to a line whose previous miss completed starts a
+	// brand-new entry rather than "merging with the past".
+	if !m.Allocate(1, 100) {
+		t.Error("re-allocate of a completed line failed")
+	}
+	if c, ok := m.Lookup(50, 1); !ok || c != 100 {
+		t.Errorf("re-allocated entry = %d,%v, want 100,true", c, ok)
+	}
+}
+
+// TestMSHRAllocationFree pins the no-allocation property of the flat file:
+// steady-state traffic (allocate, merge, lookup, expire) must not touch the
+// heap.
+func TestMSHRAllocationFree(t *testing.T) {
+	m := NewMSHRFile(16)
+	if n := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 16; i++ {
+			m.Allocate(i, int64(100+i))
+		}
+		m.Allocate(3, 200) // merge
+		m.Lookup(50, 5)
+		m.Full(50)
+		m.Expire(300)
+	}); n != 0 {
+		t.Fatalf("MSHR operations allocated %.1f times per run, want 0", n)
+	}
+}

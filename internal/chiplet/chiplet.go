@@ -21,6 +21,7 @@ import (
 	"gpuscale/internal/dram"
 	"gpuscale/internal/noc"
 	"gpuscale/internal/obs"
+	"gpuscale/internal/sched"
 	"gpuscale/internal/sm"
 	"gpuscale/internal/trace"
 )
@@ -63,6 +64,14 @@ type chipletState struct {
 	link  *bandwidth.Server // inter-chiplet port of this chiplet
 }
 
+// smRef flattens the package's SMs into one chip-major slice (global index
+// g = chiplet*NumSMs + sm). That order is the reference loop's within-cycle
+// tick order, which the event-driven wake heap preserves via its tie-break.
+type smRef struct {
+	m *sm.SM
+	p *port
+}
+
 // Simulator is a configured MCM GPU plus workload. Use New.
 type Simulator struct {
 	cfg      config.ChipletConfig
@@ -84,6 +93,17 @@ type Simulator struct {
 	accesses uint64
 	events   uint64
 	maxCyc   int64
+	legacy   bool
+
+	// Event-driven run-loop state (see gpu.Simulator for the full design).
+	all        []smRef
+	wake       *sched.Heap
+	accrueAt   []int64
+	tickedID   []int
+	tickedKind []sm.TickKind
+	liveTotal  int
+	ctaDirty   bool
+	progBuf    []trace.Program
 
 	// Observability handles; all nil when Options.Recorder is nil.
 	stream      *obs.Stream
@@ -101,6 +121,11 @@ type Options struct {
 	// SampleEvery overrides the recorder's sampling interval in simulated
 	// cycles; zero or negative uses the recorder's default.
 	SampleEvery int64
+	// UseLegacyLoop runs the dense reference loop that ticks every SM every
+	// cycle instead of the event-driven scheduler. Results are bit-identical
+	// by contract; only host time differs. Kept for equivalence testing and
+	// benchmark baselines.
+	UseLegacyLoop bool
 }
 
 // New validates and builds an MCM simulator.
@@ -167,6 +192,22 @@ func New(cfg config.ChipletConfig, w trace.Workload, opt Options) (*Simulator, e
 		cs.link = bandwidth.MustNewServer(ch.BytesPerCycle(cfg.InterChipletGBpsPerChiplet))
 		s.chips[c] = cs
 	}
+	// Size every run-loop structure up front so the hot path never
+	// allocates (see gpu.NewSequence for the same pattern).
+	s.legacy = opt.UseLegacyLoop
+	total := cfg.NumChiplets * ch.NumSMs
+	s.all = make([]smRef, 0, total)
+	for c, cs := range s.chips {
+		for i, m := range cs.sms {
+			s.all = append(s.all, smRef{m: m, p: &port{sim: s, chip: c, smID: i}})
+		}
+	}
+	s.wake = sched.NewHeap(total)
+	s.accrueAt = make([]int64, total)
+	s.tickedID = make([]int, total)
+	s.tickedKind = make([]sm.TickKind, total)
+	s.progBuf = make([]trace.Program, k.WarpsPerCTA)
+	s.ctaDirty = true
 	if rec := opt.Recorder; rec.Enabled() {
 		label := cfg.Name + "/" + w.Name()
 		s.stream = rec.Stream(label)
@@ -204,16 +245,17 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 			return now + int64(ch.L1HitLatency)
 		}
 	}
+	// MSHR work happens only on this miss path; Lookup and Full reclaim
+	// completed entries themselves (see gpu's port.Access).
 	mshr := cs.mshrs[p.smID]
-	mshr.Expire(now)
 	load := in.Kind == trace.Load
 	if load && !bypass {
-		if comp, ok := mshr.Lookup(line); ok {
+		if comp, ok := mshr.Lookup(now, line); ok {
 			return comp
 		}
 	}
 	arrival := now
-	full := mshr.Full()
+	full := mshr.Full(now)
 	if full {
 		if nc, ok := mshr.NextCompletion(); ok && nc > arrival {
 			arrival = nc
@@ -261,6 +303,7 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 // one is used, which keeps first-touch pages more local at the cost of
 // balance.
 func (s *Simulator) fillCTAs() {
+	s.ctaDirty = false
 	total := s.cfg.NumChiplets * s.cfg.Chiplet.NumSMs
 	contiguous := s.cfg.CTAScheduler == "contiguous"
 	for s.nextCTA < s.numCTAs {
@@ -276,11 +319,19 @@ func (s *Simulator) fillCTAs() {
 			if !m.CanAccept(s.warpsPer) {
 				continue
 			}
-			progs := make([]trace.Program, s.warpsPer)
+			progs := s.progBuf[:s.warpsPer]
 			for wpi := range progs {
 				progs[wpi] = s.workload.NewProgram(s.nextCTA, wpi)
 			}
+			if !s.legacy {
+				// Settle the SM's idle interval before the launch changes
+				// its classification, then wake it this cycle.
+				global := c*s.cfg.Chiplet.NumSMs + i
+				s.flushAccrual(global)
+				s.wake.Set(global, s.now)
+			}
 			m.LaunchCTA(progs)
+			s.liveTotal += s.warpsPer
 			s.nextCTA++
 			launched = true
 		}
@@ -298,17 +349,120 @@ func (s *Simulator) Run() (Stats, error) {
 // RunContext is Run honouring context cancellation, checked every
 // ctxCheckEvery run-loop iterations.
 func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
-	type smRef struct {
-		m *sm.SM
-		p *port
+	if s.legacy {
+		return s.runLegacy(ctx)
 	}
-	var all []smRef
-	for c, cs := range s.chips {
-		for i, m := range cs.sms {
-			all = append(all, smRef{m: m, p: &port{sim: s, chip: c, smID: i}})
+	return s.runEvent(ctx)
+}
+
+// flushAccrual settles SM g's cycle classification over [accrueAt[g], now);
+// see gpu.Simulator.flushAccrual for why the standing StallKind is exact
+// over the whole interval.
+func (s *Simulator) flushAccrual(g int) {
+	if d := s.now - s.accrueAt[g]; d > 0 {
+		s.all[g].m.Accrue(s.all[g].m.StallKind(), uint64(d))
+		s.accrueAt[g] = s.now
+	}
+}
+
+// flushAllAccruals settles every SM's counters up to s.now. No-op under the
+// legacy loop, whose accrual already is eager.
+func (s *Simulator) flushAllAccruals() {
+	if s.legacy {
+		return
+	}
+	for g := range s.all {
+		s.flushAccrual(g)
+	}
+}
+
+// runEvent is the event-driven run loop: per simulated cycle it ticks only
+// the SMs whose wake-up is due, in chip-major order (the wake heap's
+// tie-break), matching the dense reference loop bit for bit.
+func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
+	iters := 0
+	for {
+		iters++
+		if iters >= ctxCheckEvery {
+			iters = 0
+			select {
+			case <-ctx.Done():
+				return Stats{}, fmt.Errorf("chiplet: %q on %s cancelled at cycle %d: %w",
+					s.workload.Name(), s.cfg.Name, s.now, ctx.Err())
+			default:
+			}
+		}
+		if s.ctaDirty {
+			s.fillCTAs()
+		}
+		if s.liveTotal == 0 {
+			if s.nextCTA >= s.numCTAs {
+				break
+			}
+			s.ctaDirty = true // mirror the dense loop's unconditional refill
+		}
+		if s.maxCyc > 0 && s.now > s.maxCyc {
+			return Stats{}, fmt.Errorf("chiplet: %q on %s exceeded MaxCycles=%d",
+				s.workload.Name(), s.cfg.Name, s.maxCyc)
+		}
+		issued := false
+		nTicked := 0
+		for s.wake.Len() > 0 && s.wake.MinKey() <= s.now {
+			g, _ := s.wake.Pop()
+			s.flushAccrual(g)
+			m := s.all[g].m
+			liveBefore := m.LiveWarps()
+			k := m.Tick(s.now, s.all[g].p)
+			s.accrueAt[g] = s.now + 1
+			s.tickedID[nTicked] = g
+			s.tickedKind[nTicked] = k
+			nTicked++
+			if k == sm.Issued {
+				issued = true
+			}
+			if d := liveBefore - m.LiveWarps(); d > 0 {
+				s.liveTotal -= d
+				// Any warp retirement can flip CanAccept; re-scan launches.
+				s.ctaDirty = true
+			}
+			if m.HasReady() {
+				s.wake.Set(g, s.now+1)
+			} else if ev, ok := m.NextEvent(); ok {
+				s.wake.Set(g, ev)
+			}
+		}
+		// One simulation event per SM per visited cycle, ticked or not —
+		// SimEvents models the dense simulator's cost, not this loop's.
+		s.events += uint64(len(s.all))
+		for j := 0; j < nTicked; j++ {
+			s.all[s.tickedID[j]].m.Accrue(s.tickedKind[j], 1)
+		}
+		if issued {
+			s.now++
+		} else {
+			next := s.now + 1
+			if s.wake.Len() > 0 {
+				if mk := s.wake.MinKey(); mk > next {
+					next = mk
+				}
+			}
+			s.now = next
+		}
+		if s.stream != nil && s.now >= s.nextSample {
+			s.sampleObs()
+			for s.nextSample <= s.now {
+				s.nextSample += s.sampleEvery
+			}
 		}
 	}
-	kinds := make([]sm.TickKind, len(all))
+	return s.stats(), nil
+}
+
+// runLegacy is the dense reference loop, retained as the executable
+// specification the event-driven loop is checked against.
+func (s *Simulator) runLegacy(ctx context.Context) (Stats, error) {
+	all := s.all
+	kinds := s.tickedKind // same length as all; reused as scratch
 	s.fillCTAs()
 	iters := 0
 	for {
@@ -370,13 +524,20 @@ func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
 		}
 		s.fillCTAs()
 	}
+	return s.stats(), nil
+}
+
+// stats settles any lazily-accrued intervals and aggregates the package's
+// final statistics.
+func (s *Simulator) stats() Stats {
+	s.flushAllAccruals()
 	if s.stream != nil {
 		s.stream.Span(0, s.now, "kernel", s.workload.Name())
 	}
 	var st Stats
 	st.Cycles = s.now
 	var fmemSum float64
-	for _, r := range all {
+	for _, r := range s.all {
 		ss := r.m.Stats()
 		st.Instructions += ss.Instructions
 		st.MemInstructions += ss.MemInstructions
@@ -386,7 +547,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
 	if st.Cycles > 0 {
 		st.IPC = float64(st.Instructions) / float64(st.Cycles)
 	}
-	st.FMem = fmemSum / float64(len(all))
+	st.FMem = fmemSum / float64(len(s.all))
 	st.LLCMisses = s.llcMiss
 	if st.Instructions > 0 {
 		st.LLCMPKI = float64(s.llcMiss) / (float64(st.Instructions) / 1000)
@@ -396,13 +557,14 @@ func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
 	}
 	st.SimEvents = s.events + st.Instructions
 	s.publishObs()
-	return st, nil
+	return st
 }
 
 // sampleObs takes one interval-sampler snapshot across the package: mean
 // warp occupancy, remote-access share, and the worst inter-chiplet link
 // backlog. Called only when a recorder is attached.
 func (s *Simulator) sampleObs() {
+	s.flushAllAccruals()
 	liveWarps, totalWarps := 0, 0
 	var linkBacklog float64
 	for _, cs := range s.chips {

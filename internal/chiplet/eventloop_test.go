@@ -1,0 +1,55 @@
+package chiplet
+
+import (
+	"testing"
+
+	"gpuscale/internal/config"
+	"gpuscale/internal/trace"
+	"gpuscale/internal/workloads"
+)
+
+// TestEventLoopMatchesLegacy requires the event-driven MCM run loop and the
+// dense reference loop to produce bit-identical statistics across both CTA
+// scheduling policies and a real benchmark workload.
+func TestEventLoopMatchesLegacy(t *testing.T) {
+	bfs, err := workloads.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []struct {
+		name  string
+		cfg   config.ChipletConfig
+		w     func() trace.Workload
+		sched string
+	}{
+		{"compute/2c", smallMCM(2, 4), func() trace.Workload { return computeWorkload(32, 2, 50) }, ""},
+		{"stream/2c", smallMCM(2, 4), func() trace.Workload { return streamWorkload(32, 2, 30) }, ""},
+		{"stream/contiguous", smallMCM(2, 4), func() trace.Workload { return streamWorkload(32, 2, 30) }, "contiguous"},
+		{"bfs/4c", config.MustScaleChiplets(config.Target16Chiplet(), 4), func() trace.Workload { return bfs.Workload }, ""},
+	}
+	for _, c := range cells {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := c.cfg
+			if c.sched != "" {
+				cfg.CTAScheduler = c.sched
+			}
+			run := func(opt Options) Stats {
+				t.Helper()
+				s, err := New(cfg, c.w(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			ev := run(Options{})
+			lg := run(Options{UseLegacyLoop: true})
+			if ev != lg {
+				t.Errorf("stats diverge between loops\nevent  %+v\nlegacy %+v", ev, lg)
+			}
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package gpu
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+
+	"gpuscale/internal/config"
+	"gpuscale/internal/trace"
+	"gpuscale/internal/workloads"
+)
+
+// hotPathReport accumulates BenchmarkSimulatorHotPath results so TestMain
+// can write BENCH_hotpath.json (when the BENCH_HOTPATH_JSON environment
+// variable names a path — `make bench` sets it). Keys are
+// "<workload>/<loop>", e.g. "bfs-16sm/event".
+type hotPathResult struct {
+	SimMcyclesPerSec float64 `json:"sim_mcycles_per_sec"`
+	SimEventsPerSec  float64 `json:"sim_events_per_sec"`
+	HostNsPerRun     float64 `json:"host_ns_per_run"`
+	SimCyclesPerRun  int64   `json:"sim_cycles_per_run"`
+}
+
+var (
+	hotPathMu      sync.Mutex
+	hotPathResults = map[string]hotPathResult{}
+)
+
+// preOverhaulBaseline records simulated Mcycles per host second measured at
+// the commit before the hot-path overhaul (dense run loop, map-based MSHR,
+// allocating CTA launches) on the reference machine, for the cells below.
+// It exists so BENCH_hotpath.json reports the overhaul's end-to-end speedup
+// and not only the event-vs-legacy ratio: the in-tree legacy loop shares
+// the SM-scheduler, MSHR and cache improvements, so it is itself ~3x the
+// pre-overhaul loop and a misleadingly strong baseline on its own.
+var preOverhaulBaseline = map[string]float64{
+	"bfs-16sm": 0.2028, // 4.261 s/run before the overhaul
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_HOTPATH_JSON"); path != "" && len(hotPathResults) > 0 {
+		type out struct {
+			Results    map[string]hotPathResult `json:"results"`
+			Speedup    map[string]float64       `json:"event_vs_legacy_speedup"`
+			VsPrePR    map[string]float64       `json:"speedup_vs_pre_overhaul"`
+			BaselineMc map[string]float64       `json:"pre_overhaul_sim_mcycles_per_sec"`
+		}
+		o := out{
+			Results:    hotPathResults,
+			Speedup:    map[string]float64{},
+			VsPrePR:    map[string]float64{},
+			BaselineMc: preOverhaulBaseline,
+		}
+		for name, ev := range hotPathResults {
+			const suffix = "/event"
+			if len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix {
+				base := name[:len(name)-len(suffix)]
+				if lg, ok := hotPathResults[base+"/legacy"]; ok && lg.SimMcyclesPerSec > 0 {
+					o.Speedup[base] = ev.SimMcyclesPerSec / lg.SimMcyclesPerSec
+				}
+				if pre, ok := preOverhaulBaseline[base]; ok && pre > 0 {
+					o.VsPrePR[base] = ev.SimMcyclesPerSec / pre
+				}
+			}
+		}
+		if buf, err := json.MarshalIndent(o, "", "\t"); err == nil {
+			_ = os.WriteFile(path, append(buf, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
+}
+
+// BenchmarkSimulatorHotPath is the regression harness for run-loop
+// performance: it simulates full kernels and reports simulated megacycles
+// and simulation events retired per host second, for the event-driven loop
+// and the dense legacy baseline. The paper-motivated case is bfs at 16 SMs —
+// a memory-stalled workload where most SMs wait on DRAM most cycles, which
+// is exactly where ticking only runnable SMs pays off.
+func BenchmarkSimulatorHotPath(b *testing.B) {
+	cases := []struct {
+		name  string
+		sms   int
+		bench string
+	}{
+		{"bfs-16sm", 16, "bfs"},
+		{"bfs-8sm", 8, "bfs"},
+		{"dct-16sm", 16, "dct"},
+	}
+	for _, c := range cases {
+		wl, err := workloads.ByName(c.bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := config.MustScale(config.Baseline128(), c.sms)
+		for _, loop := range []struct {
+			name string
+			opt  Options
+		}{
+			{"event", Options{}},
+			{"legacy", Options{UseLegacyLoop: true}},
+		} {
+			b.Run(c.name+"/"+loop.name, func(b *testing.B) {
+				var cycles int64
+				var events uint64
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					st, err := RunWithOptions(cfg, wl.Workload, loop.opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += st.Cycles
+					events += st.SimEvents
+				}
+				secs := b.Elapsed().Seconds()
+				if secs > 0 {
+					b.ReportMetric(float64(cycles)/1e6/secs, "simMcyc/s")
+					b.ReportMetric(float64(events)/secs, "simEvents/s")
+					hotPathMu.Lock()
+					hotPathResults[c.name+"/"+loop.name] = hotPathResult{
+						SimMcyclesPerSec: float64(cycles) / 1e6 / secs,
+						SimEventsPerSec:  float64(events) / secs,
+						HostNsPerRun:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+						SimCyclesPerRun:  cycles / int64(b.N),
+					}
+					hotPathMu.Unlock()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSteadyStateCycle isolates the per-cycle cost of the event-driven
+// loop on a synthetic memory-stalled workload without end-of-kernel effects.
+func BenchmarkSteadyStateCycle(b *testing.B) {
+	cfg := testConfig(16)
+	mk := func() trace.Workload { return streamWorkload(256, 4, 100) }
+	for _, loop := range []struct {
+		name string
+		opt  Options
+	}{
+		{"event", Options{}},
+		{"legacy", Options{UseLegacyLoop: true}},
+	} {
+		b.Run(loop.name, func(b *testing.B) {
+			var cycles int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := RunWithOptions(cfg, mk(), loop.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(cycles)/1e6/secs, "simMcyc/s")
+			}
+		})
+	}
+}

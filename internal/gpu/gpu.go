@@ -11,11 +11,23 @@
 // queueing plus DRAM latency. When no SM can issue, the simulator skips
 // directly to the next warp wake-up, accruing the skipped cycles to each
 // SM's stall classification, so long memory stalls cost nothing to simulate.
+//
+// The run loop is event-driven: SMs due at the very next cycle sit in a
+// bitset and far wake-ups in a min-heap (internal/sched), so a cycle
+// touches only the SMs that can issue, promote or retire at that cycle.
+// Stalled and idle SMs pay nothing per cycle; their stall-classification
+// counters are accrued lazily, one Accrue call per stalled interval, when
+// they are next ticked (see flushAccrual for the invariant that makes this
+// exact). The previous
+// tick-every-SM loop is preserved as the dense reference implementation
+// (Options.UseLegacyLoop): both loops produce bit-identical Stats, which
+// the golden-stats snapshot test and TestEventLoopMatchesLegacy enforce.
 package gpu
 
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"strconv"
 
 	"gpuscale/internal/cache"
@@ -23,6 +35,7 @@ import (
 	"gpuscale/internal/dram"
 	"gpuscale/internal/noc"
 	"gpuscale/internal/obs"
+	"gpuscale/internal/sched"
 	"gpuscale/internal/sm"
 	"gpuscale/internal/trace"
 )
@@ -41,6 +54,12 @@ type Options struct {
 	// is stalled. Results are identical; only the host time differs. It
 	// exists for the event-skip ablation benchmark.
 	DisableEventSkip bool
+	// UseLegacyLoop runs the dense reference loop that ticks every SM every
+	// cycle instead of the event-driven scheduler. Results are bit-identical
+	// by contract; only host time differs. It exists as the in-process
+	// reference for the bit-identity guard and the hot-path regression
+	// benchmark, and is not a supported production mode.
+	UseLegacyLoop bool
 	// WarmupInstructions, when positive, discards all statistics gathered
 	// before this many instructions have issued: caches stay warm and
 	// queues keep their state, but counters restart, so the reported
@@ -142,6 +161,20 @@ type Simulator struct {
 	skipped     int64
 	events      uint64
 
+	// Event-driven scheduler state. All of it is preallocated in
+	// NewSequence so the run loop allocates nothing in steady state.
+	ports      []*port      // one per SM, reused across RunContext calls
+	wake       *sched.Heap  // SM index → next cycle it can act; far wake-ups only
+	curDue     []uint64     // bitset: SMs due this cycle (merged from nextDue + heap)
+	nextDue    []uint64     // bitset: SMs due at now+1 (bypasses the heap)
+	nextAny    bool         // any bit set in nextDue
+	accrueAt   []int64      // per SM: first cycle whose classification is not yet accrued
+	tickedID   []int        // scratch: SMs ticked in the current cycle
+	tickedKind []sm.TickKind
+	liveTotal  int  // incrementally maintained sum of LiveWarps over SMs
+	ctaDirty   bool // CTA capacity may have changed; fillCTAs must re-scan
+	progBuf    []trace.Program
+
 	// Observability handles; all nil when Options.Recorder is nil, so
 	// every hook below degrades to one predictable nil-check branch.
 	stream      *obs.Stream
@@ -229,6 +262,22 @@ func NewSequence(cfg config.SystemConfig, kernels []trace.Workload, opt Options)
 		BytesPerCyclePerMC: cfg.BytesPerCycle(cfg.MemBWPerMCGBps),
 		Latency:            cfg.DRAMLatency,
 	})
+	// Everything the run loop needs is sized here so the hot path never
+	// allocates: ports, the wake-up heap, the lazy-accrual bookkeeping, the
+	// per-cycle tick scratch, and the CTA-launch program buffer (sized to
+	// the widest CTA across the kernel sequence).
+	s.ports = make([]*port, cfg.NumSMs)
+	for i := range s.ports {
+		s.ports[i] = &port{sim: s, smID: i}
+	}
+	s.wake = sched.NewHeap(cfg.NumSMs)
+	s.curDue = make([]uint64, (cfg.NumSMs+63)/64)
+	s.nextDue = make([]uint64, (cfg.NumSMs+63)/64)
+	s.accrueAt = make([]int64, cfg.NumSMs)
+	s.tickedID = make([]int, cfg.NumSMs)
+	s.tickedKind = make([]sm.TickKind, cfg.NumSMs)
+	s.progBuf = make([]trace.Program, maxWarpsPerCTA)
+	s.ctaDirty = true
 	if rec := opt.Recorder; rec.Enabled() {
 		label := cfg.Name + "/" + kernels[0].Name()
 		s.stream = rec.Stream(label)
@@ -271,16 +320,18 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 			return now + int64(s.cfg.L1HitLatency)
 		}
 	}
+	// MSHR work happens only on this miss path: Lookup and Full reclaim
+	// entries completed by now before answering, so no separate Expire call
+	// is needed (or wasted on the L1-hit path above).
 	mshr := s.mshrs[p.smID]
-	mshr.Expire(now)
 	load := in.Kind == trace.Load
 	if load && !bypass {
-		if comp, ok := mshr.Lookup(line); ok {
+		if comp, ok := mshr.Lookup(now, line); ok {
 			return comp // merged into an outstanding miss
 		}
 	}
 	arrival := now
-	full := mshr.Full()
+	full := mshr.Full(now)
 	if full {
 		if nc, ok := mshr.NextCompletion(); ok && nc > arrival {
 			arrival = nc
@@ -316,8 +367,14 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 }
 
 // fillCTAs launches the current kernel's pending CTAs round-robin onto SMs
-// with capacity, honouring the kernel's occupancy limit.
+// with capacity, honouring the kernel's occupancy limit. Launch capacity
+// changes only when a CTA retires or a new kernel starts, so the
+// event-driven loop calls this only when ctaDirty is set. The per-CTA
+// program slice is pooled in progBuf — LaunchCTA copies the programs into
+// warp slots without retaining the slice — so a launch allocates nothing
+// beyond the workload's own NewProgram.
 func (s *Simulator) fillCTAs() {
+	s.ctaDirty = false
 	w := s.kernels[s.kernelIdx]
 	for s.nextCTA < s.numCTAs {
 		launched := false
@@ -329,11 +386,23 @@ func (s *Simulator) fillCTAs() {
 			if s.ctaLimit > 0 && m.ResidentCTAs() >= s.ctaLimit {
 				continue
 			}
-			progs := make([]trace.Program, s.warpsPer)
+			progs := s.progBuf[:s.warpsPer]
 			for wpi := range progs {
 				progs[wpi] = w.NewProgram(s.nextCTA, wpi)
 			}
+			if !s.opt.UseLegacyLoop {
+				// Settle the SM's standing classification (Idle for an
+				// empty SM) before residency changes it, then schedule the
+				// SM to act this cycle — launched warps are ready at once.
+				// The SM must live in exactly one wake structure, so drop
+				// any far wake-up from the heap before setting its due bit;
+				// a double entry would tick it twice in one cycle.
+				s.flushAccrual(i)
+				s.wake.Remove(i)
+				s.curDue[i>>6] |= 1 << (uint(i) & 63)
+			}
 			m.LaunchCTA(progs)
+			s.liveTotal += s.warpsPer
 			s.nextCTA++
 			launched = true
 		}
@@ -367,11 +436,185 @@ func (s *Simulator) Run() (Stats, error) {
 // ctx every ctxCheckEvery iterations and aborts with ctx's error, so a
 // cancelled sweep stops its in-flight simulations, not just unstarted ones.
 func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
-	ports := make([]*port, len(s.sms))
-	for i := range ports {
-		ports[i] = &port{sim: s, smID: i}
+	if s.opt.UseLegacyLoop {
+		return s.runLegacy(ctx)
 	}
-	kinds := make([]sm.TickKind, len(s.sms))
+	return s.runEvent(ctx)
+}
+
+// flushAccrual settles SM i's cycle-classification counters for the
+// interval [accrueAt[i], now): one Accrue call with the SM's standing
+// classification, in place of the dense loop's per-cycle Accrue calls.
+//
+// Exactness invariant: between two ticks of an SM no warp is ready and no
+// promotion is due, so liveWarps and blockedMem — the only inputs to the
+// classification — cannot change (they change only inside Tick and
+// LaunchCTA, and fillCTAs flushes before launching). StallKind() at flush
+// time therefore equals the classification Tick would have returned at
+// every cycle of the interval.
+func (s *Simulator) flushAccrual(i int) {
+	if d := s.now - s.accrueAt[i]; d > 0 {
+		s.sms[i].Accrue(s.sms[i].StallKind(), uint64(d))
+		s.accrueAt[i] = s.now
+	}
+}
+
+// flushAllAccruals settles every SM's counters up to s.now so aggregate
+// statistics (stats, the observability registry) read exactly as if every
+// cycle had been accrued eagerly. No-op under the legacy loop, whose
+// accrual already is eager.
+func (s *Simulator) flushAllAccruals() {
+	if s.opt.UseLegacyLoop {
+		return
+	}
+	for i := range s.sms {
+		s.flushAccrual(i)
+	}
+}
+
+// runEvent is the event-driven run loop: per simulated cycle it touches
+// only the SMs whose wake-up is due, in ascending SM order (the wake heap's
+// tie-break), preserving the dense reference loop's shared-resource access
+// order and therefore its bit-exact results.
+func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
+	s.kernelStart = s.now
+	iters := 0
+	for {
+		iters++
+		if iters >= ctxCheckEvery {
+			iters = 0
+			select {
+			case <-ctx.Done():
+				return Stats{}, fmt.Errorf("gpu: %q on %s cancelled at cycle %d: %w",
+					s.kernels[s.kernelIdx].Name(), s.cfg.Name, s.now, ctx.Err())
+			default:
+			}
+		}
+		if s.ctaDirty {
+			s.fillCTAs()
+		}
+		if s.liveTotal == 0 {
+			if s.nextCTA >= s.numCTAs {
+				if s.stream != nil {
+					s.stream.Span(s.kernelStart, s.now, "kernel", s.kernels[s.kernelIdx].Name())
+					s.kernelStart = s.now
+				}
+				if !s.advanceKernel() {
+					break
+				}
+				s.ctaDirty = true
+				continue
+			}
+			// Unreachable in practice — an idle SM always accepts a CTA —
+			// but mirror the dense loop: keep trying to launch while the
+			// idle cycles tick by.
+			s.ctaDirty = true
+		}
+		if s.opt.MaxCycles > 0 && s.now > s.opt.MaxCycles {
+			return Stats{}, fmt.Errorf("gpu: %q on %s exceeded MaxCycles=%d",
+				s.kernels[s.kernelIdx].Name(), s.cfg.Name, s.opt.MaxCycles)
+		}
+		// Merge due heap entries into the bitset, then tick bits in word
+		// order: TrailingZeros64 walks set bits low-to-high, so SMs tick in
+		// ascending SM id regardless of which structure scheduled them —
+		// the same shared-resource order as the dense loop.
+		for s.wake.Len() > 0 && s.wake.MinKey() <= s.now {
+			i, _ := s.wake.Pop()
+			s.curDue[i>>6] |= 1 << (uint(i) & 63)
+		}
+		issued := false
+		nTicked := 0
+		for w := range s.curDue {
+			for s.curDue[w] != 0 {
+				b := bits.TrailingZeros64(s.curDue[w])
+				s.curDue[w] &^= 1 << uint(b)
+				i := w<<6 + b
+				s.flushAccrual(i)
+				m := s.sms[i]
+				liveBefore := m.LiveWarps()
+				k := m.Tick(s.now, s.ports[i])
+				s.accrueAt[i] = s.now + 1
+				s.tickedID[nTicked] = i
+				s.tickedKind[nTicked] = k
+				nTicked++
+				if k == sm.Issued {
+					issued = true
+					s.issuedSoFar++
+				}
+				if d := liveBefore - m.LiveWarps(); d > 0 {
+					s.liveTotal -= d
+					// Any warp retirement can flip CanAccept (it checks
+					// liveWarps, not just CTA slots), so re-scan for launches
+					// even when no whole CTA completed.
+					s.ctaDirty = true
+				}
+				// Reschedule: the overwhelmingly common wake-up is the very
+				// next cycle, which goes in the nextDue bitset and never
+				// touches the heap. Only far wake-ups pay for heap ordering.
+				if m.HasReady() {
+					s.nextDue[i>>6] |= 1 << (uint(i) & 63)
+					s.nextAny = true
+				} else if ev, ok := m.NextEvent(); ok {
+					if ev == s.now+1 {
+						s.nextDue[i>>6] |= 1 << (uint(i) & 63)
+						s.nextAny = true
+					} else {
+						s.wake.Set(i, ev)
+					}
+				}
+				// No ready warp and nothing pending: the SM is idle and
+				// stays unscheduled until a CTA launch sets its due bit.
+			}
+		}
+		// The dense loop charges one simulation event per SM per visited
+		// cycle, ticked or not; SimEvents is a host-cost proxy for the
+		// *modelled* simulator and must not depend on the loop used.
+		s.events += uint64(len(s.sms))
+		if !s.warmupDone && s.opt.WarmupInstructions > 0 && s.issuedSoFar >= s.opt.WarmupInstructions {
+			s.resetStats()
+		}
+		// The ticked SMs' own cycle is accrued after the warm-up check —
+		// the dense loop orders reset before accrual, so the triggering
+		// cycle's classification lands in the post-warm-up window.
+		for j := 0; j < nTicked; j++ {
+			s.sms[s.tickedID[j]].Accrue(s.tickedKind[j], 1)
+		}
+		if issued || s.opt.DisableEventSkip {
+			s.now++
+		} else {
+			// Nobody issued: skip to the earliest wake-up. Every non-idle
+			// SM is either due at now+1 (nextDue bit) or in the heap keyed
+			// by its pending promotion, so together they hold the dense
+			// loop's min-over-NextEvent.
+			next := s.now + 1
+			if !s.nextAny && s.wake.Len() > 0 {
+				if mk := s.wake.MinKey(); mk > next {
+					next = mk
+				}
+			}
+			s.skipped += next - s.now - 1
+			s.now = next
+		}
+		// The tick loop drained curDue to zero, so after the swap nextDue
+		// is empty and ready for the new cycle's reschedules.
+		s.curDue, s.nextDue = s.nextDue, s.curDue
+		s.nextAny = false
+		if s.stream != nil && s.now >= s.nextSample {
+			s.sampleObs()
+			for s.nextSample <= s.now {
+				s.nextSample += s.sampleEvery
+			}
+		}
+	}
+	return s.stats(), nil
+}
+
+// runLegacy is the dense reference loop: every SM ticks every visited
+// cycle. It is retained verbatim as the executable specification the
+// event-driven loop is checked against (TestEventLoopMatchesLegacy, the
+// golden-stats snapshot, BenchmarkSimulatorHotPath's speedup baseline).
+func (s *Simulator) runLegacy(ctx context.Context) (Stats, error) {
+	kinds := s.tickedKind // same length as sms; reused as scratch
 	s.fillCTAs()
 	s.kernelStart = s.now
 	iters := 0
@@ -407,7 +650,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
 		}
 		issued := false
 		for i, m := range s.sms {
-			kinds[i] = m.Tick(s.now, ports[i])
+			kinds[i] = m.Tick(s.now, s.ports[i])
 			if kinds[i] == sm.Issued {
 				issued = true
 				s.issuedSoFar++
@@ -459,6 +702,15 @@ func (s *Simulator) resetStats() {
 	for _, m := range s.sms {
 		m.ResetStats()
 	}
+	// Event-driven loop: discard any un-flushed accrual interval that
+	// precedes the reset. SMs ticked this cycle already sit at now+1 —
+	// pulling them back down would double-count the triggering cycle, so
+	// only raise, never lower.
+	for i := range s.accrueAt {
+		if s.accrueAt[i] < s.now {
+			s.accrueAt[i] = s.now
+		}
+	}
 	for _, c := range s.l1s {
 		c.ResetStats()
 	}
@@ -483,6 +735,7 @@ func (s *Simulator) resetStats() {
 // bandwidth utilisation — and refreshes the metrics registry. Called only
 // when a recorder is attached.
 func (s *Simulator) sampleObs() {
+	s.flushAllAccruals()
 	elapsed := s.now - s.statsSince
 	liveWarps, mshrOut := 0, 0
 	var instr uint64
@@ -543,6 +796,7 @@ func (s *Simulator) publishObs() {
 }
 
 func (s *Simulator) stats() Stats {
+	s.flushAllAccruals()
 	var st Stats
 	st.Cycles = s.now - s.statsSince
 	var fmemSum float64
@@ -609,7 +863,12 @@ func RunWithOptions(cfg config.SystemConfig, w trace.Workload, opt Options) (Sta
 // between kernels, caches persisting across them) and returns the
 // aggregate statistics.
 func RunSequence(cfg config.SystemConfig, kernels []trace.Workload) (Stats, error) {
-	s, err := NewSequence(cfg, kernels, Options{})
+	return RunSequenceWithOptions(cfg, kernels, Options{})
+}
+
+// RunSequenceWithOptions is RunSequence with explicit Options.
+func RunSequenceWithOptions(cfg config.SystemConfig, kernels []trace.Workload, opt Options) (Stats, error) {
+	s, err := NewSequence(cfg, kernels, opt)
 	if err != nil {
 		return Stats{}, err
 	}

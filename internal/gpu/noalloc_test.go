@@ -1,0 +1,83 @@
+package gpu
+
+import (
+	"context"
+	"testing"
+
+	"gpuscale/internal/trace"
+)
+
+// prebuiltWorkload is a memory-bound stream workload whose NewProgram is
+// allocation-free: every warp program is built up front and the factory
+// just hands them out. The simulator's launch path is specified to allocate
+// nothing beyond the workload's own NewProgram (see fillCTAs), so running
+// this workload measures the simulator's allocations alone.
+func prebuiltWorkload(ctas, warpsPerCTA, loads int) trace.Workload {
+	progs := make([]trace.Program, ctas*warpsPerCTA)
+	for cta := 0; cta < ctas; cta++ {
+		for w := 0; w < warpsPerCTA; w++ {
+			base := uint64(cta*warpsPerCTA+w) * uint64(loads) * 128
+			g := &trace.SeqGen{Base: base, Stride: 128, Extent: 1 << 40}
+			progs[cta*warpsPerCTA+w] = trace.NewPhaseProgram(trace.Phase{N: loads, Gen: g})
+		}
+	}
+	return &trace.FuncWorkload{
+		WName: "prebuilt-stream",
+		Spec:  trace.KernelSpec{NumCTAs: ctas, WarpsPerCTA: warpsPerCTA},
+		Factory: func(cta, warp int) trace.Program {
+			return progs[cta*warpsPerCTA+warp]
+		},
+	}
+}
+
+// TestSteadyStateNoAllocs pins the allocation-free steady state of the run
+// loops on the no-observer path. Every simulator is pre-warmed by a first
+// RunContext that aborts at MaxCycles — by then each pool, heap, bitset and
+// scratch buffer has been sized — and the measured run resumes it to
+// completion. The remaining kernel work (warp ticks, CTA launches, MSHR and
+// cache traffic, event-skip bookkeeping, final Stats aggregation) must not
+// allocate a single byte. AllocsPerRun is unreliable under the race
+// detector, so `make race` runs this via the separate noalloc target.
+func TestSteadyStateNoAllocs(t *testing.T) {
+	for _, loop := range []struct {
+		name string
+		opt  Options
+	}{
+		{"event", Options{MaxCycles: 500}},
+		{"legacy", Options{MaxCycles: 500, UseLegacyLoop: true}},
+	} {
+		t.Run(loop.name, func(t *testing.T) {
+			const runs = 3
+			cfg := testConfig(8)
+			// AllocsPerRun invokes the function runs+1 times (one unmeasured
+			// warm-up call), and each invocation consumes one simulator.
+			sims := make([]*Simulator, 0, runs+1)
+			for len(sims) <= runs {
+				s, err := New(cfg, prebuiltWorkload(64, 4, 50), loop.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Run(); err == nil {
+					t.Fatal("warm-up run completed before MaxCycles; grow the workload")
+				}
+				s.opt.MaxCycles = 0
+				sims = append(sims, s)
+			}
+			ctx := context.Background()
+			var runErr error
+			i := 0
+			n := testing.AllocsPerRun(runs, func() {
+				if _, err := sims[i].RunContext(ctx); err != nil && runErr == nil {
+					runErr = err
+				}
+				i++
+			})
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+			if n != 0 {
+				t.Fatalf("steady-state simulation allocated %.1f times per run, want 0", n)
+			}
+		})
+	}
+}

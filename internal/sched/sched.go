@@ -1,0 +1,147 @@
+// Package sched provides the event-driven scheduling primitive shared by
+// the GPU and MCM run loops: an indexed min-heap of per-unit wake-up cycles.
+//
+// The dense reference loop ticks every SM every simulated cycle, paying
+// O(NumSMs) bookkeeping even when all but one SM sits in a hundred-cycle
+// memory stall. The event-driven loop instead keeps each SM's next
+// actionable cycle in this heap and ticks only the SMs whose wake-up is due,
+// which turns the per-cycle cost into O(active · log NumSMs).
+//
+// Bit-identical results depend on one property of this heap: among units
+// with the same wake-up cycle, Pop returns the smallest unit index first.
+// The shared memory hierarchy (NoC, LLC, DRAM queues) is stateful, so the
+// order in which SMs access it within one cycle is architecturally visible;
+// the dense loop established ascending-SM-ID order and the heap preserves
+// it via the (cycle, unit) lexicographic key.
+package sched
+
+// Heap is an indexed binary min-heap over unit indices 0..n-1 keyed by an
+// int64 wake-up cycle, with ties broken toward the smaller unit index. Each
+// unit appears at most once. The zero value is unusable; use NewHeap. All
+// operations after NewHeap are allocation-free.
+type Heap struct {
+	idx  []int   // heap order -> unit index
+	key  []int64 // heap order -> wake-up cycle
+	pos  []int   // unit index -> heap order, -1 if absent
+	size int
+}
+
+// NewHeap returns a heap for unit indices in [0, units).
+func NewHeap(units int) *Heap {
+	h := &Heap{
+		idx: make([]int, units),
+		key: make([]int64, units),
+		pos: make([]int, units),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of scheduled units.
+func (h *Heap) Len() int { return h.size }
+
+// Contains reports whether the unit is currently scheduled.
+func (h *Heap) Contains(unit int) bool { return h.pos[unit] >= 0 }
+
+// MinKey returns the earliest wake-up cycle. It must not be called on an
+// empty heap.
+func (h *Heap) MinKey() int64 { return h.key[0] }
+
+// Pop removes and returns the unit with the earliest wake-up cycle; among
+// equal cycles, the smallest unit index.
+func (h *Heap) Pop() (unit int, key int64) {
+	unit, key = h.idx[0], h.key[0]
+	h.pos[unit] = -1
+	h.size--
+	if h.size > 0 {
+		h.idx[0] = h.idx[h.size]
+		h.key[0] = h.key[h.size]
+		h.pos[h.idx[0]] = 0
+		h.down(0)
+	}
+	return unit, key
+}
+
+// Set schedules the unit at the given wake-up cycle, inserting it or moving
+// its existing entry.
+func (h *Heap) Set(unit int, key int64) {
+	if p := h.pos[unit]; p >= 0 {
+		old := h.key[p]
+		h.key[p] = key
+		if key < old {
+			h.up(p)
+		} else if key > old {
+			h.down(p)
+		}
+		return
+	}
+	h.idx[h.size] = unit
+	h.key[h.size] = key
+	h.pos[unit] = h.size
+	h.size++
+	h.up(h.size - 1)
+}
+
+// Remove deschedules the unit if it is scheduled.
+func (h *Heap) Remove(unit int) {
+	p := h.pos[unit]
+	if p < 0 {
+		return
+	}
+	h.pos[unit] = -1
+	h.size--
+	if p == h.size {
+		return
+	}
+	h.idx[p] = h.idx[h.size]
+	h.key[p] = h.key[h.size]
+	h.pos[h.idx[p]] = p
+	h.down(p)
+	h.up(p)
+}
+
+// less orders heap entries by (cycle, unit index).
+func (h *Heap) less(a, b int) bool {
+	if h.key[a] != h.key[b] {
+		return h.key[a] < h.key[b]
+	}
+	return h.idx[a] < h.idx[b]
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < h.size && h.less(l, small) {
+			small = l
+		}
+		if r < h.size && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *Heap) swap(a, b int) {
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+	h.key[a], h.key[b] = h.key[b], h.key[a]
+	h.pos[h.idx[a]] = a
+	h.pos[h.idx[b]] = b
+}

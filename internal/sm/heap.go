@@ -13,6 +13,21 @@ type warpHeap struct {
 
 func (h *warpHeap) len() int { return h.size }
 
+// grow pre-sizes the heap for warp indices [0, n): pushes within that range
+// never allocate afterwards.
+func (h *warpHeap) grow(n int) {
+	for len(h.pos) < n {
+		h.pos = append(h.pos, -1)
+	}
+	if cap(h.idx) < n {
+		idx := make([]int, h.size, n)
+		key := make([]int64, h.size, n)
+		copy(idx, h.idx[:h.size])
+		copy(key, h.key[:h.size])
+		h.idx, h.key = idx, key
+	}
+}
+
 func (h *warpHeap) ensure(warpIdx int) {
 	for len(h.pos) <= warpIdx {
 		h.pos = append(h.pos, -1)

@@ -138,6 +138,15 @@ type SM struct {
 	blockedMem   int
 	launchSeq    int64
 
+	// currentReady marks the GTO greedy warp as ready without it sitting in
+	// the ready heap. Greedy re-issue is the dominant pattern — a warp
+	// issues, blocks on its own load, is promoted, and issues again — and
+	// keeping it out of the heap turns that promote/pick cycle from a heap
+	// push plus an arbitrary-position removal into two flag writes. The
+	// scheduling decision is unchanged: GTO picks the current warp whenever
+	// it is ready, so it never competes in the heap's oldest-first ordering.
+	currentReady bool
+
 	stats Stats
 }
 
@@ -162,14 +171,21 @@ func NewWithPolicy(maxWarps, maxCTAs, computeLatency int, policy Policy) (*SM, e
 		return nil, fmt.Errorf("sm: unknown policy %v", policy)
 	}
 	s := &SM{
-		computeLat: int64(computeLatency),
-		maxWarps:   maxWarps,
-		maxCTAs:    maxCTAs,
-		policy:     policy,
-		warps:      make([]warp, 0, maxWarps),
-		ctaLive:    make([]int, maxCTAs),
-		current:    -1,
+		computeLat:   int64(computeLatency),
+		maxWarps:     maxWarps,
+		maxCTAs:      maxCTAs,
+		policy:       policy,
+		warps:        make([]warp, 0, maxWarps),
+		freeWarps:    make([]int, 0, maxWarps),
+		ctaLive:      make([]int, maxCTAs),
+		freeCTASlots: make([]int, 0, maxCTAs),
+		current:      -1,
 	}
+	// Pre-size everything the warp lifecycle touches: launch, issue,
+	// block, promote and retire must not allocate in steady state
+	// (TestSteadyStateNoAllocs in internal/gpu pins this).
+	s.ready.grow(maxWarps)
+	s.pending.grow(maxWarps)
 	for i := maxCTAs - 1; i >= 0; i-- {
 		s.freeCTASlots = append(s.freeCTASlots, i)
 	}
@@ -241,16 +257,20 @@ func (s *SM) Tick(now int64, mem MemPort) TickKind {
 			s.blockedMem--
 			w.waitMem = false
 		}
+		if s.policy == GTO && idx == s.current {
+			s.currentReady = true // greedy warp bypasses the ready heap
+			continue
+		}
 		s.ready.push(idx, s.readyKey(idx))
 	}
 
 	for {
 		var idx int
 		switch {
-		case s.policy == GTO && s.current >= 0 && s.warps[s.current].live && s.ready.contains(s.current):
+		case s.currentReady:
 			// Greedy: stay on the current warp while it is ready.
 			idx = s.current
-			s.ready.remove(idx)
+			s.currentReady = false
 		case s.ready.len() > 0:
 			// Then-oldest: the ready warp with the smallest age.
 			idx, _ = s.ready.pop()
@@ -308,6 +328,7 @@ func (s *SM) retire(idx int) {
 	s.freeWarps = append(s.freeWarps, idx)
 	if s.current == idx {
 		s.current = -1
+		s.currentReady = false
 	}
 	slot := w.ctaSlot
 	s.ctaLive[slot]--
@@ -341,11 +362,32 @@ func (s *SM) Accrue(kind TickKind, weight uint64) {
 	}
 }
 
+// HasReady reports whether a warp could issue (or retire) right now without
+// waiting for any pending dependency to resolve.
+func (s *SM) HasReady() bool { return s.currentReady || s.ready.len() > 0 }
+
+// StallKind returns the classification Tick would report for a cycle in
+// which this SM cannot act — no ready warp and no promotion due: Idle
+// without live warps, StallMem while any blocked warp waits on memory,
+// StallPipe otherwise. It is pure, so the event-driven run loop can accrue
+// a whole stalled interval in one call instead of ticking every cycle; the
+// classification is constant between wake-ups because liveWarps and
+// blockedMem only change inside Tick or LaunchCTA.
+func (s *SM) StallKind() TickKind {
+	if s.liveWarps == 0 {
+		return Idle
+	}
+	if s.blockedMem > 0 {
+		return StallMem
+	}
+	return StallPipe
+}
+
 // NextEvent returns the earliest cycle at which a blocked warp becomes
 // ready, and false when nothing is pending (the SM is idle or has a warp
 // ready right now).
 func (s *SM) NextEvent() (int64, bool) {
-	if s.ready.len() > 0 {
+	if s.currentReady || s.ready.len() > 0 {
 		return 0, false // a warp is ready immediately; no skipping possible
 	}
 	if s.pending.len() == 0 {
