@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet short test race quick verify noalloc deprecated-gate bench
+.PHONY: build vet short test race quick verify noalloc deprecated-gate bench bench-check
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,7 @@ race: noalloc
 noalloc:
 	$(GO) test -run 'TestNilObserverNoAllocs' .
 	$(GO) test -run 'TestNilHooksNoAllocs' ./internal/obs/
-	$(GO) test -run 'TestSteadyStateNoAllocs' ./internal/gpu/
+	$(GO) test -run 'TestSteadyStateNoAllocs' ./internal/gpu/ ./internal/chiplet/
 
 # The performance regression harness. BenchmarkSimulatorHotPath compares
 # the event-driven run loop against the dense legacy baseline on full
@@ -53,6 +53,13 @@ bench:
 		-benchmem ./internal/gpu/
 	$(GO) test -run XXX -bench 'BenchmarkCacheAccess|BenchmarkMSHR' -benchmem ./internal/cache/
 	$(GO) test -run XXX -bench 'BenchmarkFigure|BenchmarkTable' -benchmem -benchtime 1x .
+
+# The throughput regression guard: re-runs the hot-path cells and fails if
+# any cell's simMcyc/s drops more than 20% below the committed
+# BENCH_hotpath.json. Machine-sensitive — run on an idle box; CI runs it as
+# a separate non-blocking job.
+bench-check:
+	$(GO) run ./cmd/benchcheck -baseline $(CURDIR)/BENCH_hotpath.json
 
 # The API migration gate: the deprecated entry points (Simulate,
 # SimulateWithOptions, SimulateSequence, SimulateMCM) may be called only by

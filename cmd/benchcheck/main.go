@@ -1,0 +1,123 @@
+// Command benchcheck guards the simulator's host-side performance: it
+// re-runs the hot-path benchmark harness (BenchmarkSimulatorHotPath, GPU
+// and MCM cells) and fails if any cell's simulated-megacycles-per-second
+// throughput regressed by more than the tolerance against the committed
+// BENCH_hotpath.json.
+//
+// Usage:
+//
+//	benchcheck                        # compare against ./BENCH_hotpath.json
+//	benchcheck -tolerance 0.1        # tighten to 10%
+//	benchcheck -benchtime 2x         # average over more runs
+//
+// The tolerance is deliberately loose (20% by default): the committed
+// numbers come from one reference machine, and the guard is meant to catch
+// order-of-magnitude hot-path regressions (an accidentally quadratic loop,
+// a lost fast path, allocations back on the steady-state path), not to
+// compare hardware. Run it on an otherwise idle machine; `make bench-check`
+// wires it up, and CI runs it as a separate non-blocking job.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// benchFile mirrors the parts of BENCH_hotpath.json the check consumes.
+type benchFile struct {
+	Results map[string]struct {
+		SimMcyclesPerSec float64 `json:"sim_mcycles_per_sec"`
+	} `json:"results"`
+}
+
+func readBench(path string) (benchFile, error) {
+	var f benchFile
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return f, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(f.Results) == 0 {
+		return f, fmt.Errorf("%s has no results", path)
+	}
+	return f, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "committed benchmark summary to compare against")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional throughput loss per cell before failing")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime for the fresh run")
+	pkg := flag.String("pkg", "./internal/gpu/", "package holding the hot-path benchmarks")
+	flag.Parse()
+
+	baseline, err := readBench(*baselinePath)
+	if err != nil {
+		fatalf("benchcheck: baseline: %v", err)
+	}
+
+	tmp, err := os.MkdirTemp("", "benchcheck")
+	if err != nil {
+		fatalf("benchcheck: %v", err)
+	}
+	defer os.RemoveAll(tmp)
+	freshPath := filepath.Join(tmp, "fresh.json")
+
+	cmd := exec.Command("go", "test", "-run", "XXX",
+		"-bench", "BenchmarkSimulatorHotPath", "-benchtime", *benchtime, *pkg)
+	cmd.Env = append(os.Environ(), "BENCH_HOTPATH_JSON="+freshPath)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	fmt.Printf("benchcheck: running %v\n", cmd.Args)
+	if err := cmd.Run(); err != nil {
+		fatalf("benchcheck: benchmark run failed: %v", err)
+	}
+
+	fresh, err := readBench(freshPath)
+	if err != nil {
+		fatalf("benchcheck: fresh run: %v", err)
+	}
+
+	cells := make([]string, 0, len(baseline.Results))
+	for name := range baseline.Results {
+		cells = append(cells, name)
+	}
+	sort.Strings(cells)
+
+	failed := false
+	for _, name := range cells {
+		base := baseline.Results[name].SimMcyclesPerSec
+		got, ok := fresh.Results[name]
+		switch {
+		case !ok:
+			fmt.Printf("FAIL %-18s missing from fresh run (baseline stale? regenerate with `make bench`)\n", name)
+			failed = true
+		case base <= 0:
+			fmt.Printf("skip %-18s baseline has no throughput\n", name)
+		default:
+			ratio := got.SimMcyclesPerSec / base
+			status := "ok  "
+			if ratio < 1-*tolerance {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %-18s %8.4f simMcyc/s vs %8.4f baseline (%+.1f%%)\n",
+				status, name, got.SimMcyclesPerSec, base, (ratio-1)*100)
+		}
+	}
+	if failed {
+		fatalf("benchcheck: hot-path throughput regressed more than %.0f%% (or cells went missing)", *tolerance*100)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -61,22 +61,47 @@ func goldenCells(t *testing.T) []goldenEntry {
 		cells = append(cells, goldenEntry{Label: labels[i], Sim: &st})
 	}
 
-	// One chiplet configuration: the 4-chiplet scale model of the paper's
-	// 16-chiplet target, on the three representative benchmarks.
-	mcmCfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), 4)
-	if err != nil {
-		t.Fatalf("golden chiplet config: %v", err)
+	// Two chiplet configurations: the 4- and 2-chiplet scale models of the
+	// paper's 16-chiplet target, on the three representative benchmarks.
+	// Pinning two MCM sizes makes the chiplet run loop's within-cycle
+	// ordering (chip-major SM walk, shared link and LLC arbitration)
+	// observable at more than one bitset width.
+	for _, chips := range []int{4, 2} {
+		mcmCfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), chips)
+		if err != nil {
+			t.Fatalf("golden chiplet config: %v", err)
+		}
+		for _, name := range []string{"dct", "bfs", "pf"} {
+			bench, err := gpuscale.BenchmarkByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := gpuscale.SimulateMCMContext(ctx, mcmCfg, bench.Workload)
+			if err != nil {
+				t.Fatalf("golden chiplet cell %s/%dc: %v", name, chips, err)
+			}
+			cells = append(cells, goldenEntry{Label: fmt.Sprintf("chiplet/%s/%dc", name, chips), MCM: &st})
+		}
 	}
-	for _, name := range []string{"dct", "bfs", "pf"} {
-		bench, err := gpuscale.BenchmarkByName(name)
+
+	// Weak-scaling MCM cells: two Table IV families from the paper's chiplet
+	// case study, each with its input scaled to the 4-chiplet model's SM
+	// count (the case study's own protocol).
+	mcmWeakCfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), 4)
+	if err != nil {
+		t.Fatalf("golden chiplet weak config: %v", err)
+	}
+	weakSMs := mcmWeakCfg.NumChiplets * mcmWeakCfg.Chiplet.NumSMs
+	for _, name := range []string{"bfs", "va"} {
+		fam, err := gpuscale.WeakBenchmarkByName(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := gpuscale.SimulateMCMContext(ctx, mcmCfg, bench.Workload)
+		st, err := gpuscale.SimulateMCMContext(ctx, mcmWeakCfg, fam.ForSMs(weakSMs))
 		if err != nil {
-			t.Fatalf("golden chiplet cell %s: %v", name, err)
+			t.Fatalf("golden chiplet weak cell %s: %v", name, err)
 		}
-		cells = append(cells, goldenEntry{Label: "chiplet/" + name + "/4c", MCM: &st})
+		cells = append(cells, goldenEntry{Label: "chiplet-weak/" + name + "/4c", MCM: &st})
 	}
 
 	// One multi-kernel sequence: three kernels back to back with a grid

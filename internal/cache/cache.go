@@ -20,13 +20,19 @@ type Cache struct {
 	lineBits uint
 	setMask  uint64
 	// tags[set*ways+i] holds the line tag in recency order: index 0 is
-	// MRU, index ways-1 is LRU. valid tracks occupancy per way.
-	tags  []uint64
-	valid []bool
+	// MRU, index ways-1 is LRU. Empty ways hold invalidTag, which no real
+	// line can equal (line addresses are byte addresses shifted right by
+	// the offset bits), so residency is a single tag compare and the scan
+	// is one sequential pass over the set's tag words.
+	tags []uint64
 
 	hits   uint64
 	misses uint64
 }
+
+// invalidTag marks an unoccupied way. Line addresses lose their offset bits
+// to the right shift, so the all-ones pattern cannot collide with a line.
+const invalidTag = ^uint64(0)
 
 // New constructs a cache with the given total capacity in bytes, the number
 // of ways, and the line size (a power of two). Capacity is rounded down to
@@ -60,13 +66,16 @@ func New(capacityBytes int64, ways, lineSize int) (*Cache, error) {
 	for 1<<lb != lineSize {
 		lb++
 	}
+	tags := make([]uint64, sets*ways)
+	for i := range tags {
+		tags[i] = invalidTag
+	}
 	return &Cache{
 		ways:     ways,
 		sets:     sets,
 		lineBits: lb,
 		setMask:  uint64(sets - 1),
-		tags:     make([]uint64, sets*ways),
-		valid:    make([]bool, sets*ways),
+		tags:     tags,
 	}, nil
 }
 
@@ -85,11 +94,11 @@ func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits }
 
 // findWay scans one set for the line (the full line address doubles as the
 // tag) and returns the way holding it, or -1 on a miss. base is the set's
-// first index into tags/valid. Shared by Access and Probe so the two can
-// never disagree on residency.
+// first index into tags. Shared by Access and Probe so the two can never
+// disagree on residency.
 func (c *Cache) findWay(base int, line uint64) int {
-	for i := 0; i < c.ways; i++ {
-		if c.valid[base+i] && c.tags[base+i] == line {
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == line {
 			return i
 		}
 	}
@@ -105,17 +114,13 @@ func (c *Cache) Access(addr uint64) bool {
 	if i := c.findWay(base, line); i >= 0 {
 		// Hit: move to MRU position.
 		copy(c.tags[base+1:base+i+1], c.tags[base:base+i])
-		copy(c.valid[base+1:base+i+1], c.valid[base:base+i])
 		c.tags[base] = line
-		c.valid[base] = true
 		c.hits++
 		return true
 	}
 	// Miss: evict LRU (last way), install at MRU.
 	copy(c.tags[base+1:base+c.ways], c.tags[base:base+c.ways-1])
-	copy(c.valid[base+1:base+c.ways], c.valid[base:base+c.ways-1])
 	c.tags[base] = line
-	c.valid[base] = true
 	c.misses++
 	return false
 }

@@ -11,22 +11,43 @@ import "gpuscale/internal/obs"
 // Each entry remembers the completion time of the underlying memory request
 // so that merged requesters wake at the same cycle the data returns.
 //
-// The file is a pair of flat parallel arrays sized to capacity rather than a
-// map: MSHR capacities are small (tens of entries), so a linear scan beats
-// hashing on every Lookup and the structure never allocates after
-// NewMSHRFile. Entries whose completion time has passed are reclaimed
-// lazily: Lookup and Full take the current cycle and drop expired entries
-// before answering, and a cached minimum completion time makes that check
-// O(1) when nothing has completed. Removal order does not matter — every
-// operation (exact-match lookup, count, minimum) is order-independent, which
-// is also why the old map's random iteration order produced the same
-// results.
+// The file is a set of flat parallel arrays sized to capacity rather than a
+// map: MSHR capacities are small (tens to hundreds of entries), so a linear
+// scan beats hashing on every Lookup and the structure never allocates
+// after NewMSHRFile. Alongside the slot arrays it keeps an index min-heap
+// ordered by completion time, so reclamation costs O(log n) per completed
+// entry rather than a full-file scan — in a memory-saturated simulation
+// some entry completes almost every cycle, which made scan-based expiry the
+// single hottest function in the run-loop profile.
+//
+// Reclamation of completed entries is batched: the run loop calls
+// Expire(now) once per SM per visited cycle (immediately before the SM's
+// Tick, hence before any Access that cycle). Lookup does not reclaim; it
+// simply ignores entries whose completion cycle has passed, so its answers
+// are exact under any expiry schedule. Full still reclaims, but only when
+// the file looks full — without it a file clogged with completed entries
+// could refuse an Allocate. Between Expire calls Outstanding may overcount
+// (see its doc); every timing-visible answer (Lookup, Full, Allocate, and
+// NextCompletion as consumed after the pre-Tick Expire) is unchanged, which
+// is how the batched contract keeps Stats bit-identical. Slot order is
+// scrambled by swap-removal, but every answer (exact-match lookup, count,
+// minimum) is order-independent — which is also why the old map's random
+// iteration order produced the same results.
 type MSHRFile struct {
 	capacity int
 	lines    []uint64 // line addresses of outstanding misses, in slots [0, n)
 	comps    []int64  // completion cycle of each outstanding miss
-	n        int
-	nextComp int64 // min of comps[:n]; meaningful only when n > 0
+	// The index heap stores completion times inline (hcomp) next to the
+	// slot they belong to (hslot) instead of indirecting through
+	// comps[heap[i]]: heap comparisons are the hottest loads in a
+	// memory-saturated run, and the inline copy turns each one into a
+	// single sequential read — the four children of a 4-ary node span 32
+	// bytes of hcomp. comps stays authoritative for the slot arrays; the
+	// two are updated together.
+	hcomp []int64 // heap position → completion time (copy of comps[hslot])
+	hslot []int32 // heap position → slot
+	hpos  []int32 // slot → heap position
+	n     int
 }
 
 // NewMSHRFile returns an MSHR file with the given entry capacity.
@@ -38,17 +59,24 @@ func NewMSHRFile(capacity int) *MSHRFile {
 		capacity: capacity,
 		lines:    make([]uint64, capacity),
 		comps:    make([]int64, capacity),
+		hcomp:    make([]int64, capacity),
+		hslot:    make([]int32, capacity),
+		hpos:     make([]int32, capacity),
 	}
 }
 
 // Lookup returns the completion cycle of a miss on line still outstanding at
-// cycle now, if one exists. Entries completing at or before now are
-// reclaimed first, which keeps the scan length at the number of live misses
-// (bounded by the number of blocked warps) rather than the file's capacity.
+// cycle now, if one exists. It does not reclaim: an entry whose completion
+// cycle has passed is reported as absent (the data already returned, so
+// there is nothing to merge into) and is left for the next batched Expire.
+// Line addresses are unique in the file (Allocate merges), so at most one
+// entry can match and the expired-entry check cannot mask a live one.
 func (m *MSHRFile) Lookup(now int64, line uint64) (completion int64, ok bool) {
-	m.Expire(now)
 	for i := 0; i < m.n; i++ {
 		if m.lines[i] == line {
+			if m.comps[i] <= now {
+				return 0, false // completed; awaiting batched reclamation
+			}
 			return m.comps[i], true
 		}
 	}
@@ -73,12 +101,10 @@ func (m *MSHRFile) Allocate(line uint64, completion int64) bool {
 	for i := 0; i < m.n; i++ {
 		if m.lines[i] == line {
 			if completion > m.comps[i] {
-				wasMin := m.comps[i] == m.nextComp
 				m.comps[i] = completion
-				// Raising a non-minimum entry cannot change the minimum.
-				if wasMin {
-					m.recomputeNext()
-				}
+				h := int(m.hpos[i])
+				m.hcomp[h] = completion
+				m.siftDown(h) // key increased; may move toward leaves
 			}
 			return true
 		}
@@ -86,56 +112,101 @@ func (m *MSHRFile) Allocate(line uint64, completion int64) bool {
 	if m.n >= m.capacity {
 		return false
 	}
-	m.lines[m.n] = line
-	m.comps[m.n] = completion
-	if m.n == 0 || completion < m.nextComp {
-		m.nextComp = completion
-	}
+	s := m.n
+	m.lines[s] = line
+	m.comps[s] = completion
+	m.hcomp[s] = completion
+	m.hslot[s] = int32(s)
+	m.hpos[s] = int32(s)
 	m.n++
+	m.siftUp(s)
 	return true
 }
 
 // Expire releases every entry whose completion cycle is ≤ now and returns
-// how many were released. The cached minimum makes the no-op case — nothing
-// has completed yet — a single comparison; when a scan does run, the new
-// minimum is computed in the same pass.
+// how many were released. The heap root makes the no-op case — nothing has
+// completed yet — a single comparison, and each release costs O(log n).
 func (m *MSHRFile) Expire(now int64) int {
-	if m.n == 0 || m.nextComp > now {
-		return 0
-	}
 	released := 0
-	min := int64(0)
-	first := true
-	for i := 0; i < m.n; {
-		c := m.comps[i]
-		if c <= now {
-			m.n--
-			m.lines[i] = m.lines[m.n]
-			m.comps[i] = m.comps[m.n]
-			released++
-			continue // re-examine the entry swapped into slot i
-		}
-		if first || c < min {
-			min = c
-			first = false
-		}
-		i++
+	for m.n > 0 && m.hcomp[0] <= now {
+		m.removeSlot(int(m.hslot[0]))
+		released++
 	}
-	m.nextComp = min
 	return released
 }
 
-func (m *MSHRFile) recomputeNext() {
-	if m.n == 0 {
-		return
+// removeSlot deletes occupied slot s: it detaches s from the heap, then
+// compacts the slot arrays by moving the highest occupied slot into s.
+func (m *MSHRFile) removeSlot(s int) {
+	m.n--
+	last := m.n
+	// Heap removal: move the heap's last element into s's position and
+	// restore the invariant in both directions (the moved element is
+	// arbitrary relative to that subtree).
+	h := int(m.hpos[s])
+	if h != last {
+		m.hcomp[h] = m.hcomp[last]
+		moved := m.hslot[last]
+		m.hslot[h] = moved
+		m.hpos[moved] = int32(h)
+		m.siftDown(h)
+		m.siftUp(h)
 	}
-	best := m.comps[0]
-	for i := 1; i < m.n; i++ {
-		if m.comps[i] < best {
-			best = m.comps[i]
+	// Slot compaction: relocate slot `last` into s and redirect its heap
+	// entry. (If the heap move above relocated slot `last` its position was
+	// already updated, and hpos[last] reads the fresh value.)
+	if s != last {
+		m.lines[s] = m.lines[last]
+		m.comps[s] = m.comps[last]
+		hp := m.hpos[last]
+		m.hpos[s] = hp
+		m.hslot[hp] = int32(s)
+	}
+}
+
+// The heap is 4-ary: expiry is sift-down dominated (every release sifts a
+// leaf element from the root), and the wider fan-out halves the depth and
+// keeps each level's children in one or two cache lines.
+
+func (m *MSHRFile) siftUp(h int) {
+	for h > 0 {
+		p := (h - 1) / 4
+		if m.hcomp[p] <= m.hcomp[h] {
+			return
 		}
+		m.swap(p, h)
+		h = p
 	}
-	m.nextComp = best
+}
+
+func (m *MSHRFile) siftDown(h int) {
+	for {
+		c := 4*h + 1
+		if c >= m.n {
+			return
+		}
+		end := c + 4
+		if end > m.n {
+			end = m.n
+		}
+		for r := c + 1; r < end; r++ {
+			if m.hcomp[r] < m.hcomp[c] {
+				c = r
+			}
+		}
+		if m.hcomp[h] <= m.hcomp[c] {
+			return
+		}
+		m.swap(c, h)
+		h = c
+	}
+}
+
+func (m *MSHRFile) swap(a, b int) {
+	m.hcomp[a], m.hcomp[b] = m.hcomp[b], m.hcomp[a]
+	m.hslot[a], m.hslot[b] = m.hslot[b], m.hslot[a]
+	m.hpos[m.hslot[a]] = int32(a)
+	m.hpos[m.hslot[b]] = int32(b)
 }
 
 // NextCompletion returns the earliest completion cycle among outstanding
@@ -144,7 +215,7 @@ func (m *MSHRFile) NextCompletion() (int64, bool) {
 	if m.n == 0 {
 		return 0, false
 	}
-	return m.nextComp, true
+	return m.hcomp[0], true
 }
 
 // Outstanding returns the number of occupied slots. Because reclamation is

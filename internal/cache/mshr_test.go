@@ -1,6 +1,9 @@
 package cache
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 // TestMSHRCapacityOneBoundary pins the structural-stall boundary on the
 // smallest possible file: with one entry outstanding the file is full for
@@ -66,11 +69,14 @@ func TestMSHRSimultaneousCompletions(t *testing.T) {
 	}
 }
 
-// TestMSHRLazyExpiryViaLookupAndFull verifies that Lookup and Full reclaim
-// completed entries themselves — the simulator never calls Expire
-// explicitly anymore — and that a merge extending an entry past the current
-// minimum keeps NextCompletion correct.
-func TestMSHRLazyExpiryViaLookupAndFull(t *testing.T) {
+// TestMSHRBatchedExpiryContract pins the deferred-reclamation contract: the
+// run loop batches Expire to once per SM per visited cycle, so between
+// Expires, Lookup must treat completed entries as absent without reclaiming
+// them, Full must still reclaim when the file looks full (otherwise a file
+// clogged with completed entries would refuse new misses), and a merge
+// extending an entry past the current minimum must keep NextCompletion
+// correct.
+func TestMSHRBatchedExpiryContract(t *testing.T) {
 	m := NewMSHRFile(2)
 	m.Allocate(1, 10)
 	m.Allocate(2, 40)
@@ -83,15 +89,21 @@ func TestMSHRLazyExpiryViaLookupAndFull(t *testing.T) {
 	if !m.Full(10) {
 		t.Error("file should still be full at cycle 10 after the merge")
 	}
-	// Lookup at cycle 35 reclaims line 1 as a side effect.
+	// Lookup at cycle 35 sees line 1 as completed but does NOT reclaim it:
+	// the live count stays deferred until the next Expire or Full.
 	if _, ok := m.Lookup(35, 1); ok {
 		t.Error("line 1 should have completed by cycle 35")
 	}
-	if m.Outstanding() != 1 {
-		t.Errorf("outstanding = %d, want 1", m.Outstanding())
+	if m.Outstanding() != 2 {
+		t.Errorf("outstanding = %d, want 2 (reclamation is deferred)", m.Outstanding())
 	}
+	// Full at capacity reclaims, exposing the free slot exactly as the
+	// per-access contract did.
 	if m.Full(35) {
 		t.Error("file should have a free slot at cycle 35")
+	}
+	if m.Outstanding() != 1 {
+		t.Errorf("outstanding after Full = %d, want 1", m.Outstanding())
 	}
 	// A fresh allocate to a line whose previous miss completed starts a
 	// brand-new entry rather than "merging with the past".
@@ -100,6 +112,167 @@ func TestMSHRLazyExpiryViaLookupAndFull(t *testing.T) {
 	}
 	if c, ok := m.Lookup(50, 1); !ok || c != 100 {
 		t.Errorf("re-allocated entry = %d,%v, want 100,true", c, ok)
+	}
+	// The batched driver call: Expire reclaims everything completed by now.
+	if n := m.Expire(60); n != 1 {
+		t.Errorf("Expire(60) released %d entries, want 1 (line 2 at 40)", n)
+	}
+	if m.Outstanding() != 1 {
+		t.Errorf("outstanding after Expire = %d, want 1", m.Outstanding())
+	}
+}
+
+// TestMSHRAllocateMergesIntoCompletedEntry pins the resurrection path: when
+// reclamation is deferred, Allocate of a line whose stale (completed) entry
+// is still in the file must merge into that slot with the new, later
+// completion winning — equivalent to reclaim-then-allocate, without needing
+// an Expire first.
+func TestMSHRAllocateMergesIntoCompletedEntry(t *testing.T) {
+	m := NewMSHRFile(4)
+	m.Allocate(7, 10)
+	m.Allocate(8, 12)
+	// No Expire runs; at cycle 20 both entries are stale. A new miss on
+	// line 7 reuses its slot.
+	if !m.Allocate(7, 50) {
+		t.Fatal("merge into completed entry failed")
+	}
+	if c, ok := m.Lookup(20, 7); !ok || c != 50 {
+		t.Errorf("Lookup(20, 7) = %d,%v, want 50,true", c, ok)
+	}
+	if m.Outstanding() != 2 {
+		t.Errorf("outstanding = %d, want 2", m.Outstanding())
+	}
+	// The stale minimum (10) still gates nothing incorrectly: Expire at 20
+	// drops only line 8 and recomputes the minimum to 50.
+	if n := m.Expire(20); n != 1 {
+		t.Errorf("Expire(20) released %d entries, want 1", n)
+	}
+	if nc, ok := m.NextCompletion(); !ok || nc != 50 {
+		t.Errorf("NextCompletion = %d,%v, want 50,true", nc, ok)
+	}
+}
+
+// mshrModel is the naive reference implementation of the batched-expiry
+// contract: an append-only slice with full rescans everywhere. The
+// heap-indexed MSHRFile must agree with it on every observable answer.
+type mshrModel struct {
+	capacity int
+	lines    []uint64
+	comps    []int64
+}
+
+func (m *mshrModel) lookup(now int64, line uint64) (int64, bool) {
+	for i, l := range m.lines {
+		if l == line {
+			if m.comps[i] <= now {
+				return 0, false
+			}
+			return m.comps[i], true
+		}
+	}
+	return 0, false
+}
+
+func (m *mshrModel) expire(now int64) int {
+	released := 0
+	for i := 0; i < len(m.lines); {
+		if m.comps[i] <= now {
+			m.lines[i] = m.lines[len(m.lines)-1]
+			m.comps[i] = m.comps[len(m.comps)-1]
+			m.lines = m.lines[:len(m.lines)-1]
+			m.comps = m.comps[:len(m.comps)-1]
+			released++
+			continue
+		}
+		i++
+	}
+	return released
+}
+
+func (m *mshrModel) full(now int64) bool {
+	if len(m.lines) < m.capacity {
+		return false
+	}
+	m.expire(now)
+	return len(m.lines) >= m.capacity
+}
+
+func (m *mshrModel) allocate(line uint64, completion int64) bool {
+	for i, l := range m.lines {
+		if l == line {
+			if completion > m.comps[i] {
+				m.comps[i] = completion
+			}
+			return true
+		}
+	}
+	if len(m.lines) >= m.capacity {
+		return false
+	}
+	m.lines = append(m.lines, line)
+	m.comps = append(m.comps, completion)
+	return true
+}
+
+func (m *mshrModel) nextCompletion() (int64, bool) {
+	if len(m.lines) == 0 {
+		return 0, false
+	}
+	best := m.comps[0]
+	for _, c := range m.comps[1:] {
+		if c < best {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// TestMSHRMatchesReferenceModel drives the heap-indexed file and the naive
+// reference through a long randomized schedule of allocates (fresh, merge,
+// and stale-resurrection), lookups, batched expiries, fullness probes and
+// minimum queries with time advancing irregularly, cross-checking every
+// answer. This pins the index-heap bookkeeping (sift directions, arbitrary
+// deletion, slot compaction) against the simple semantics.
+func TestMSHRMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMSHRFile(24)
+	ref := &mshrModel{capacity: 24}
+	now := int64(0)
+	for iter := 0; iter < 200000; iter++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // allocate: small line space forces merges and resurrections
+			line := uint64(rng.Intn(40))
+			comp := now + 1 + int64(rng.Intn(120))
+			if got, want := m.Allocate(line, comp), ref.allocate(line, comp); got != want {
+				t.Fatalf("iter %d: Allocate(%d, %d) = %v, want %v", iter, line, comp, got, want)
+			}
+		case 4, 5: // lookup
+			line := uint64(rng.Intn(40))
+			gc, gok := m.Lookup(now, line)
+			wc, wok := ref.lookup(now, line)
+			if gc != wc || gok != wok {
+				t.Fatalf("iter %d: Lookup(%d, %d) = %d,%v, want %d,%v", iter, now, line, gc, gok, wc, wok)
+			}
+		case 6: // batched expiry
+			if got, want := m.Expire(now), ref.expire(now); got != want {
+				t.Fatalf("iter %d: Expire(%d) = %d, want %d", iter, now, got, want)
+			}
+		case 7: // fullness probe (reclaims when apparently full)
+			if got, want := m.Full(now), ref.full(now); got != want {
+				t.Fatalf("iter %d: Full(%d) = %v, want %v", iter, now, got, want)
+			}
+		case 8: // minimum query
+			gc, gok := m.NextCompletion()
+			wc, wok := ref.nextCompletion()
+			if gc != wc || gok != wok {
+				t.Fatalf("iter %d: NextCompletion = %d,%v, want %d,%v", iter, gc, gok, wc, wok)
+			}
+		case 9: // advance time irregularly so expiry batches vary in size
+			now += int64(rng.Intn(40))
+		}
+		if m.Outstanding() != len(ref.lines) {
+			t.Fatalf("iter %d: outstanding = %d, want %d", iter, m.Outstanding(), len(ref.lines))
+		}
 	}
 }
 

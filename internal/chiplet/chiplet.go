@@ -13,6 +13,7 @@ package chiplet
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"strconv"
 
 	"gpuscale/internal/bandwidth"
@@ -70,6 +71,7 @@ type chipletState struct {
 type smRef struct {
 	m *sm.SM
 	p *port
+	f *cache.MSHRFile // this SM's MSHR file, for batched per-cycle expiry
 }
 
 // Simulator is a configured MCM GPU plus workload. Use New.
@@ -95,15 +97,23 @@ type Simulator struct {
 	maxCyc   int64
 	legacy   bool
 
-	// Event-driven run-loop state (see gpu.Simulator for the full design).
+	// Event-driven run-loop state (see gpu.Simulator for the full design):
+	// SMs due this cycle sit in the curDue bitset, SMs due at now+1 go to
+	// nextDue without touching the heap, and only far-future wake-ups pay
+	// for sched.Heap ordering.
 	all        []smRef
 	wake       *sched.Heap
+	curDue     []uint64
+	nextDue    []uint64
+	nextAny    bool
 	accrueAt   []int64
 	tickedID   []int
 	tickedKind []sm.TickKind
 	liveTotal  int
 	ctaDirty   bool
 	progBuf    []trace.Program
+	arena      *trace.Arena
+	aw         trace.ArenaWorkload // non-nil if the workload is arena-managed
 
 	// Observability handles; all nil when Options.Recorder is nil.
 	stream      *obs.Stream
@@ -199,14 +209,25 @@ func New(cfg config.ChipletConfig, w trace.Workload, opt Options) (*Simulator, e
 	s.all = make([]smRef, 0, total)
 	for c, cs := range s.chips {
 		for i, m := range cs.sms {
-			s.all = append(s.all, smRef{m: m, p: &port{sim: s, chip: c, smID: i}})
+			s.all = append(s.all, smRef{m: m, p: &port{sim: s, chip: c, smID: i}, f: cs.mshrs[i]})
 		}
 	}
 	s.wake = sched.NewHeap(total)
+	s.curDue = make([]uint64, (total+63)/64)
+	s.nextDue = make([]uint64, (total+63)/64)
 	s.accrueAt = make([]int64, total)
 	s.tickedID = make([]int, total)
 	s.tickedKind = make([]sm.TickKind, total)
 	s.progBuf = make([]trace.Program, k.WarpsPerCTA)
+	// Workload arena: recycle programs and generators across CTA launches
+	// for arena-managed workloads (see gpu.NewSequence).
+	s.arena = trace.NewArena(total * ch.WarpsPerSM)
+	if aw, ok := trace.AsArenaWorkload(w); ok {
+		s.aw = aw
+	}
+	for _, r := range s.all {
+		r.m.SetRecycler(s)
+	}
 	s.ctaDirty = true
 	if rec := opt.Recorder; rec.Enabled() {
 		label := cfg.Name + "/" + w.Name()
@@ -245,8 +266,9 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 			return now + int64(ch.L1HitLatency)
 		}
 	}
-	// MSHR work happens only on this miss path; Lookup and Full reclaim
-	// completed entries themselves (see gpu's port.Access).
+	// MSHR reclamation is batched: both run loops Expire this SM's file
+	// once per visited cycle, right before the Tick that issues this
+	// access, so no completed entry is live here (see gpu's port.Access).
 	mshr := cs.mshrs[p.smID]
 	load := in.Kind == trace.Load
 	if load && !bypass {
@@ -320,15 +342,24 @@ func (s *Simulator) fillCTAs() {
 				continue
 			}
 			progs := s.progBuf[:s.warpsPer]
-			for wpi := range progs {
-				progs[wpi] = s.workload.NewProgram(s.nextCTA, wpi)
+			if s.aw != nil {
+				for wpi := range progs {
+					progs[wpi] = s.aw.NewProgramIn(s.arena, s.nextCTA, wpi)
+				}
+			} else {
+				for wpi := range progs {
+					progs[wpi] = s.workload.NewProgram(s.nextCTA, wpi)
+				}
 			}
 			if !s.legacy {
 				// Settle the SM's idle interval before the launch changes
-				// its classification, then wake it this cycle.
+				// its classification, then schedule it to act this cycle.
+				// The SM must live in exactly one wake structure, so drop
+				// any far wake-up from the heap before setting its due bit.
 				global := c*s.cfg.Chiplet.NumSMs + i
 				s.flushAccrual(global)
-				s.wake.Set(global, s.now)
+				s.wake.Remove(global)
+				s.curDue[global>>6] |= 1 << (uint(global) & 63)
 			}
 			m.LaunchCTA(progs)
 			s.liveTotal += s.warpsPer
@@ -338,6 +369,14 @@ func (s *Simulator) fillCTAs() {
 		if !launched {
 			return
 		}
+	}
+}
+
+// Release implements sm.ProgramRecycler: retired warp programs return to
+// the simulation's arena when the workload is arena-managed.
+func (s *Simulator) Release(p trace.Program) {
+	if s.aw != nil {
+		s.arena.Release(p)
 	}
 }
 
@@ -377,8 +416,9 @@ func (s *Simulator) flushAllAccruals() {
 }
 
 // runEvent is the event-driven run loop: per simulated cycle it ticks only
-// the SMs whose wake-up is due, in chip-major order (the wake heap's
-// tie-break), matching the dense reference loop bit for bit.
+// the SMs whose wake-up is due, in chip-major order (ascending bitset walk,
+// matching the wake heap's tie-break), matching the dense reference loop
+// bit for bit.
 func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 	iters := 0
 	for {
@@ -405,30 +445,53 @@ func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 			return Stats{}, fmt.Errorf("chiplet: %q on %s exceeded MaxCycles=%d",
 				s.workload.Name(), s.cfg.Name, s.maxCyc)
 		}
-		issued := false
-		nTicked := 0
+		// Merge due heap entries into the bitset, then tick bits in word
+		// order: TrailingZeros64 walks set bits low-to-high, so SMs tick in
+		// ascending global (chip-major) index regardless of which structure
+		// scheduled them — the dense loop's shared-resource order.
 		for s.wake.Len() > 0 && s.wake.MinKey() <= s.now {
 			g, _ := s.wake.Pop()
-			s.flushAccrual(g)
-			m := s.all[g].m
-			liveBefore := m.LiveWarps()
-			k := m.Tick(s.now, s.all[g].p)
-			s.accrueAt[g] = s.now + 1
-			s.tickedID[nTicked] = g
-			s.tickedKind[nTicked] = k
-			nTicked++
-			if k == sm.Issued {
-				issued = true
-			}
-			if d := liveBefore - m.LiveWarps(); d > 0 {
-				s.liveTotal -= d
-				// Any warp retirement can flip CanAccept; re-scan launches.
-				s.ctaDirty = true
-			}
-			if m.HasReady() {
-				s.wake.Set(g, s.now+1)
-			} else if ev, ok := m.NextEvent(); ok {
-				s.wake.Set(g, ev)
+			s.curDue[g>>6] |= 1 << (uint(g) & 63)
+		}
+		issued := false
+		nTicked := 0
+		for w := range s.curDue {
+			for s.curDue[w] != 0 {
+				b := bits.TrailingZeros64(s.curDue[w])
+				s.curDue[w] &^= 1 << uint(b)
+				g := w<<6 + b
+				s.flushAccrual(g)
+				r := s.all[g]
+				liveBefore := r.m.LiveWarps()
+				// Batched MSHR expiry: reclaim completed entries once per
+				// visited cycle, before any Access this Tick can issue.
+				r.f.Expire(s.now)
+				k := r.m.Tick(s.now, r.p)
+				s.accrueAt[g] = s.now + 1
+				s.tickedID[nTicked] = g
+				s.tickedKind[nTicked] = k
+				nTicked++
+				if k == sm.Issued {
+					issued = true
+				}
+				if d := liveBefore - r.m.LiveWarps(); d > 0 {
+					s.liveTotal -= d
+					// Any warp retirement can flip CanAccept; re-scan launches.
+					s.ctaDirty = true
+				}
+				// Reschedule: next-cycle wake-ups — the overwhelmingly common
+				// case — go to the nextDue bitset and never touch the heap.
+				if r.m.HasReady() {
+					s.nextDue[g>>6] |= 1 << (uint(g) & 63)
+					s.nextAny = true
+				} else if ev, ok := r.m.NextEvent(); ok {
+					if ev == s.now+1 {
+						s.nextDue[g>>6] |= 1 << (uint(g) & 63)
+						s.nextAny = true
+					} else {
+						s.wake.Set(g, ev)
+					}
+				}
 			}
 		}
 		// One simulation event per SM per visited cycle, ticked or not —
@@ -440,14 +503,21 @@ func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 		if issued {
 			s.now++
 		} else {
+			// Nobody issued: skip to the earliest wake-up. Every non-idle SM
+			// is either due at now+1 (nextDue bit) or in the heap keyed by
+			// its pending promotion.
 			next := s.now + 1
-			if s.wake.Len() > 0 {
+			if !s.nextAny && s.wake.Len() > 0 {
 				if mk := s.wake.MinKey(); mk > next {
 					next = mk
 				}
 			}
 			s.now = next
 		}
+		// The tick loop drained curDue to zero, so after the swap nextDue
+		// is empty and ready for the new cycle's reschedules.
+		s.curDue, s.nextDue = s.nextDue, s.curDue
+		s.nextAny = false
 		if s.stream != nil && s.now >= s.nextSample {
 			s.sampleObs()
 			for s.nextSample <= s.now {
@@ -489,6 +559,7 @@ func (s *Simulator) runLegacy(ctx context.Context) (Stats, error) {
 		}
 		issued := false
 		for i, r := range all {
+			r.f.Expire(s.now) // batched expiry, as in the event loop
 			kinds[i] = r.m.Tick(s.now, r.p)
 			if kinds[i] == sm.Issued {
 				issued = true

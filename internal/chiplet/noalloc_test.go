@@ -1,0 +1,106 @@
+package chiplet
+
+import (
+	"context"
+	"testing"
+
+	"gpuscale/internal/trace"
+)
+
+// prebuiltMCMWorkload is a memory-bound stream workload whose NewProgram is
+// allocation-free: every warp program is built up front and the factory just
+// hands them out, so a run measures the MCM simulator's own allocations
+// (page-to-chiplet first-touch bookkeeping included).
+func prebuiltMCMWorkload(ctas, warpsPerCTA, loads int) trace.Workload {
+	progs := make([]trace.Program, ctas*warpsPerCTA)
+	for cta := 0; cta < ctas; cta++ {
+		for w := 0; w < warpsPerCTA; w++ {
+			base := uint64(cta*warpsPerCTA+w) * uint64(loads) * 128
+			g := &trace.SeqGen{Base: base, Stride: 128, Extent: 1 << 40}
+			progs[cta*warpsPerCTA+w] = trace.NewPhaseProgram(trace.Phase{N: loads, Gen: g})
+		}
+	}
+	return &trace.FuncWorkload{
+		WName: "mcm-prebuilt-stream",
+		Spec:  trace.KernelSpec{NumCTAs: ctas, WarpsPerCTA: warpsPerCTA},
+		Factory: func(cta, warp int) trace.Program {
+			return progs[cta*warpsPerCTA+warp]
+		},
+	}
+}
+
+// arenaMCMWorkload draws its programs from the simulation's arena on every
+// CTA launch (the workloads-package idiom), so steady-state launches must be
+// served entirely from the arena pools once the first wave has retired.
+func arenaMCMWorkload(ctas, warpsPerCTA, loads int) trace.Workload {
+	return &trace.FuncWorkload{
+		WName: "mcm-arena-stream",
+		Spec:  trace.KernelSpec{NumCTAs: ctas, WarpsPerCTA: warpsPerCTA},
+		FactoryIn: func(a *trace.Arena, cta, warp int) trace.Program {
+			base := uint64(cta*warpsPerCTA+warp) * uint64(loads) * 128
+			g := a.Seq(base, 0, 128, 1<<40)
+			return a.NewProgram(append(a.Phases(1), trace.Phase{N: loads, Gen: g}))
+		},
+	}
+}
+
+// TestSteadyStateNoAllocs is the MCM counterpart of the gpu package's guard:
+// after a pre-warm run aborted at MaxCycles has sized every pool, heap,
+// bitset and scratch buffer (and populated the arena with a released
+// program population), resuming the simulation to completion — warp ticks,
+// CTA launches, batched MSHR expiry, NoC/link/DRAM traffic, first-touch
+// page lookups, event-skip bookkeeping, Stats aggregation — must not
+// allocate. AllocsPerRun is unreliable under the race detector, so `make
+// race` runs this via the separate noalloc target.
+func TestSteadyStateNoAllocs(t *testing.T) {
+	workloads := []struct {
+		name  string
+		build func() trace.Workload
+	}{
+		{"prebuilt", func() trace.Workload { return prebuiltMCMWorkload(64, 4, 50) }},
+		{"arena-factory", func() trace.Workload { return arenaMCMWorkload(64, 4, 50) }},
+	}
+	for _, loop := range []struct {
+		name string
+		opt  Options
+	}{
+		{"event", Options{MaxCycles: 500}},
+		{"legacy", Options{MaxCycles: 500, UseLegacyLoop: true}},
+	} {
+		for _, wl := range workloads {
+			t.Run(loop.name+"/"+wl.name, func(t *testing.T) {
+				const runs = 3
+				cfg := smallMCM(2, 4)
+				// AllocsPerRun invokes the function runs+1 times (one unmeasured
+				// warm-up call), and each invocation consumes one simulator.
+				sims := make([]*Simulator, 0, runs+1)
+				for len(sims) <= runs {
+					s, err := New(cfg, wl.build(), loop.opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := s.Run(); err == nil {
+						t.Fatal("warm-up run completed before MaxCycles; grow the workload")
+					}
+					s.maxCyc = 0
+					sims = append(sims, s)
+				}
+				ctx := context.Background()
+				var runErr error
+				i := 0
+				n := testing.AllocsPerRun(runs, func() {
+					if _, err := sims[i].RunContext(ctx); err != nil && runErr == nil {
+						runErr = err
+					}
+					i++
+				})
+				if runErr != nil {
+					t.Fatal(runErr)
+				}
+				if n != 0 {
+					t.Fatalf("steady-state MCM simulation allocated %.1f times per run, want 0", n)
+				}
+			})
+		}
+	}
+}

@@ -174,6 +174,8 @@ type Simulator struct {
 	liveTotal  int  // incrementally maintained sum of LiveWarps over SMs
 	ctaDirty   bool // CTA capacity may have changed; fillCTAs must re-scan
 	progBuf    []trace.Program
+	arena      *trace.Arena
+	kernelAW   []trace.ArenaWorkload // per kernel: non-nil if arena-managed
 
 	// Observability handles; all nil when Options.Recorder is nil, so
 	// every hook below degrades to one predictable nil-check branch.
@@ -277,6 +279,21 @@ func NewSequence(cfg config.SystemConfig, kernels []trace.Workload, opt Options)
 	s.tickedID = make([]int, cfg.NumSMs)
 	s.tickedKind = make([]sm.TickKind, cfg.NumSMs)
 	s.progBuf = make([]trace.Program, maxWarpsPerCTA)
+	// The workload arena recycles programs and address generators across CTA
+	// launches. Peak population is the resident-warp limit; retired programs
+	// come back via the SMs' recycler hook (Release below), but only for
+	// kernels that really draw from the arena — a plain Factory may hand out
+	// programs it retains, which must not be pooled behind its back.
+	s.arena = trace.NewArena(cfg.NumSMs * cfg.WarpsPerSM)
+	s.kernelAW = make([]trace.ArenaWorkload, len(kernels))
+	for i, w := range kernels {
+		if aw, ok := trace.AsArenaWorkload(w); ok {
+			s.kernelAW[i] = aw
+		}
+	}
+	for _, m := range s.sms {
+		m.SetRecycler(s)
+	}
 	s.ctaDirty = true
 	if rec := opt.Recorder; rec.Enabled() {
 		label := cfg.Name + "/" + kernels[0].Name()
@@ -320,9 +337,11 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 			return now + int64(s.cfg.L1HitLatency)
 		}
 	}
-	// MSHR work happens only on this miss path: Lookup and Full reclaim
-	// entries completed by now before answering, so no separate Expire call
-	// is needed (or wasted on the L1-hit path above).
+	// MSHR reclamation is batched: the run loop Expires this SM's file once
+	// per visited cycle, immediately before the Tick that issues this
+	// access, so no entry here has a completion cycle ≤ now. Lookup and
+	// Full stay exact even if that schedule changes (Lookup skips expired
+	// entries; Full reclaims when the file looks full).
 	mshr := s.mshrs[p.smID]
 	load := in.Kind == trace.Load
 	if load && !bypass {
@@ -372,10 +391,13 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 // event-driven loop calls this only when ctaDirty is set. The per-CTA
 // program slice is pooled in progBuf — LaunchCTA copies the programs into
 // warp slots without retaining the slice — so a launch allocates nothing
-// beyond the workload's own NewProgram.
+// beyond the workload's own NewProgram; for arena-managed kernels even the
+// programs come from the simulation's arena, making steady-state launches
+// allocation-free end to end.
 func (s *Simulator) fillCTAs() {
 	s.ctaDirty = false
 	w := s.kernels[s.kernelIdx]
+	aw := s.kernelAW[s.kernelIdx]
 	for s.nextCTA < s.numCTAs {
 		launched := false
 		for i := 0; i < len(s.sms) && s.nextCTA < s.numCTAs; i++ {
@@ -387,8 +409,14 @@ func (s *Simulator) fillCTAs() {
 				continue
 			}
 			progs := s.progBuf[:s.warpsPer]
-			for wpi := range progs {
-				progs[wpi] = w.NewProgram(s.nextCTA, wpi)
+			if aw != nil {
+				for wpi := range progs {
+					progs[wpi] = aw.NewProgramIn(s.arena, s.nextCTA, wpi)
+				}
+			} else {
+				for wpi := range progs {
+					progs[wpi] = w.NewProgram(s.nextCTA, wpi)
+				}
 			}
 			if !s.opt.UseLegacyLoop {
 				// Settle the SM's standing classification (Idle for an
@@ -409,6 +437,17 @@ func (s *Simulator) fillCTAs() {
 		if !launched {
 			return
 		}
+	}
+}
+
+// Release implements sm.ProgramRecycler: it returns a retired warp's
+// program to the simulation's arena, but only while the running kernel is
+// arena-managed (the grid barrier guarantees a kernel's last retirement
+// precedes the next kernel's first launch, so kernelIdx is always the
+// retiring program's kernel).
+func (s *Simulator) Release(p trace.Program) {
+	if s.kernelAW[s.kernelIdx] != nil {
+		s.arena.Release(p)
 	}
 }
 
@@ -532,6 +571,9 @@ func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 				s.flushAccrual(i)
 				m := s.sms[i]
 				liveBefore := m.LiveWarps()
+				// Batched MSHR expiry: reclaim completed entries once per
+				// visited cycle, before any Access this Tick can issue.
+				s.mshrs[i].Expire(s.now)
 				k := m.Tick(s.now, s.ports[i])
 				s.accrueAt[i] = s.now + 1
 				s.tickedID[nTicked] = i
@@ -650,6 +692,7 @@ func (s *Simulator) runLegacy(ctx context.Context) (Stats, error) {
 		}
 		issued := false
 		for i, m := range s.sms {
+			s.mshrs[i].Expire(s.now) // batched expiry, as in the event loop
 			kinds[i] = m.Tick(s.now, s.ports[i])
 			if kinds[i] == sm.Issued {
 				issued = true

@@ -1,0 +1,135 @@
+package sm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReadyQueueMatchesHeap drives the bucketed readyQueue and the old
+// warpHeap through randomized launch-age sequences — launches into reused
+// slots, GTO-style re-pushes under the original key, LRR-style re-keying, and
+// retirements — and demands identical pop order. Keys are drawn from a single
+// monotone counter, mirroring the launchSeq invariant the queue relies on.
+// Iteration counts are sized so the queue's in-place compaction runs many
+// times.
+func TestReadyQueueMatchesHeap(t *testing.T) {
+	const maxWarps = 48
+	const iters = 200000
+	rng := rand.New(rand.NewSource(1))
+
+	var q readyQueue
+	var h warpHeap
+	q.grow(maxWarps)
+	h.grow(maxWarps)
+
+	type slotState uint8
+	const (
+		free    slotState = iota
+		queued            // in both structures, awaiting pop
+		running           // popped, still live (may re-push, re-key, or retire)
+	)
+	state := make([]slotState, maxWarps)
+	key := make([]int64, maxWarps)
+	freeSlots := make([]int, 0, maxWarps)
+	for i := maxWarps - 1; i >= 0; i-- {
+		freeSlots = append(freeSlots, i)
+	}
+	var runningSlots []int
+	var seq int64
+
+	pick := func(s []int) (int, []int) {
+		i := rng.Intn(len(s))
+		v := s[i]
+		s[i] = s[len(s)-1]
+		return v, s[:len(s)-1]
+	}
+
+	pops := 0
+	for i := 0; i < iters; i++ {
+		switch op := rng.Intn(10); {
+		case op < 3 && len(freeSlots) > 0: // launch into a (possibly reused) slot
+			var idx int
+			idx, freeSlots = pick(freeSlots)
+			key[idx] = seq
+			seq++
+			q.assign(idx)
+			q.push(idx)
+			h.push(idx, key[idx])
+			state[idx] = queued
+		case op < 6 && q.len() > 0: // pop and cross-check
+			want, wantKey := h.pop()
+			got := q.pop()
+			if got != want {
+				t.Fatalf("iter %d: queue popped warp %d, heap popped warp %d (key %d)", i, got, want, wantKey)
+			}
+			if key[got] != wantKey {
+				t.Fatalf("iter %d: model key %d != heap key %d for warp %d", i, key[got], wantKey, got)
+			}
+			state[got] = running
+			runningSlots = append(runningSlots, got)
+			pops++
+		case op < 7 && len(runningSlots) > 0: // GTO promote: re-push, same key
+			var idx int
+			idx, runningSlots = pick(runningSlots)
+			q.push(idx)
+			h.push(idx, key[idx])
+			state[idx] = queued
+		case op < 8 && len(runningSlots) > 0: // LRR issue: re-key then push
+			var idx int
+			idx, runningSlots = pick(runningSlots)
+			key[idx] = seq
+			seq++
+			q.assign(idx)
+			q.push(idx)
+			h.push(idx, key[idx])
+			state[idx] = queued
+		case op < 10 && len(runningSlots) > 0: // retire: slot returns to the pool
+			var idx int
+			idx, runningSlots = pick(runningSlots)
+			q.unrank(idx)
+			state[idx] = free
+			freeSlots = append(freeSlots, idx)
+		}
+		if q.len() != h.len() {
+			t.Fatalf("iter %d: queue len %d != heap len %d", i, q.len(), h.len())
+		}
+	}
+	if pops < iters/10 {
+		t.Fatalf("schedule degenerated: only %d pops in %d iterations", pops, iters)
+	}
+	// Drain what remains; order must still agree.
+	for h.len() > 0 {
+		want, _ := h.pop()
+		if got := q.pop(); got != want {
+			t.Fatalf("drain: queue popped %d, heap popped %d", got, want)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("drain: queue still reports %d ready warps", q.len())
+	}
+}
+
+// TestReadyQueueCompaction forces many compactions with a single live warp to
+// verify stale entries are dropped and ready bits survive relocation.
+func TestReadyQueueCompaction(t *testing.T) {
+	var q readyQueue
+	q.grow(4) // seq capacity clamps to 64
+	q.assign(0)
+	for i := 0; i < 10000; i++ {
+		q.push(0)
+		if got := q.pop(); got != 0 {
+			t.Fatalf("pop returned %d, want 0", got)
+		}
+		q.assign(0) // re-key every round: one live entry, many stale ones
+	}
+	q.assign(1)
+	q.push(1)
+	q.push(0)
+	// Warp 0's last re-key precedes warp 1's assignment, so 0 is older.
+	if got := q.pop(); got != 0 {
+		t.Fatalf("oldest pop returned %d, want 0", got)
+	}
+	if got := q.pop(); got != 1 {
+		t.Fatalf("second pop returned %d, want 1", got)
+	}
+}

@@ -80,6 +80,14 @@ type MemPort interface {
 	Access(now int64, in trace.Instr) int64
 }
 
+// ProgramRecycler receives warp programs whose warps have retired, so the
+// driver can return arena-allocated programs to their pool. Release is called
+// exactly once per program, from inside Tick, after the program's final Next
+// has returned false.
+type ProgramRecycler interface {
+	Release(trace.Program)
+}
+
 type warp struct {
 	prog      trace.Program
 	readyAt   int64
@@ -128,9 +136,10 @@ type SM struct {
 
 	warps     []warp
 	freeWarps []int
-	ready     warpHeap // ordered by launch age (GTO oldest-first)
-	pending   warpHeap // ordered by readyAt
-	current   int      // greedy warp index, -1 if none
+	ready     readyQueue // assignment-ordered bitmap; pops oldest (GTO) / least recent (LRR)
+	pending   warpHeap   // ordered by readyAt
+	current   int        // greedy warp index, -1 if none
+	recycler  ProgramRecycler
 
 	ctaLive      []int
 	freeCTASlots []int
@@ -201,6 +210,11 @@ func MustNew(maxWarps, maxCTAs, computeLatency int) *SM {
 	return s
 }
 
+// SetRecycler installs a recycler notified as each warp program retires. A
+// nil recycler (the default) disables recycling; retired programs are simply
+// dropped for the garbage collector.
+func (s *SM) SetRecycler(r ProgramRecycler) { s.recycler = r }
+
 // CanAccept reports whether a CTA of the given warp count can be launched.
 func (s *SM) CanAccept(warps int) bool {
 	return len(s.freeCTASlots) > 0 && s.liveWarps+warps <= s.maxWarps
@@ -220,7 +234,8 @@ func (s *SM) LaunchCTA(programs []trace.Program) {
 		idx := s.allocWarp()
 		s.warps[idx] = warp{prog: p, readyAt: 0, launch: s.launchSeq, lastIssue: s.launchSeq, ctaSlot: slot, live: true}
 		s.launchSeq++
-		s.ready.push(idx, s.readyKey(idx))
+		s.ready.assign(idx) // key = the launchSeq value just recorded
+		s.ready.push(idx)
 	}
 	s.liveWarps += len(programs)
 }
@@ -258,10 +273,10 @@ func (s *SM) Tick(now int64, mem MemPort) TickKind {
 			w.waitMem = false
 		}
 		if s.policy == GTO && idx == s.current {
-			s.currentReady = true // greedy warp bypasses the ready heap
+			s.currentReady = true // greedy warp bypasses the ready queue
 			continue
 		}
-		s.ready.push(idx, s.readyKey(idx))
+		s.ready.push(idx)
 	}
 
 	for {
@@ -273,7 +288,7 @@ func (s *SM) Tick(now int64, mem MemPort) TickKind {
 			s.currentReady = false
 		case s.ready.len() > 0:
 			// Then-oldest: the ready warp with the smallest age.
-			idx, _ = s.ready.pop()
+			idx = s.ready.pop()
 		default:
 			if s.liveWarps == 0 {
 				return Idle
@@ -299,6 +314,11 @@ func (s *SM) Tick(now int64, mem MemPort) TickKind {
 		s.current = idx
 		w.lastIssue = s.launchSeq
 		s.launchSeq++
+		if s.policy == LRR {
+			// LRR keys the ready queue by lastIssue, which was just redrawn
+			// from launchSeq — move the warp to the back of the sequence.
+			s.ready.assign(idx)
+		}
 		s.stats.Instructions++
 		switch in.Kind {
 		case trace.Compute:
@@ -323,7 +343,12 @@ func (s *SM) Tick(now int64, mem MemPort) TickKind {
 
 func (s *SM) retire(idx int) {
 	w := &s.warps[idx]
+	if s.recycler != nil {
+		s.recycler.Release(w.prog)
+	}
+	w.prog = nil
 	w.live = false
+	s.ready.unrank(idx)
 	s.liveWarps--
 	s.freeWarps = append(s.freeWarps, idx)
 	if s.current == idx {

@@ -1,0 +1,263 @@
+package trace
+
+// Arena recycles the per-warp objects a CTA launch creates — PhaseProgram
+// shells, their phase buffers, and address generators — so that steady-state
+// simulation launches CTAs without allocating. A simulation owns one Arena;
+// programs built from it return via Release when their warp retires, and the
+// next launch reuses the freed objects. The peak object population equals
+// the resident-warp limit, reached during the initial fill, so after warm-up
+// every acquisition is served from a pool (TestSteadyStateNoAllocs pins
+// this).
+//
+// Ownership rules:
+//
+//   - A program built from an Arena owns its phase buffer and every
+//     generator reachable from its phases. None of them may be shared with
+//     another program or retained by the caller after Release.
+//   - Sharing one generator across several phases of the SAME program is
+//     fine (the camping pattern does this); Release deduplicates within the
+//     program before pooling.
+//   - Composite generators (InterleaveGen, IndirectGen) own their children:
+//     a child must not also appear directly in a phase.
+//   - All methods are nil-safe: on a nil *Arena they fall back to plain heap
+//     allocation and Release is a no-op, so factory code can be written once
+//     and run with or without an arena (results are identical either way —
+//     the arena only changes where objects live, never field values).
+type Arena struct {
+	progs     []*PhaseProgram
+	phaseBufs [][]Phase
+	seqs      []*SeqGen
+	rands     []*RandGen
+	inters    []*InterleaveGen
+	strided   []*Strided2DGen
+	indirects []*IndirectGen
+	pingpongs []*PingPongGen
+}
+
+// NewArena returns an Arena whose pools are pre-sized for about hint
+// simultaneously live programs (typically SMs × warps-per-SM), so that
+// releasing a full population never grows a pool slice.
+func NewArena(hint int) *Arena {
+	if hint < 1 {
+		hint = 1
+	}
+	return &Arena{
+		progs:     make([]*PhaseProgram, 0, hint),
+		phaseBufs: make([][]Phase, 0, hint),
+		seqs:      make([]*SeqGen, 0, 2*hint),
+		rands:     make([]*RandGen, 0, 2*hint),
+		inters:    make([]*InterleaveGen, 0, hint),
+		strided:   make([]*Strided2DGen, 0, hint),
+		indirects: make([]*IndirectGen, 0, hint),
+		pingpongs: make([]*PingPongGen, 0, hint),
+	}
+}
+
+// Phases returns an empty phase buffer to append a program's phases to,
+// pooled when possible, with at least the given capacity hint when freshly
+// allocated. The buffer's ownership passes to the program via NewProgram.
+func (a *Arena) Phases(capHint int) []Phase {
+	if a != nil {
+		if n := len(a.phaseBufs); n > 0 {
+			b := a.phaseBufs[n-1]
+			a.phaseBufs = a.phaseBufs[:n-1]
+			return b
+		}
+	}
+	if capHint < 1 {
+		capHint = 1
+	}
+	return make([]Phase, 0, capHint)
+}
+
+// NewProgram builds a Program over phases, taking ownership of the slice.
+// It is the arena counterpart of NewPhaseProgram (which copies nothing
+// either, but allocates the shell).
+func (a *Arena) NewProgram(phases []Phase) *PhaseProgram {
+	if a != nil {
+		if n := len(a.progs); n > 0 {
+			p := a.progs[n-1]
+			a.progs = a.progs[:n-1]
+			*p = PhaseProgram{phases: phases}
+			return p
+		}
+	}
+	return &PhaseProgram{phases: phases}
+}
+
+// Seq returns a SeqGen with the given parameters (see SeqGen's field docs).
+func (a *Arena) Seq(base, start, stride, extent uint64) *SeqGen {
+	if a != nil {
+		if n := len(a.seqs); n > 0 {
+			g := a.seqs[n-1]
+			a.seqs = a.seqs[:n-1]
+			*g = SeqGen{Base: base, Start: start, Stride: stride, Extent: extent}
+			return g
+		}
+	}
+	return &SeqGen{Base: base, Start: start, Stride: stride, Extent: extent}
+}
+
+// Rand returns a seeded RandGen; the arena counterpart of NewRandGen.
+func (a *Arena) Rand(base, stride, extent, seed uint64) *RandGen {
+	if a != nil {
+		if n := len(a.rands); n > 0 {
+			g := a.rands[n-1]
+			a.rands = a.rands[:n-1]
+			*g = RandGen{Base: base, Stride: stride, Extent: extent, rng: NewXorShift(seed)}
+			return g
+		}
+	}
+	return NewRandGen(base, stride, extent, seed)
+}
+
+// Interleave returns an InterleaveGen over the two child generators, whose
+// ownership passes to it (they are released with it).
+func (a *Arena) Interleave(genA, genB AddrGen, nA, nB int) *InterleaveGen {
+	if a != nil {
+		if n := len(a.inters); n > 0 {
+			g := a.inters[n-1]
+			a.inters = a.inters[:n-1]
+			*g = InterleaveGen{GenA: genA, GenB: genB, A: nA, B: nB}
+			return g
+		}
+	}
+	return &InterleaveGen{GenA: genA, GenB: genB, A: nA, B: nB}
+}
+
+// Strided2D returns a Strided2DGen with the given tile geometry.
+func (a *Arena) Strided2D(base uint64, cols, rows int, stride, rowPitch uint64) *Strided2DGen {
+	if a != nil {
+		if n := len(a.strided); n > 0 {
+			g := a.strided[n-1]
+			a.strided = a.strided[:n-1]
+			*g = Strided2DGen{Base: base, Cols: cols, Rows: rows, Stride: stride, RowPitch: rowPitch}
+			return g
+		}
+	}
+	return &Strided2DGen{Base: base, Cols: cols, Rows: rows, Stride: stride, RowPitch: rowPitch}
+}
+
+// Indirect returns an IndirectGen over the index and data generators, whose
+// ownership passes to it.
+func (a *Arena) Indirect(index, data AddrGen) *IndirectGen {
+	if a != nil {
+		if n := len(a.indirects); n > 0 {
+			g := a.indirects[n-1]
+			a.indirects = a.indirects[:n-1]
+			*g = IndirectGen{Index: index, Data: data}
+			return g
+		}
+	}
+	return &IndirectGen{Index: index, Data: data}
+}
+
+// PingPong returns a PingPongGen over the given region.
+func (a *Arena) PingPong(base, stride uint64, lines int) *PingPongGen {
+	if a != nil {
+		if n := len(a.pingpongs); n > 0 {
+			g := a.pingpongs[n-1]
+			a.pingpongs = a.pingpongs[:n-1]
+			*g = PingPongGen{Base: base, Stride: stride, Lines: lines}
+			return g
+		}
+	}
+	return &PingPongGen{Base: base, Stride: stride, Lines: lines}
+}
+
+// Release returns a retired program's objects to the pools: its generators
+// (deduplicated — one generator may serve several phases of the program),
+// its phase buffer, and the program shell itself. Programs of types the
+// arena did not build (anything but *PhaseProgram) are ignored, as is a nil
+// program or a nil arena.
+func (a *Arena) Release(p Program) {
+	if a == nil || p == nil {
+		return
+	}
+	pp, ok := p.(*PhaseProgram)
+	if !ok {
+		return
+	}
+	ph := pp.phases
+	for i := range ph {
+		g := ph[i].Gen
+		if g == nil {
+			continue
+		}
+		dup := false
+		for j := 0; j < i; j++ {
+			if ph[j].Gen == g {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			a.releaseGen(g)
+		}
+	}
+	for i := range ph {
+		ph[i] = Phase{} // drop generator references from the pooled buffer
+	}
+	*pp = PhaseProgram{}
+	a.phaseBufs = append(a.phaseBufs, ph[:0])
+	a.progs = append(a.progs, pp)
+}
+
+// releaseGen pools one generator, recursing into composite generators'
+// children. Unknown AddrGen implementations are ignored.
+func (a *Arena) releaseGen(g AddrGen) {
+	switch v := g.(type) {
+	case *SeqGen:
+		a.seqs = append(a.seqs, v)
+	case *RandGen:
+		a.rands = append(a.rands, v)
+	case *InterleaveGen:
+		if v.GenA != nil {
+			a.releaseGen(v.GenA)
+		}
+		if v.GenB != nil && v.GenB != v.GenA {
+			a.releaseGen(v.GenB)
+		}
+		*v = InterleaveGen{}
+		a.inters = append(a.inters, v)
+	case *Strided2DGen:
+		a.strided = append(a.strided, v)
+	case *IndirectGen:
+		if v.Index != nil {
+			a.releaseGen(v.Index)
+		}
+		if v.Data != nil && v.Data != v.Index {
+			a.releaseGen(v.Data)
+		}
+		*v = IndirectGen{}
+		a.indirects = append(a.indirects, v)
+	case *PingPongGen:
+		a.pingpongs = append(a.pingpongs, v)
+	}
+}
+
+// ArenaWorkload is a Workload whose programs can be built from (and via
+// Release returned to) an Arena. NewProgramIn with a nil arena must behave
+// exactly like NewProgram; with an arena it must produce the identical
+// instruction stream, differing only in where objects are allocated.
+type ArenaWorkload interface {
+	Workload
+	NewProgramIn(a *Arena, cta, warp int) Program
+}
+
+// AsArenaWorkload returns w as an ArenaWorkload if its programs are really
+// drawn from the arena — the signal a driver needs before it may Release
+// retired programs for reuse. A FuncWorkload satisfies the interface even
+// with a plain Factory (NewProgramIn then ignores the arena), and such a
+// factory may hand out programs it retains, so it only counts as
+// arena-managed when FactoryIn is set.
+func AsArenaWorkload(w Workload) (ArenaWorkload, bool) {
+	if fw, ok := w.(*FuncWorkload); ok {
+		if fw.FactoryIn == nil {
+			return nil, false
+		}
+		return fw, true
+	}
+	aw, ok := w.(ArenaWorkload)
+	return aw, ok
+}

@@ -167,11 +167,16 @@ func WarpSeed(base uint64, cta, warp int) uint64 {
 	return z ^ (z >> 31)
 }
 
-// FuncWorkload adapts plain functions into a Workload; useful in tests.
+// FuncWorkload adapts plain functions into a Workload; useful in tests. Set
+// Factory for a plain workload, or FactoryIn for one that can draw its
+// programs from an Arena (FactoryIn with a nil arena must heap-allocate,
+// which the Arena methods' nil-safety gives for free). With FactoryIn set,
+// FuncWorkload implements ArenaWorkload.
 type FuncWorkload struct {
-	WName   string
-	Spec    KernelSpec
-	Factory func(cta, warp int) Program
+	WName     string
+	Spec      KernelSpec
+	Factory   func(cta, warp int) Program
+	FactoryIn func(a *Arena, cta, warp int) Program
 }
 
 // Name implements Workload.
@@ -182,6 +187,15 @@ func (f *FuncWorkload) Kernel() KernelSpec { return f.Spec }
 
 // NewProgram implements Workload.
 func (f *FuncWorkload) NewProgram(cta, warp int) Program {
+	return f.NewProgramIn(nil, cta, warp)
+}
+
+// NewProgramIn implements ArenaWorkload: it builds the program from the
+// arena when FactoryIn is set, and ignores the arena otherwise.
+func (f *FuncWorkload) NewProgramIn(a *Arena, cta, warp int) Program {
+	if f.FactoryIn != nil {
+		return f.FactoryIn(a, cta, warp)
+	}
 	if f.Factory == nil {
 		panic(fmt.Sprintf("trace: FuncWorkload %q has no Factory", f.WName))
 	}

@@ -33,13 +33,13 @@ func cliffBench(name string, passes, warpLoads int, ws uint64) trace.Workload {
 		ctas:     passes * ringCTAs,
 		warps:    4,
 		ctaLimit: 6,
-		phases: func(cta, warp int) []trace.Phase {
+		phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
 			start := (uint64(cta)*ctaBytes + uint64(warp)*warpBytes) % ws
-			return []trace.Phase{{
+			return append(a.Phases(1), trace.Phase{
 				N:          7 * warpLoads,
 				ComputePer: 6,
-				Gen:        &trace.SeqGen{Base: sharedRegion, Start: start, Stride: lineSize, Extent: ws},
-			}}
+				Gen:        a.Seq(sharedRegion, start, lineSize, ws),
+			})
 		},
 	}.build()
 }
@@ -135,13 +135,13 @@ func BFS() Benchmark {
 		PaperCTASizes: "1,024",
 		Workload: spec{
 			name: "bfs", ctas: 1024, warps: 4,
-			phases: func(cta, warp int) []trace.Phase {
+			phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
 				n := 400 + (cta%7)*160 // irregular frontier sizes
-				return []trace.Phase{{
+				return append(a.Phases(1), trace.Phase{
 					N:          n,
 					ComputePer: 1,
-					Gen:        randomWalk(0xbf5, cta, warp, 48*MiB),
-				}}
+					Gen:        randomWalk(a, 0xbf5, cta, warp, 48*MiB),
+				})
 			},
 		}.build(),
 	}
@@ -153,9 +153,9 @@ func BFS() Benchmark {
 // system size, so it is the bottleneck from the smallest scale model up:
 // throughput saturates and scaling is strongly sub-linear — the paper's
 // camping mechanism, already visible to the scale models.
-func campingPhases(rounds, workN, hotN int, work trace.AddrGen, hot uint64, cta, warp int) []trace.Phase {
-	hotGen := hotWalk(cta, warp, hot)
-	phases := make([]trace.Phase, 0, 2*rounds)
+func campingPhases(a *trace.Arena, rounds, workN, hotN int, work trace.AddrGen, hot uint64, cta, warp int) []trace.Phase {
+	hotGen := hotWalk(a, cta, warp, hot)
+	phases := a.Phases(2 * rounds)
 	for r := 0; r < rounds; r++ {
 		phases = append(phases,
 			trace.Phase{N: workN, ComputePer: 1, Gen: work},
@@ -176,13 +176,13 @@ func UNet() Benchmark {
 		PaperCTASizes: "from 128 to 21,846",
 		Workload: spec{
 			name: "unet", ctas: 1152, warps: 4,
-			phases: func(cta, warp int) []trace.Phase {
+			phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
 				n := 300 + (cta%5)*150
-				return []trace.Phase{{
+				return append(a.Phases(1), trace.Phase{
 					N:          n,
 					ComputePer: 2,
-					Gen:        randomWalk(0x03e7, cta, warp, 96*MiB),
-				}}
+					Gen:        randomWalk(a, 0x03e7, cta, warp, 96*MiB),
+				})
 			},
 		}.build(),
 	}
@@ -197,13 +197,13 @@ func SR() Benchmark {
 		PaperCTASizes: "4,096",
 		Workload: spec{
 			name: "sr", ctas: 1536, warps: 4,
-			phases: func(cta, warp int) []trace.Phase {
+			phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
 				n := 160 + (cta%11)*48
-				return []trace.Phase{{
+				return append(a.Phases(1), trace.Phase{
 					N:          n,
 					ComputePer: 1,
-					Gen:        randomWalk(0x5c, cta, warp, 64*MiB),
-				}}
+					Gen:        randomWalk(a, 0x5c, cta, warp, 64*MiB),
+				})
 			},
 		}.build(),
 	}
@@ -218,9 +218,9 @@ func GR() Benchmark {
 		PaperCTASizes: "4,096; 816; 1,536; 2,048",
 		Workload: spec{
 			name: "gr", ctas: 2048, warps: 4,
-			phases: func(cta, warp int) []trace.Phase {
-				return campingPhases(25, 2, 3,
-					privateStream(4, cta, warp, 32*1024), lineSize, cta, warp)
+			phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
+				return campingPhases(a, 25, 2, 3,
+					privateStream(a, 4, cta, warp, 32*1024), lineSize, cta, warp)
 			},
 		}.build(),
 	}
@@ -235,9 +235,9 @@ func BTree() Benchmark {
 		PaperCTASizes: "6,000; 10,000",
 		Workload: spec{
 			name: "btree", ctas: 2048, warps: 4,
-			phases: func(cta, warp int) []trace.Phase {
-				return campingPhases(25, 2, 2,
-					randomWalk(0xb7ee, cta, warp, 64*MiB), lineSize, cta, warp)
+			phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
+				return campingPhases(a, 25, 2, 2,
+					randomWalk(a, 0xb7ee, cta, warp, 64*MiB), lineSize, cta, warp)
 			},
 		}.build(),
 	}
@@ -254,22 +254,19 @@ func streamBench(name string, ctas, loads, computePer int, stores bool) trace.Wo
 	bytesPerWarp := uint64(loads) * lineSize
 	return spec{
 		name: name, ctas: ctas, warps: 4,
-		phases: func(cta, warp int) []trace.Phase {
+		phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
 			id := uint64(cta*4 + warp)
-			in := &trace.SeqGen{Base: privateRegion + id*bytesPerWarp, Stride: lineSize, Extent: bytesPerWarp}
+			in := a.Seq(privateRegion+id*bytesPerWarp, 0, lineSize, bytesPerWarp)
 			if !stores {
-				return []trace.Phase{{N: loads * (computePer + 1), ComputePer: computePer, Gen: in}}
+				return append(a.Phases(1),
+					trace.Phase{N: loads * (computePer + 1), ComputePer: computePer, Gen: in})
 			}
 			// Loads and stores alternate in short phases so the
 			// store stream is paced by the loads' blocking rather
 			// than bursting at one store per cycle.
-			out := &trace.SeqGen{
-				Base:   privateRegion + (1 << 45) + id*bytesPerWarp,
-				Stride: lineSize,
-				Extent: bytesPerWarp,
-			}
+			out := a.Seq(privateRegion+(1<<45)+id*bytesPerWarp, 0, lineSize, bytesPerWarp)
 			rounds := loads / 2
-			phases := make([]trace.Phase, 0, 2*rounds)
+			phases := a.Phases(2 * rounds)
 			for r := 0; r < rounds; r++ {
 				phases = append(phases,
 					trace.Phase{N: 2 * (computePer + 1), ComputePer: computePer, Gen: in},
@@ -286,12 +283,12 @@ func streamBench(name string, ctas, loads, computePer int, stores bool) trace.Wo
 func computeBench(name string, ctas, n, computePer int, tile uint64, seed uint64) trace.Workload {
 	return spec{
 		name: name, ctas: ctas, warps: 4,
-		phases: func(cta, warp int) []trace.Phase {
-			return []trace.Phase{{
+		phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
+			return append(a.Phases(1), trace.Phase{
 				N:          n,
 				ComputePer: computePer,
-				Gen:        sharedWalk(seed, cta, warp, tile),
-			}}
+				Gen:        sharedWalk(a, seed, cta, warp, tile),
+			})
 		},
 	}.build()
 }
@@ -338,14 +335,14 @@ func HT() Benchmark {
 		PaperCTASizes: "7,396",
 		Workload: spec{
 			name: "ht", ctas: 3072, warps: 4,
-			phases: func(cta, warp int) []trace.Phase {
+			phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
 				// Each warp touches its slice of the grid exactly
 				// once: zero reuse.
-				return []trace.Phase{{
+				return append(a.Phases(1), trace.Phase{
 					N:          11 * 21,
 					ComputePer: 20,
-					Gen:        privateStream(4, cta, warp, 11*lineSize),
-				}}
+					Gen:        privateStream(a, 4, cta, warp, 11*lineSize),
+				})
 			},
 		}.build(),
 	}

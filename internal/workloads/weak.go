@@ -68,11 +68,11 @@ func WeakBFS() WeakBenchmark {
 			return spec{
 				name: fmt.Sprintf("bfs-weak-%dsm", numSMs),
 				ctas: 16 * numSMs, warps: 4,
-				phases: func(cta, warp int) []trace.Phase {
+				phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
 					graph := 6 * MiB * scale / 8
-					phases := make([]trace.Phase, 0, 32)
-					walk := randomWalk(0xbf5+scale, cta, warp, graph)
-					frontier := hotWalk(cta, warp, 16*lineSize)
+					phases := a.Phases(32)
+					walk := randomWalk(a, 0xbf5+scale, cta, warp, graph)
+					frontier := hotWalk(a, cta, warp, 16*lineSize)
 					for r := 0; r < 16; r++ {
 						phases = append(phases,
 							trace.Phase{N: 6, ComputePer: 1, Gen: walk},
@@ -96,10 +96,10 @@ func WeakBS() WeakBenchmark {
 			return spec{
 				name: fmt.Sprintf("bs-weak-%dsm", numSMs),
 				ctas: 32 * numSMs, warps: 4,
-				phases: func(cta, warp int) []trace.Phase {
-					phases := make([]trace.Phase, 0, 16)
-					stream := privateStream(4, cta, warp, 512)
-					reduce := hotWalk(cta, warp, 2*lineSize)
+				phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
+					phases := a.Phases(16)
+					stream := privateStream(a, 4, cta, warp, 512)
+					reduce := hotWalk(a, cta, warp, 2*lineSize)
 					for r := 0; r < 10; r++ {
 						phases = append(phases,
 							trace.Phase{N: 5, ComputePer: 4, Gen: stream},
@@ -125,12 +125,12 @@ func WeakBTree() WeakBenchmark {
 			return spec{
 				name: fmt.Sprintf("btree-weak-%dsm", numSMs),
 				ctas: 16 * numSMs, warps: 4,
-				phases: func(cta, warp int) []trace.Phase {
+				phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
 					leafBytes := 4 * MiB * scale / 8
 					rootBytes := 2 * lineSize * scale
-					phases := make([]trace.Phase, 0, 24)
-					leaf := randomWalk(0xb7ee+scale, cta, warp, leafBytes)
-					root := hotWalk(cta, warp, rootBytes)
+					phases := a.Phases(24)
+					leaf := randomWalk(a, 0xb7ee+scale, cta, warp, leafBytes)
+					root := hotWalk(a, cta, warp, rootBytes)
 					for r := 0; r < 12; r++ {
 						phases = append(phases,
 							trace.Phase{N: 2, ComputePer: 0, Gen: root, Flags: trace.BypassL1},
@@ -158,13 +158,13 @@ func weakRing(name string, numSMs int, wsPerSM uint64, passes int) trace.Workloa
 		ctas:     passes * ringCTAs,
 		warps:    4,
 		ctaLimit: 6,
-		phases: func(cta, warp int) []trace.Phase {
+		phases: func(a *trace.Arena, cta, warp int) []trace.Phase {
 			start := (uint64(cta)*ctaBytes + uint64(warp)*warpBytes) % ws
-			return []trace.Phase{{
+			return append(a.Phases(1), trace.Phase{
 				N:          7 * warpLoads,
 				ComputePer: 6,
-				Gen:        &trace.SeqGen{Base: sharedRegion, Start: start, Stride: lineSize, Extent: ws},
-			}}
+				Gen:        a.Seq(sharedRegion, start, lineSize, ws),
+			})
 		},
 	}.build()
 }

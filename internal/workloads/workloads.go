@@ -67,13 +67,17 @@ const (
 
 const lineSize = 128
 
-// spec is the builder for synthetic kernels.
+// spec is the builder for synthetic kernels. The phases callback receives
+// the simulation's arena (nil when the caller has none) and must draw its
+// phase buffer and generators from it; the Arena API's nil-safety makes the
+// no-arena path heap-allocate exactly as before, so every benchmark is
+// written once and produces identical instruction streams either way.
 type spec struct {
 	name     string
 	ctas     int
 	warps    int // warps per CTA
 	ctaLimit int // per-SM CTA residency limit (0 = none)
-	phases   func(cta, warp int) []trace.Phase
+	phases   func(a *trace.Arena, cta, warp int) []trace.Phase
 }
 
 func (s spec) build() trace.Workload {
@@ -84,8 +88,8 @@ func (s spec) build() trace.Workload {
 			WarpsPerCTA:    s.warps,
 			CTAsPerSMLimit: s.ctaLimit,
 		},
-		Factory: func(cta, warp int) trace.Program {
-			return trace.NewPhaseProgram(s.phases(cta, warp)...)
+		FactoryIn: func(a *trace.Arena, cta, warp int) trace.Program {
+			return a.NewProgram(s.phases(a, cta, warp))
 		},
 	}
 }
@@ -93,10 +97,10 @@ func (s spec) build() trace.Workload {
 // sharedWalk returns a SeqGen cycling over a shared working set of ws bytes,
 // with each warp starting at a decorrelated offset so the grid covers the
 // set cooperatively.
-func sharedWalk(seed uint64, cta, warp int, ws uint64) *trace.SeqGen {
+func sharedWalk(a *trace.Arena, seed uint64, cta, warp int, ws uint64) *trace.SeqGen {
 	start := trace.WarpSeed(seed, cta, warp) % ws
 	start -= start % lineSize
-	return &trace.SeqGen{Base: sharedRegion, Start: start, Stride: lineSize, Extent: ws}
+	return a.Seq(sharedRegion, start, lineSize, ws)
 }
 
 // evenWalk returns a SeqGen cycling over a shared working set of ws bytes
@@ -104,30 +108,30 @@ func sharedWalk(seed uint64, cta, warp int, ws uint64) *trace.SeqGen {
 // cyclic walkers keep every line's reuse distance close to the full working
 // set, which is what produces the sharp thrash-to-resident transition (the
 // miss-rate cliff) when the LLC capacity crosses ws.
-func evenWalk(warpsPerCTA, cta, warp, k int, ws uint64) *trace.SeqGen {
+func evenWalk(a *trace.Arena, warpsPerCTA, cta, warp, k int, ws uint64) *trace.SeqGen {
 	id := cta*warpsPerCTA + warp
 	step := ws / uint64(k)
 	start := (uint64(id%k) * step) / lineSize * lineSize
-	return &trace.SeqGen{Base: sharedRegion, Start: start, Stride: lineSize, Extent: ws}
+	return a.Seq(sharedRegion, start, lineSize, ws)
 }
 
 // privateStream returns a SeqGen streaming through a private region of
 // bytesPerWarp bytes for this warp.
-func privateStream(warpsPerCTA, cta, warp int, bytesPerWarp uint64) *trace.SeqGen {
+func privateStream(a *trace.Arena, warpsPerCTA, cta, warp int, bytesPerWarp uint64) *trace.SeqGen {
 	id := uint64(cta*warpsPerCTA + warp)
-	return &trace.SeqGen{Base: privateRegion + id*bytesPerWarp, Stride: lineSize, Extent: bytesPerWarp}
+	return a.Seq(privateRegion+id*bytesPerWarp, 0, lineSize, bytesPerWarp)
 }
 
 // randomWalk returns a RandGen over a shared footprint of fp bytes.
-func randomWalk(seed uint64, cta, warp int, fp uint64) *trace.RandGen {
-	return trace.NewRandGen(sharedRegion, lineSize, fp, trace.WarpSeed(seed, cta, warp))
+func randomWalk(a *trace.Arena, seed uint64, cta, warp int, fp uint64) *trace.RandGen {
+	return a.Rand(sharedRegion, lineSize, fp, trace.WarpSeed(seed, cta, warp))
 }
 
 // hotWalk returns a SeqGen cycling over a small shared hot region (hot
 // bytes) — the camping pattern. Callers mark its phase BypassL1.
-func hotWalk(cta, warp int, hot uint64) *trace.SeqGen {
+func hotWalk(a *trace.Arena, cta, warp int, hot uint64) *trace.SeqGen {
 	start := (uint64(cta+warp) * lineSize) % hot
-	return &trace.SeqGen{Base: hotRegion, Start: start, Stride: lineSize, Extent: hot}
+	return a.Seq(hotRegion, start, lineSize, hot)
 }
 
 // All returns the 21 strong-scaling benchmarks in the paper's Table II
