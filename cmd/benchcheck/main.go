@@ -10,12 +10,15 @@
 //	benchcheck -tolerance 0.1        # tighten to 10%
 //	benchcheck -benchtime 2x         # average over more runs
 //
-// The tolerance is deliberately loose (20% by default): the committed
-// numbers come from one reference machine, and the guard is meant to catch
-// order-of-magnitude hot-path regressions (an accidentally quadratic loop,
-// a lost fast path, allocations back on the steady-state path), not to
-// compare hardware. Run it on an otherwise idle machine; `make bench-check`
-// wires it up, and CI runs it as a separate non-blocking job.
+// The tolerance is deliberately loose (20% by default) and each cell is
+// compared on its best throughput across -runs fresh runs (3 by default):
+// the committed numbers come from one reference machine, and the guard is
+// meant to catch order-of-magnitude hot-path regressions (an accidentally
+// quadratic loop, a lost fast path, allocations back on the steady-state
+// path), not to compare hardware. A real regression slows every run; a
+// background load spike slows one, and best-of-N shrugs it off, which
+// matters on shared CI runners. `make bench-check` wires it up, and CI
+// runs it as a separate non-blocking job.
 package main
 
 import (
@@ -53,9 +56,13 @@ func readBench(path string) (benchFile, error) {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "committed benchmark summary to compare against")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional throughput loss per cell before failing")
-	benchtime := flag.String("benchtime", "1x", "go test -benchtime for the fresh run")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime for each fresh run")
+	runs := flag.Int("runs", 3, "fresh benchmark runs; each cell is judged on its best run")
 	pkg := flag.String("pkg", "./internal/gpu/", "package holding the hot-path benchmarks")
 	flag.Parse()
+	if *runs < 1 {
+		fatalf("benchcheck: -runs must be at least 1")
+	}
 
 	baseline, err := readBench(*baselinePath)
 	if err != nil {
@@ -67,21 +74,31 @@ func main() {
 		fatalf("benchcheck: %v", err)
 	}
 	defer os.RemoveAll(tmp)
-	freshPath := filepath.Join(tmp, "fresh.json")
 
-	cmd := exec.Command("go", "test", "-run", "XXX",
-		"-bench", "BenchmarkSimulatorHotPath", "-benchtime", *benchtime, *pkg)
-	cmd.Env = append(os.Environ(), "BENCH_HOTPATH_JSON="+freshPath)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	fmt.Printf("benchcheck: running %v\n", cmd.Args)
-	if err := cmd.Run(); err != nil {
-		fatalf("benchcheck: benchmark run failed: %v", err)
-	}
-
-	fresh, err := readBench(freshPath)
-	if err != nil {
-		fatalf("benchcheck: fresh run: %v", err)
+	// best[cell] is the highest throughput seen for the cell across runs:
+	// the least load-disturbed measurement, and the one each cell is
+	// judged on.
+	best := map[string]float64{}
+	for run := 0; run < *runs; run++ {
+		freshPath := filepath.Join(tmp, fmt.Sprintf("fresh%d.json", run))
+		cmd := exec.Command("go", "test", "-run", "XXX",
+			"-bench", "BenchmarkSimulatorHotPath", "-benchtime", *benchtime, *pkg)
+		cmd.Env = append(os.Environ(), "BENCH_HOTPATH_JSON="+freshPath)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		fmt.Printf("benchcheck: run %d/%d: %v\n", run+1, *runs, cmd.Args)
+		if err := cmd.Run(); err != nil {
+			fatalf("benchcheck: benchmark run failed: %v", err)
+		}
+		fresh, err := readBench(freshPath)
+		if err != nil {
+			fatalf("benchcheck: fresh run: %v", err)
+		}
+		for name, r := range fresh.Results {
+			if r.SimMcyclesPerSec > best[name] {
+				best[name] = r.SimMcyclesPerSec
+			}
+		}
 	}
 
 	cells := make([]string, 0, len(baseline.Results))
@@ -93,22 +110,22 @@ func main() {
 	failed := false
 	for _, name := range cells {
 		base := baseline.Results[name].SimMcyclesPerSec
-		got, ok := fresh.Results[name]
+		got, ok := best[name]
 		switch {
 		case !ok:
-			fmt.Printf("FAIL %-18s missing from fresh run (baseline stale? regenerate with `make bench`)\n", name)
+			fmt.Printf("FAIL %-18s missing from fresh runs (baseline stale? regenerate with `make bench`)\n", name)
 			failed = true
 		case base <= 0:
 			fmt.Printf("skip %-18s baseline has no throughput\n", name)
 		default:
-			ratio := got.SimMcyclesPerSec / base
+			ratio := got / base
 			status := "ok  "
 			if ratio < 1-*tolerance {
 				status = "FAIL"
 				failed = true
 			}
-			fmt.Printf("%s %-18s %8.4f simMcyc/s vs %8.4f baseline (%+.1f%%)\n",
-				status, name, got.SimMcyclesPerSec, base, (ratio-1)*100)
+			fmt.Printf("%s %-18s %8.4f simMcyc/s (best of %d) vs %8.4f baseline (%+.1f%%)\n",
+				status, name, got, *runs, base, (ratio-1)*100)
 		}
 	}
 	if failed {

@@ -31,9 +31,11 @@ type goldenEntry struct {
 
 // goldenCells simulates the full golden grid: all 21 strong-scaling
 // benchmarks on the 8- and 16-SM scale models (the two configurations every
-// prediction in the paper is derived from), one 4-chiplet MCM configuration,
-// and one multi-kernel sequence. The strong cells are fanned across the
-// worker pool; results are bit-identical to a sequential run.
+// prediction in the paper is derived from), the 4- and 2-chiplet MCM
+// configurations, two weak-scaling MCM cells, three horizon-boundary cells
+// with long-latency DRAM, and one multi-kernel sequence. The strong cells
+// are fanned across the worker pool; results are bit-identical to a
+// sequential run.
 func goldenCells(t *testing.T) []goldenEntry {
 	t.Helper()
 	ctx := context.Background()
@@ -104,6 +106,46 @@ func goldenCells(t *testing.T) []goldenEntry {
 		cells = append(cells, goldenEntry{Label: "chiplet-weak/" + name + "/4c", MCM: &st})
 	}
 
+	// Horizon-boundary cells: DRAM latencies tuned so blocked-warp wake-up
+	// distances cluster around the timing kernel's 64-cycle due-wheel
+	// horizon, exercising the wheel/heap hand-off — wakes just inside the
+	// wheel, exactly at the horizon (which must take the heap), and just
+	// past it — in both simulators. Grid growth is additive: these cells
+	// extend the snapshot, never replace existing entries.
+	for _, hc := range []struct {
+		bench string
+		dram  int
+	}{{"bfs", 52}, {"dct", 68}} {
+		hcfg := gpuscale.MustScale(base, 8)
+		hcfg.DRAMLatency = hc.dram
+		hcfg.Name = fmt.Sprintf("%s-dram%d", hcfg.Name, hc.dram)
+		bench, err := gpuscale.BenchmarkByName(hc.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := gpuscale.SimulateContext(ctx, hcfg, bench.Workload)
+		if err != nil {
+			t.Fatalf("golden horizon cell %s/dram%d: %v", hc.bench, hc.dram, err)
+		}
+		cells = append(cells, goldenEntry{
+			Label: fmt.Sprintf("horizon/%s/8sm-dram%d", hc.bench, hc.dram), Sim: &st})
+	}
+	mcmHorizonCfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), 2)
+	if err != nil {
+		t.Fatalf("golden horizon chiplet config: %v", err)
+	}
+	mcmHorizonCfg.Chiplet.DRAMLatency = 15
+	mcmHorizonCfg.Name += "-dram15"
+	hbench, err := gpuscale.BenchmarkByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hmcm, err := gpuscale.SimulateMCMContext(ctx, mcmHorizonCfg, hbench.Workload)
+	if err != nil {
+		t.Fatalf("golden horizon chiplet cell: %v", err)
+	}
+	cells = append(cells, goldenEntry{Label: "horizon/bfs/2c-dram15", MCM: &hmcm})
+
 	// One multi-kernel sequence: three kernels back to back with a grid
 	// barrier between them and caches persisting across them.
 	var kernels []gpuscale.Workload
@@ -131,7 +173,7 @@ func goldenCells(t *testing.T) []goldenEntry {
 // without -update: identical simulated results, faster host execution.
 func TestGoldenStats(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden grid simulates 47 cells; skipped in -short mode")
+		t.Skip("golden grid simulates 54 cells; skipped in -short mode")
 	}
 	cells := goldenCells(t)
 

@@ -19,12 +19,21 @@ type Cache struct {
 	sets     int
 	lineBits uint
 	setMask  uint64
-	// tags[set*ways+i] holds the line tag in recency order: index 0 is
-	// MRU, index ways-1 is LRU. Empty ways hold invalidTag, which no real
-	// line can equal (line addresses are byte addresses shifted right by
-	// the offset bits), so residency is a single tag compare and the scan
-	// is one sequential pass over the set's tag words.
+	// tags[set*ways+w] holds the line tag resident in way w. Way positions
+	// are fixed; recency lives in the intrusive list below. Empty ways hold
+	// invalidTag, which no real line can equal (line addresses are byte
+	// addresses shifted right by the offset bits), so residency is a single
+	// tag compare and the scan is one sequential pass over the set's words.
 	tags []uint64
+	// Intrusive per-set recency order: prev/next (indexed set*ways+way,
+	// holding way indices within the set) form a circular doubly-linked
+	// list; head[set] is the MRU way and prev[head] therefore the LRU
+	// victim. A hit unlinks its way and relinks it at the head, a miss
+	// overwrites the tail and rotates the head onto it — both O(1),
+	// replacing the old copy-shift of the set's recency-ordered tags that
+	// led the simulator's CPU profile.
+	prev, next []uint16
+	head       []uint16
 
 	hits   uint64
 	misses uint64
@@ -62,6 +71,9 @@ func New(capacityBytes int64, ways, lineSize int) (*Cache, error) {
 	if sets == 0 {
 		sets = 1
 	}
+	if ways > 1<<16-1 {
+		return nil, fmt.Errorf("cache: associativity %d exceeds the intrusive-LRU link width (max %d)", ways, 1<<16-1)
+	}
 	lb := uint(0)
 	for 1<<lb != lineSize {
 		lb++
@@ -70,13 +82,27 @@ func New(capacityBytes int64, ways, lineSize int) (*Cache, error) {
 	for i := range tags {
 		tags[i] = invalidTag
 	}
-	return &Cache{
+	c := &Cache{
 		ways:     ways,
 		sets:     sets,
 		lineBits: lb,
 		setMask:  uint64(sets - 1),
 		tags:     tags,
-	}, nil
+		prev:     make([]uint16, sets*ways),
+		next:     make([]uint16, sets*ways),
+		head:     make([]uint16, sets),
+	}
+	// Each set starts as the circular list 0 → 1 → … → ways-1 with way 0 at
+	// the head, so the first victim is way ways-1 and empty ways fill
+	// back-to-front — the same fill order the recency-array layout had.
+	for s := 0; s < sets; s++ {
+		base := s * ways
+		for w := 0; w < ways; w++ {
+			c.next[base+w] = uint16((w + 1) % ways)
+			c.prev[base+w] = uint16((w + ways - 1) % ways)
+		}
+	}
+	return c, nil
 }
 
 // MustNew is New but panics on error.
@@ -110,17 +136,32 @@ func (c *Cache) findWay(base int, line uint64) int {
 // true on a hit.
 func (c *Cache) Access(addr uint64) bool {
 	line := addr >> c.lineBits
-	base := int(line&c.setMask) * c.ways
-	if i := c.findWay(base, line); i >= 0 {
-		// Hit: move to MRU position.
-		copy(c.tags[base+1:base+i+1], c.tags[base:base+i])
-		c.tags[base] = line
+	set := int(line & c.setMask)
+	base := set * c.ways
+	h := int(c.head[set])
+	if w := c.findWay(base, line); w >= 0 {
 		c.hits++
+		if w != h {
+			// Hit below the head: unlink the way, then relink it in front
+			// of the head. The tail is re-read after the unlink — when the
+			// hit way *is* the tail, unlinking moves the tail pointer.
+			p, n := c.prev[base+w], c.next[base+w]
+			c.next[base+int(p)] = n
+			c.prev[base+int(n)] = p
+			t := c.prev[base+h]
+			c.next[base+int(t)] = uint16(w)
+			c.prev[base+w] = t
+			c.next[base+w] = uint16(h)
+			c.prev[base+h] = uint16(w)
+			c.head[set] = uint16(w)
+		}
 		return true
 	}
-	// Miss: evict LRU (last way), install at MRU.
-	copy(c.tags[base+1:base+c.ways], c.tags[base:base+c.ways-1])
-	c.tags[base] = line
+	// Miss: overwrite the LRU tail in place and rotate the head onto it —
+	// the list order itself is already correct.
+	victim := int(c.prev[base+h])
+	c.tags[base+victim] = line
+	c.head[set] = uint16(victim)
 	c.misses++
 	return false
 }

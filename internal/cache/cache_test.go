@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -136,6 +137,88 @@ func TestStreamingNeverHits(t *testing.T) {
 	}
 	if c.Misses() != 1000 {
 		t.Errorf("misses = %d, want 1000", c.Misses())
+	}
+}
+
+// shiftLRU is the pre-intrusive-list reference implementation: tags kept in
+// recency order per set (index 0 = MRU), hit and miss both copy-shifting the
+// set. Retained verbatim so the linked-list Access can be cross-checked
+// against the exact semantics it replaced.
+type shiftLRU struct {
+	ways    int
+	setMask uint64
+	tags    []uint64
+}
+
+func newShiftLRU(sets, ways int) *shiftLRU {
+	r := &shiftLRU{ways: ways, setMask: uint64(sets - 1), tags: make([]uint64, sets*ways)}
+	for i := range r.tags {
+		r.tags[i] = invalidTag
+	}
+	return r
+}
+
+func (r *shiftLRU) access(line uint64) bool {
+	base := int(line&r.setMask) * r.ways
+	for i, t := range r.tags[base : base+r.ways] {
+		if t == line {
+			copy(r.tags[base+1:base+i+1], r.tags[base:base+i])
+			r.tags[base] = line
+			return true
+		}
+	}
+	copy(r.tags[base+1:base+r.ways], r.tags[base:base+r.ways-1])
+	r.tags[base] = line
+	return false
+}
+
+// TestAccessMatchesShiftReference drives the intrusive-list cache and the
+// old copy-shift implementation with identical randomized access streams —
+// skewed so sets see hits, evictions, tail-hits and refills — and demands
+// identical hit/miss verdicts and identical residency at every step.
+func TestAccessMatchesShiftReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xcac4e))
+	for _, geom := range []struct{ sets, ways int }{
+		{1, 1}, {1, 4}, {4, 2}, {2, 8}, {8, 16}, {1, 32},
+	} {
+		lineSize := 128
+		c := MustNew(int64(geom.sets*geom.ways*lineSize), geom.ways, lineSize)
+		if c.Sets() != geom.sets || c.Ways() != geom.ways {
+			t.Fatalf("geometry %v built as %d sets × %d ways", geom, c.Sets(), c.Ways())
+		}
+		ref := newShiftLRU(geom.sets, geom.ways)
+		// Footprint ~2× capacity keeps both hits and evictions frequent.
+		footprint := uint64(2*geom.sets*geom.ways + 1)
+		for step := 0; step < 20000; step++ {
+			line := rng.Uint64() % footprint
+			addr := line * uint64(lineSize)
+			if got, want := c.Access(addr), ref.access(line); got != want {
+				t.Fatalf("geometry %v step %d line %d: cache %v, reference %v",
+					geom, step, line, got, want)
+			}
+			if step%256 == 0 {
+				for probe := uint64(0); probe < footprint; probe++ {
+					refHit := false
+					base := int(probe&ref.setMask) * ref.ways
+					for _, tag := range ref.tags[base : base+ref.ways] {
+						if tag == probe {
+							refHit = true
+							break
+						}
+					}
+					if c.Probe(probe*uint64(lineSize)) != refHit {
+						t.Fatalf("geometry %v step %d: residency of line %d diverged", geom, step, probe)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewRejectsOversizedAssociativity(t *testing.T) {
+	// 1<<16 ways would overflow the uint16 recency links.
+	if _, err := New(int64(1<<16)*128, 1<<16, 128); err == nil {
+		t.Error("associativity beyond uint16 link width accepted")
 	}
 }
 

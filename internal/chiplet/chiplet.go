@@ -13,7 +13,6 @@ package chiplet
 import (
 	"context"
 	"fmt"
-	"math/bits"
 	"strconv"
 
 	"gpuscale/internal/bandwidth"
@@ -22,8 +21,8 @@ import (
 	"gpuscale/internal/dram"
 	"gpuscale/internal/noc"
 	"gpuscale/internal/obs"
-	"gpuscale/internal/sched"
 	"gpuscale/internal/sm"
+	"gpuscale/internal/timing"
 	"gpuscale/internal/trace"
 )
 
@@ -67,7 +66,8 @@ type chipletState struct {
 
 // smRef flattens the package's SMs into one chip-major slice (global index
 // g = chiplet*NumSMs + sm). That order is the reference loop's within-cycle
-// tick order, which the event-driven wake heap preserves via its tie-break.
+// tick order, which the timing kernel preserves by draining each visited
+// cycle's due set in ascending global index.
 type smRef struct {
 	m *sm.SM
 	p *port
@@ -97,23 +97,17 @@ type Simulator struct {
 	maxCyc   int64
 	legacy   bool
 
-	// Event-driven run-loop state (see gpu.Simulator for the full design):
-	// SMs due this cycle sit in the curDue bitset, SMs due at now+1 go to
-	// nextDue without touching the heap, and only far-future wake-ups pay
-	// for sched.Heap ordering.
-	all        []smRef
-	wake       *sched.Heap
-	curDue     []uint64
-	nextDue    []uint64
-	nextAny    bool
-	accrueAt   []int64
-	tickedID   []int
-	tickedKind []sm.TickKind
-	liveTotal  int
-	ctaDirty   bool
-	progBuf    []trace.Program
-	arena      *trace.Arena
-	aw         trace.ArenaWorkload // non-nil if the workload is arena-managed
+	// Event-driven run-loop state: the shared timing kernel owns the
+	// due-wheel, far-wake heap and lazy stall accrual; the Simulator is its
+	// Driver (see internal/timing and gpu.Simulator for the same design).
+	all         []smRef
+	tk          *timing.Kernel
+	legacyKinds []sm.TickKind // runLegacy per-cycle scratch
+	liveTotal   int
+	ctaDirty    bool
+	progBuf     []trace.Program
+	arena       *trace.Arena
+	aw          trace.ArenaWorkload // non-nil if the workload is arena-managed
 
 	// Observability handles; all nil when Options.Recorder is nil.
 	stream      *obs.Stream
@@ -212,12 +206,8 @@ func New(cfg config.ChipletConfig, w trace.Workload, opt Options) (*Simulator, e
 			s.all = append(s.all, smRef{m: m, p: &port{sim: s, chip: c, smID: i}, f: cs.mshrs[i]})
 		}
 	}
-	s.wake = sched.NewHeap(total)
-	s.curDue = make([]uint64, (total+63)/64)
-	s.nextDue = make([]uint64, (total+63)/64)
-	s.accrueAt = make([]int64, total)
-	s.tickedID = make([]int, total)
-	s.tickedKind = make([]sm.TickKind, total)
+	s.tk = timing.MustNew(timing.Config{Units: total}, s)
+	s.legacyKinds = make([]sm.TickKind, total)
 	s.progBuf = make([]trace.Program, k.WarpsPerCTA)
 	// Workload arena: recycle programs and generators across CTA launches
 	// for arena-managed workloads (see gpu.NewSequence).
@@ -353,13 +343,9 @@ func (s *Simulator) fillCTAs() {
 			}
 			if !s.legacy {
 				// Settle the SM's idle interval before the launch changes
-				// its classification, then schedule it to act this cycle.
-				// The SM must live in exactly one wake structure, so drop
-				// any far wake-up from the heap before setting its due bit.
-				global := c*s.cfg.Chiplet.NumSMs + i
-				s.flushAccrual(global)
-				s.wake.Remove(global)
-				s.curDue[global>>6] |= 1 << (uint(global) & 63)
+				// its classification, then schedule it to act this cycle;
+				// the kernel drops any stale far wake-up itself.
+				s.tk.ScheduleNow(c*s.cfg.Chiplet.NumSMs + i)
 			}
 			m.LaunchCTA(progs)
 			s.liveTotal += s.warpsPer
@@ -394,31 +380,64 @@ func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
 	return s.runEvent(ctx)
 }
 
-// flushAccrual settles SM g's cycle classification over [accrueAt[g], now);
-// see gpu.Simulator.flushAccrual for why the standing StallKind is exact
-// over the whole interval.
-func (s *Simulator) flushAccrual(g int) {
-	if d := s.now - s.accrueAt[g]; d > 0 {
-		s.all[g].m.Accrue(s.all[g].m.StallKind(), uint64(d))
-		s.accrueAt[g] = s.now
-	}
-}
-
 // flushAllAccruals settles every SM's counters up to s.now. No-op under the
 // legacy loop, whose accrual already is eager.
 func (s *Simulator) flushAllAccruals() {
 	if s.legacy {
 		return
 	}
-	for g := range s.all {
-		s.flushAccrual(g)
-	}
+	s.tk.FlushAll()
 }
 
-// runEvent is the event-driven run loop: per simulated cycle it ticks only
-// the SMs whose wake-up is due, in chip-major order (ascending bitset walk,
-// matching the wake heap's tie-break), matching the dense reference loop
-// bit for bit.
+// TickUnit implements timing.Driver: one due SM's visit — batched MSHR
+// expiry (reclaim completed entries before any Access this Tick can
+// issue), the SM tick itself, and retirement bookkeeping. The returned
+// Outcome carries the SM's next wake-up for the kernel's due-wheel; NoWake
+// means the SM is idle until a CTA launch ScheduleNows it.
+func (s *Simulator) TickUnit(now int64, g int) timing.Outcome {
+	r := s.all[g]
+	liveBefore := r.m.LiveWarps()
+	r.f.Expire(now)
+	k := r.m.Tick(now, r.p)
+	out := timing.Outcome{Wake: timing.NoWake, Kind: uint8(k), Issued: k == sm.Issued}
+	if d := liveBefore - r.m.LiveWarps(); d > 0 {
+		s.liveTotal -= d
+		// Any warp retirement can flip CanAccept; re-scan launches.
+		s.ctaDirty = true
+	}
+	if r.m.HasReady() {
+		out.Wake = now + 1
+	} else if ev, ok := r.m.NextEvent(); ok {
+		out.Wake = ev
+	}
+	return out
+}
+
+// AccrueStall implements timing.Driver: one SM's standing classification
+// settled over a whole non-ticked interval; see gpu.Simulator.AccrueStall
+// for why the standing StallKind is exact over the whole interval.
+func (s *Simulator) AccrueStall(g int, cycles uint64) {
+	s.all[g].m.Accrue(s.all[g].m.StallKind(), cycles)
+}
+
+// AccrueTick implements timing.Driver: a ticked SM's own cycle gets the
+// classification its Tick returned.
+func (s *Simulator) AccrueTick(g int, kind uint8) {
+	s.all[g].m.Accrue(sm.TickKind(kind), 1)
+}
+
+// CycleEnd implements timing.Driver: one simulation event per SM per
+// visited cycle, ticked or not — SimEvents models the dense simulator's
+// cost, not the event loop's.
+func (s *Simulator) CycleEnd(now int64) {
+	s.events += uint64(len(s.all))
+}
+
+// runEvent is the event-driven run loop: a thin driver over the timing
+// kernel, which per simulated cycle ticks only the SMs whose wake-up is
+// due, in chip-major order, matching the dense reference loop bit for bit.
+// Only the workload-facing control flow lives here: CTA refills,
+// completion, cancellation and cycle limits.
 func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 	iters := 0
 	for {
@@ -445,79 +464,8 @@ func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 			return Stats{}, fmt.Errorf("chiplet: %q on %s exceeded MaxCycles=%d",
 				s.workload.Name(), s.cfg.Name, s.maxCyc)
 		}
-		// Merge due heap entries into the bitset, then tick bits in word
-		// order: TrailingZeros64 walks set bits low-to-high, so SMs tick in
-		// ascending global (chip-major) index regardless of which structure
-		// scheduled them — the dense loop's shared-resource order.
-		for s.wake.Len() > 0 && s.wake.MinKey() <= s.now {
-			g, _ := s.wake.Pop()
-			s.curDue[g>>6] |= 1 << (uint(g) & 63)
-		}
-		issued := false
-		nTicked := 0
-		for w := range s.curDue {
-			for s.curDue[w] != 0 {
-				b := bits.TrailingZeros64(s.curDue[w])
-				s.curDue[w] &^= 1 << uint(b)
-				g := w<<6 + b
-				s.flushAccrual(g)
-				r := s.all[g]
-				liveBefore := r.m.LiveWarps()
-				// Batched MSHR expiry: reclaim completed entries once per
-				// visited cycle, before any Access this Tick can issue.
-				r.f.Expire(s.now)
-				k := r.m.Tick(s.now, r.p)
-				s.accrueAt[g] = s.now + 1
-				s.tickedID[nTicked] = g
-				s.tickedKind[nTicked] = k
-				nTicked++
-				if k == sm.Issued {
-					issued = true
-				}
-				if d := liveBefore - r.m.LiveWarps(); d > 0 {
-					s.liveTotal -= d
-					// Any warp retirement can flip CanAccept; re-scan launches.
-					s.ctaDirty = true
-				}
-				// Reschedule: next-cycle wake-ups — the overwhelmingly common
-				// case — go to the nextDue bitset and never touch the heap.
-				if r.m.HasReady() {
-					s.nextDue[g>>6] |= 1 << (uint(g) & 63)
-					s.nextAny = true
-				} else if ev, ok := r.m.NextEvent(); ok {
-					if ev == s.now+1 {
-						s.nextDue[g>>6] |= 1 << (uint(g) & 63)
-						s.nextAny = true
-					} else {
-						s.wake.Set(g, ev)
-					}
-				}
-			}
-		}
-		// One simulation event per SM per visited cycle, ticked or not —
-		// SimEvents models the dense simulator's cost, not this loop's.
-		s.events += uint64(len(s.all))
-		for j := 0; j < nTicked; j++ {
-			s.all[s.tickedID[j]].m.Accrue(s.tickedKind[j], 1)
-		}
-		if issued {
-			s.now++
-		} else {
-			// Nobody issued: skip to the earliest wake-up. Every non-idle SM
-			// is either due at now+1 (nextDue bit) or in the heap keyed by
-			// its pending promotion.
-			next := s.now + 1
-			if !s.nextAny && s.wake.Len() > 0 {
-				if mk := s.wake.MinKey(); mk > next {
-					next = mk
-				}
-			}
-			s.now = next
-		}
-		// The tick loop drained curDue to zero, so after the swap nextDue
-		// is empty and ready for the new cycle's reschedules.
-		s.curDue, s.nextDue = s.nextDue, s.curDue
-		s.nextAny = false
+		s.tk.Step()
+		s.now = s.tk.Now()
 		if s.stream != nil && s.now >= s.nextSample {
 			s.sampleObs()
 			for s.nextSample <= s.now {
@@ -532,7 +480,7 @@ func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 // specification the event-driven loop is checked against.
 func (s *Simulator) runLegacy(ctx context.Context) (Stats, error) {
 	all := s.all
-	kinds := s.tickedKind // same length as all; reused as scratch
+	kinds := s.legacyKinds // same length as all; reused as scratch
 	s.fillCTAs()
 	iters := 0
 	for {

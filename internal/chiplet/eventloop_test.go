@@ -8,6 +8,17 @@ import (
 	"gpuscale/internal/workloads"
 )
 
+// horizonMCM is a small MCM config with DRAM latency lowered so blocked-warp
+// wake-up distances land on both sides of the timing kernel's 64-cycle
+// due-wheel horizon, exercising the wheel/heap hand-off against the dense
+// reference.
+func horizonMCM(chiplets, smsPerChiplet, dram int) config.ChipletConfig {
+	cfg := smallMCM(chiplets, smsPerChiplet)
+	cfg.Chiplet.DRAMLatency = dram
+	cfg.Name += "-horizon"
+	return cfg
+}
+
 // TestEventLoopMatchesLegacy requires the event-driven MCM run loop and the
 // dense reference loop to produce bit-identical statistics across both CTA
 // scheduling policies and a real benchmark workload.
@@ -26,6 +37,7 @@ func TestEventLoopMatchesLegacy(t *testing.T) {
 		{"stream/2c", smallMCM(2, 4), func() trace.Workload { return streamWorkload(32, 2, 30) }, ""},
 		{"stream/contiguous", smallMCM(2, 4), func() trace.Workload { return streamWorkload(32, 2, 30) }, "contiguous"},
 		{"bfs/4c", config.MustScaleChiplets(config.Target16Chiplet(), 4), func() trace.Workload { return bfs.Workload }, ""},
+		{"stream/horizon-dram", horizonMCM(2, 4, 15), func() trace.Workload { return streamWorkload(32, 2, 30) }, ""},
 	}
 	for _, c := range cells {
 		t.Run(c.name, func(t *testing.T) {

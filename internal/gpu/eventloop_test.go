@@ -12,6 +12,17 @@ import (
 // requires every statistic to match bit for bit. This is the in-package
 // half of the equivalence guard; the package-level golden-stats snapshot
 // additionally pins both against the committed pre-optimisation results.
+// horizonConfig is an n-SM config with DRAM latency lowered so blocked-warp
+// wake-up distances land on both sides of the timing kernel's 64-cycle
+// due-wheel horizon, exercising the wheel/heap hand-off against the dense
+// reference.
+func horizonConfig(n, dram int) config.SystemConfig {
+	cfg := testConfig(n)
+	cfg.DRAMLatency = dram
+	cfg.Name += "-horizon"
+	return cfg
+}
+
 func TestEventLoopMatchesLegacy(t *testing.T) {
 	cells := []struct {
 		name string
@@ -22,9 +33,10 @@ func TestEventLoopMatchesLegacy(t *testing.T) {
 		{"compute/8sm", testConfig(8), func() trace.Workload { return computeWorkload(64, 4, 200) }, Options{}},
 		{"stream/8sm", testConfig(8), func() trace.Workload { return streamWorkload(64, 4, 60) }, Options{}},
 		{"stream/16sm", testConfig(16), func() trace.Workload { return streamWorkload(96, 4, 60) }, Options{}},
-		{"reuse-ctalimit/8sm", testConfig(8), func() trace.Workload { return reuseWorkload(64, 4, 1 << 16, 80, 2) }, Options{}},
+		{"reuse-ctalimit/8sm", testConfig(8), func() trace.Workload { return reuseWorkload(64, 4, 1<<16, 80, 2) }, Options{}},
 		{"stream/noskip", testConfig(8), func() trace.Workload { return streamWorkload(48, 4, 40) }, Options{DisableEventSkip: true}},
 		{"stream/warmup", testConfig(8), func() trace.Workload { return streamWorkload(64, 4, 60) }, Options{WarmupInstructions: 5000}},
+		{"stream/horizon-dram", horizonConfig(8, 52), func() trace.Workload { return streamWorkload(64, 4, 60) }, Options{}},
 	}
 	for _, c := range cells {
 		t.Run(c.name, func(t *testing.T) {

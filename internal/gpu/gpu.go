@@ -12,13 +12,16 @@
 // directly to the next warp wake-up, accruing the skipped cycles to each
 // SM's stall classification, so long memory stalls cost nothing to simulate.
 //
-// The run loop is event-driven: SMs due at the very next cycle sit in a
-// bitset and far wake-ups in a min-heap (internal/sched), so a cycle
-// touches only the SMs that can issue, promote or retire at that cycle.
-// Stalled and idle SMs pay nothing per cycle; their stall-classification
-// counters are accrued lazily, one Accrue call per stalled interval, when
-// they are next ticked (see flushAccrual for the invariant that makes this
-// exact). The previous
+// The run loop is event-driven and built on the shared cycle-advance
+// kernel in internal/timing: SMs with near wake-ups sit in the kernel's
+// due-wheel (one bitset per cycle over a 64-cycle horizon) and far wake-ups
+// in its min-heap, so a cycle touches only the SMs that can issue, promote
+// or retire at that cycle. Stalled and idle SMs pay nothing per cycle;
+// their stall-classification counters are accrued lazily, one Accrue call
+// per stalled interval, when they are next ticked (see AccrueStall for the
+// invariant that makes this exact). This Simulator is the kernel's Driver:
+// it supplies the per-SM tick (batched MSHR expiry + sm.Tick) and the
+// accounting callbacks, while the kernel owns who ticks when. The previous
 // tick-every-SM loop is preserved as the dense reference implementation
 // (Options.UseLegacyLoop): both loops produce bit-identical Stats, which
 // the golden-stats snapshot test and TestEventLoopMatchesLegacy enforce.
@@ -27,7 +30,6 @@ package gpu
 import (
 	"context"
 	"fmt"
-	"math/bits"
 	"strconv"
 
 	"gpuscale/internal/cache"
@@ -35,8 +37,8 @@ import (
 	"gpuscale/internal/dram"
 	"gpuscale/internal/noc"
 	"gpuscale/internal/obs"
-	"gpuscale/internal/sched"
 	"gpuscale/internal/sm"
+	"gpuscale/internal/timing"
 	"gpuscale/internal/trace"
 )
 
@@ -162,20 +164,17 @@ type Simulator struct {
 	events      uint64
 
 	// Event-driven scheduler state. All of it is preallocated in
-	// NewSequence so the run loop allocates nothing in steady state.
-	ports      []*port      // one per SM, reused across RunContext calls
-	wake       *sched.Heap  // SM index → next cycle it can act; far wake-ups only
-	curDue     []uint64     // bitset: SMs due this cycle (merged from nextDue + heap)
-	nextDue    []uint64     // bitset: SMs due at now+1 (bypasses the heap)
-	nextAny    bool         // any bit set in nextDue
-	accrueAt   []int64      // per SM: first cycle whose classification is not yet accrued
-	tickedID   []int        // scratch: SMs ticked in the current cycle
-	tickedKind []sm.TickKind
-	liveTotal  int  // incrementally maintained sum of LiveWarps over SMs
-	ctaDirty   bool // CTA capacity may have changed; fillCTAs must re-scan
-	progBuf    []trace.Program
-	arena      *trace.Arena
-	kernelAW   []trace.ArenaWorkload // per kernel: non-nil if arena-managed
+	// NewSequence so the run loop allocates nothing in steady state. The
+	// wake-up machinery (due-wheel, far-wake heap, lazy accrual intervals)
+	// lives in the shared timing kernel; this Simulator is its Driver.
+	ports       []*port        // one per SM, reused across RunContext calls
+	tk          *timing.Kernel // owns who ticks when; persists across RunContext calls
+	legacyKinds []sm.TickKind  // dense-loop per-cycle scratch
+	liveTotal   int            // incrementally maintained sum of LiveWarps over SMs
+	ctaDirty    bool           // CTA capacity may have changed; fillCTAs must re-scan
+	progBuf     []trace.Program
+	arena       *trace.Arena
+	kernelAW    []trace.ArenaWorkload // per kernel: non-nil if arena-managed
 
 	// Observability handles; all nil when Options.Recorder is nil, so
 	// every hook below degrades to one predictable nil-check branch.
@@ -265,19 +264,15 @@ func NewSequence(cfg config.SystemConfig, kernels []trace.Workload, opt Options)
 		Latency:            cfg.DRAMLatency,
 	})
 	// Everything the run loop needs is sized here so the hot path never
-	// allocates: ports, the wake-up heap, the lazy-accrual bookkeeping, the
-	// per-cycle tick scratch, and the CTA-launch program buffer (sized to
-	// the widest CTA across the kernel sequence).
+	// allocates: ports, the timing kernel (due-wheel, far-wake heap, lazy
+	// accrual), the dense loop's scratch, and the CTA-launch program buffer
+	// (sized to the widest CTA across the kernel sequence).
 	s.ports = make([]*port, cfg.NumSMs)
 	for i := range s.ports {
 		s.ports[i] = &port{sim: s, smID: i}
 	}
-	s.wake = sched.NewHeap(cfg.NumSMs)
-	s.curDue = make([]uint64, (cfg.NumSMs+63)/64)
-	s.nextDue = make([]uint64, (cfg.NumSMs+63)/64)
-	s.accrueAt = make([]int64, cfg.NumSMs)
-	s.tickedID = make([]int, cfg.NumSMs)
-	s.tickedKind = make([]sm.TickKind, cfg.NumSMs)
+	s.tk = timing.MustNew(timing.Config{Units: cfg.NumSMs, NoSkip: opt.DisableEventSkip}, s)
+	s.legacyKinds = make([]sm.TickKind, cfg.NumSMs)
 	s.progBuf = make([]trace.Program, maxWarpsPerCTA)
 	// The workload arena recycles programs and address generators across CTA
 	// launches. Peak population is the resident-warp limit; retired programs
@@ -419,15 +414,12 @@ func (s *Simulator) fillCTAs() {
 				}
 			}
 			if !s.opt.UseLegacyLoop {
-				// Settle the SM's standing classification (Idle for an
-				// empty SM) before residency changes it, then schedule the
-				// SM to act this cycle — launched warps are ready at once.
-				// The SM must live in exactly one wake structure, so drop
-				// any far wake-up from the heap before setting its due bit;
-				// a double entry would tick it twice in one cycle.
-				s.flushAccrual(i)
-				s.wake.Remove(i)
-				s.curDue[i>>6] |= 1 << (uint(i) & 63)
+				// Schedule the SM to act this cycle — launched warps are
+				// ready at once. The kernel settles the SM's standing
+				// classification (Idle for an empty SM) before residency
+				// changes it, and drops any pending far wake-up so the SM
+				// lives in exactly one wake structure.
+				s.tk.ScheduleNow(i)
 			}
 			m.LaunchCTA(progs)
 			s.liveTotal += s.warpsPer
@@ -481,23 +473,6 @@ func (s *Simulator) RunContext(ctx context.Context) (Stats, error) {
 	return s.runEvent(ctx)
 }
 
-// flushAccrual settles SM i's cycle-classification counters for the
-// interval [accrueAt[i], now): one Accrue call with the SM's standing
-// classification, in place of the dense loop's per-cycle Accrue calls.
-//
-// Exactness invariant: between two ticks of an SM no warp is ready and no
-// promotion is due, so liveWarps and blockedMem — the only inputs to the
-// classification — cannot change (they change only inside Tick and
-// LaunchCTA, and fillCTAs flushes before launching). StallKind() at flush
-// time therefore equals the classification Tick would have returned at
-// every cycle of the interval.
-func (s *Simulator) flushAccrual(i int) {
-	if d := s.now - s.accrueAt[i]; d > 0 {
-		s.sms[i].Accrue(s.sms[i].StallKind(), uint64(d))
-		s.accrueAt[i] = s.now
-	}
-}
-
 // flushAllAccruals settles every SM's counters up to s.now so aggregate
 // statistics (stats, the observability registry) read exactly as if every
 // cycle had been accrued eagerly. No-op under the legacy loop, whose
@@ -506,15 +481,77 @@ func (s *Simulator) flushAllAccruals() {
 	if s.opt.UseLegacyLoop {
 		return
 	}
-	for i := range s.sms {
-		s.flushAccrual(i)
+	s.tk.FlushAll()
+}
+
+// TickUnit implements timing.Driver: one due SM's visit — batched MSHR
+// expiry (reclaim completed entries before any Access this Tick can
+// issue), the SM tick itself, and retirement bookkeeping. The returned
+// Outcome carries the SM's next wake-up for the kernel's due-wheel; NoWake
+// means the SM is idle and stays unscheduled until a CTA launch
+// ScheduleNows it.
+func (s *Simulator) TickUnit(now int64, i int) timing.Outcome {
+	m := s.sms[i]
+	liveBefore := m.LiveWarps()
+	s.mshrs[i].Expire(now)
+	k := m.Tick(now, s.ports[i])
+	out := timing.Outcome{Wake: timing.NoWake, Kind: uint8(k), Issued: k == sm.Issued}
+	if out.Issued {
+		s.issuedSoFar++
+	}
+	if d := liveBefore - m.LiveWarps(); d > 0 {
+		s.liveTotal -= d
+		// Any warp retirement can flip CanAccept (it checks liveWarps, not
+		// just CTA slots), so re-scan for launches even when no whole CTA
+		// completed.
+		s.ctaDirty = true
+	}
+	if m.HasReady() {
+		out.Wake = now + 1
+	} else if ev, ok := m.NextEvent(); ok {
+		out.Wake = ev
+	}
+	return out
+}
+
+// AccrueStall implements timing.Driver: it settles one SM's standing
+// classification over a whole non-ticked interval in a single Accrue call.
+//
+// Exactness invariant: between two ticks of an SM no warp is ready and no
+// promotion is due, so liveWarps and blockedMem — the only inputs to the
+// classification — cannot change (they change only inside Tick and
+// LaunchCTA, and ScheduleNow flushes before a launch changes them).
+// StallKind() at flush time therefore equals the classification Tick would
+// have returned at every cycle of the interval.
+func (s *Simulator) AccrueStall(i int, cycles uint64) {
+	s.sms[i].Accrue(s.sms[i].StallKind(), cycles)
+}
+
+// AccrueTick implements timing.Driver: a ticked SM's own cycle gets the
+// classification its Tick returned.
+func (s *Simulator) AccrueTick(i int, kind uint8) {
+	s.sms[i].Accrue(sm.TickKind(kind), 1)
+}
+
+// CycleEnd implements timing.Driver. The dense loop charges one simulation
+// event per SM per visited cycle, ticked or not; SimEvents is a host-cost
+// proxy for the *modelled* simulator and must not depend on the loop used.
+// The warm-up check runs here, before the kernel accrues the ticked SMs'
+// cycle, so the triggering cycle's classification lands in the
+// post-warm-up window exactly as the dense loop orders it.
+func (s *Simulator) CycleEnd(now int64) {
+	s.events += uint64(len(s.sms))
+	if !s.warmupDone && s.opt.WarmupInstructions > 0 && s.issuedSoFar >= s.opt.WarmupInstructions {
+		s.resetStats()
 	}
 }
 
-// runEvent is the event-driven run loop: per simulated cycle it touches
-// only the SMs whose wake-up is due, in ascending SM order (the wake heap's
-// tie-break), preserving the dense reference loop's shared-resource access
-// order and therefore its bit-exact results.
+// runEvent is the event-driven run loop: a thin driver over the timing
+// kernel, which per simulated cycle touches only the SMs whose wake-up is
+// due, in ascending SM order, preserving the dense reference loop's
+// shared-resource access order and therefore its bit-exact results. This
+// loop keeps only the workload-facing control flow: CTA refills, the grid
+// barrier between kernels, cancellation, cycle limits and sampling.
 func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 	s.kernelStart = s.now
 	iters := 0
@@ -553,94 +590,8 @@ func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 			return Stats{}, fmt.Errorf("gpu: %q on %s exceeded MaxCycles=%d",
 				s.kernels[s.kernelIdx].Name(), s.cfg.Name, s.opt.MaxCycles)
 		}
-		// Merge due heap entries into the bitset, then tick bits in word
-		// order: TrailingZeros64 walks set bits low-to-high, so SMs tick in
-		// ascending SM id regardless of which structure scheduled them —
-		// the same shared-resource order as the dense loop.
-		for s.wake.Len() > 0 && s.wake.MinKey() <= s.now {
-			i, _ := s.wake.Pop()
-			s.curDue[i>>6] |= 1 << (uint(i) & 63)
-		}
-		issued := false
-		nTicked := 0
-		for w := range s.curDue {
-			for s.curDue[w] != 0 {
-				b := bits.TrailingZeros64(s.curDue[w])
-				s.curDue[w] &^= 1 << uint(b)
-				i := w<<6 + b
-				s.flushAccrual(i)
-				m := s.sms[i]
-				liveBefore := m.LiveWarps()
-				// Batched MSHR expiry: reclaim completed entries once per
-				// visited cycle, before any Access this Tick can issue.
-				s.mshrs[i].Expire(s.now)
-				k := m.Tick(s.now, s.ports[i])
-				s.accrueAt[i] = s.now + 1
-				s.tickedID[nTicked] = i
-				s.tickedKind[nTicked] = k
-				nTicked++
-				if k == sm.Issued {
-					issued = true
-					s.issuedSoFar++
-				}
-				if d := liveBefore - m.LiveWarps(); d > 0 {
-					s.liveTotal -= d
-					// Any warp retirement can flip CanAccept (it checks
-					// liveWarps, not just CTA slots), so re-scan for launches
-					// even when no whole CTA completed.
-					s.ctaDirty = true
-				}
-				// Reschedule: the overwhelmingly common wake-up is the very
-				// next cycle, which goes in the nextDue bitset and never
-				// touches the heap. Only far wake-ups pay for heap ordering.
-				if m.HasReady() {
-					s.nextDue[i>>6] |= 1 << (uint(i) & 63)
-					s.nextAny = true
-				} else if ev, ok := m.NextEvent(); ok {
-					if ev == s.now+1 {
-						s.nextDue[i>>6] |= 1 << (uint(i) & 63)
-						s.nextAny = true
-					} else {
-						s.wake.Set(i, ev)
-					}
-				}
-				// No ready warp and nothing pending: the SM is idle and
-				// stays unscheduled until a CTA launch sets its due bit.
-			}
-		}
-		// The dense loop charges one simulation event per SM per visited
-		// cycle, ticked or not; SimEvents is a host-cost proxy for the
-		// *modelled* simulator and must not depend on the loop used.
-		s.events += uint64(len(s.sms))
-		if !s.warmupDone && s.opt.WarmupInstructions > 0 && s.issuedSoFar >= s.opt.WarmupInstructions {
-			s.resetStats()
-		}
-		// The ticked SMs' own cycle is accrued after the warm-up check —
-		// the dense loop orders reset before accrual, so the triggering
-		// cycle's classification lands in the post-warm-up window.
-		for j := 0; j < nTicked; j++ {
-			s.sms[s.tickedID[j]].Accrue(s.tickedKind[j], 1)
-		}
-		if issued || s.opt.DisableEventSkip {
-			s.now++
-		} else {
-			// Nobody issued: skip to the earliest wake-up. Every non-idle
-			// SM is either due at now+1 (nextDue bit) or in the heap keyed
-			// by its pending promotion, so together they hold the dense
-			// loop's min-over-NextEvent.
-			next := s.now + 1
-			if !s.nextAny && s.wake.Len() > 0 {
-				if mk := s.wake.MinKey(); mk > next {
-					next = mk
-				}
-			}
-			s.skipped += next - s.now - 1
-			s.now = next
-		}
-		// The tick loop drained curDue to zero, so after the swap nextDue
-		// is empty and ready for the new cycle's reschedules.
-		s.curDue, s.nextDue = s.nextDue, s.curDue
-		s.nextAny = false
+		s.tk.Step()
+		s.now = s.tk.Now()
 		if s.stream != nil && s.now >= s.nextSample {
 			s.sampleObs()
 			for s.nextSample <= s.now {
@@ -656,7 +607,7 @@ func (s *Simulator) runEvent(ctx context.Context) (Stats, error) {
 // event-driven loop is checked against (TestEventLoopMatchesLegacy, the
 // golden-stats snapshot, BenchmarkSimulatorHotPath's speedup baseline).
 func (s *Simulator) runLegacy(ctx context.Context) (Stats, error) {
-	kinds := s.tickedKind // same length as sms; reused as scratch
+	kinds := s.legacyKinds // same length as sms; reused as scratch
 	s.fillCTAs()
 	s.kernelStart = s.now
 	iters := 0
@@ -748,12 +699,8 @@ func (s *Simulator) resetStats() {
 	// Event-driven loop: discard any un-flushed accrual interval that
 	// precedes the reset. SMs ticked this cycle already sit at now+1 —
 	// pulling them back down would double-count the triggering cycle, so
-	// only raise, never lower.
-	for i := range s.accrueAt {
-		if s.accrueAt[i] < s.now {
-			s.accrueAt[i] = s.now
-		}
-	}
+	// the kernel only raises floors, never lowers them.
+	s.tk.RaiseAccrualFloor()
 	for _, c := range s.l1s {
 		c.ResetStats()
 	}
@@ -766,6 +713,7 @@ func (s *Simulator) resetStats() {
 	s.loads, s.loadLat = 0, 0
 	s.mshrStall = 0
 	s.skipped = 0
+	s.tk.ResetSkipped()
 	s.events = 0
 	s.loadHist.Reset()
 	if s.stream != nil {
@@ -876,7 +824,7 @@ func (s *Simulator) stats() Stats {
 	if s.loads > 0 {
 		st.AvgLoadLatency = float64(s.loadLat) / float64(s.loads)
 	}
-	st.SkippedCycles = s.skipped
+	st.SkippedCycles = s.skipped + s.tk.Skipped()
 	st.SimEvents = s.events + st.Instructions
 	// Final registry refresh so the published totals match the Stats just
 	// computed from the same counters.

@@ -88,11 +88,23 @@ type Phase struct {
 }
 
 // PhaseProgram executes a sequence of Phases. It implements Program.
+//
+// The active phase's parameters are cached in flat fields so the per-warp
+// hot path (Next runs once per issued instruction across every live warp)
+// avoids the phase-slice bounds check, pointer chase and the modulo of the
+// naive one-loop form; the slice is consulted only at phase boundaries.
+// Every cached field works from its zero value because the Arena recycles
+// shells with `*p = PhaseProgram{phases: phases}`.
 type PhaseProgram struct {
 	phases []Phase
-	pi     int // current phase
-	i      int // instructions emitted in current phase
-	k      int // position within the compute/memory group
+	pi     int // next phase to load from phases
+
+	// Cached state of the active phase; rem == 0 forces a (re)load.
+	rem        int // instructions left in the active phase
+	computePer int
+	k          int // compute instructions emitted in the current group
+	gen        AddrGen
+	memInstr   Instr // prototype memory instruction; Addr filled per emit
 }
 
 // NewPhaseProgram returns a Program over the given phases. Phases with
@@ -101,33 +113,50 @@ func NewPhaseProgram(phases ...Phase) *PhaseProgram {
 	return &PhaseProgram{phases: phases}
 }
 
-// Next implements Program.
-func (p *PhaseProgram) Next() (Instr, bool) {
+// advance loads the next non-empty phase into the cached fields, reporting
+// false when the program is exhausted.
+func (p *PhaseProgram) advance() bool {
 	for p.pi < len(p.phases) {
 		ph := &p.phases[p.pi]
-		if p.i >= ph.N {
-			p.pi++
-			p.i = 0
-			p.k = 0
+		p.pi++
+		if ph.N <= 0 {
 			continue
 		}
-		p.i++
-		if ph.Gen == nil {
-			return Instr{Kind: Compute}, true
-		}
-		group := ph.ComputePer + 1
-		pos := p.k
-		p.k = (p.k + 1) % group
-		if pos < ph.ComputePer {
-			return Instr{Kind: Compute}, true
-		}
+		p.rem = ph.N
+		p.computePer = ph.ComputePer
+		p.k = 0
+		p.gen = ph.Gen
 		kind := Load
 		if ph.Store {
 			kind = Store
 		}
-		return Instr{Kind: kind, Flags: ph.Flags, Addr: ph.Gen.Next()}, true
+		p.memInstr = Instr{Kind: kind, Flags: ph.Flags}
+		return true
 	}
-	return Instr{}, false
+	return false
+}
+
+// Next implements Program: each phase emits repeating groups of computePer
+// compute instructions followed by one memory instruction (none when the
+// phase has no generator), exactly as the phase-scanning form did.
+func (p *PhaseProgram) Next() (Instr, bool) {
+	for p.rem == 0 {
+		if !p.advance() {
+			return Instr{}, false
+		}
+	}
+	p.rem--
+	if p.gen == nil {
+		return Instr{Kind: Compute}, true
+	}
+	if p.k < p.computePer {
+		p.k++
+		return Instr{Kind: Compute}, true
+	}
+	p.k = 0
+	in := p.memInstr
+	in.Addr = p.gen.Next()
+	return in, true
 }
 
 // XorShift is a tiny deterministic PRNG (xorshift64*). The zero value is not

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -192,6 +193,98 @@ func TestPhaseProgramExhaustedStaysExhausted(t *testing.T) {
 	collect(p)
 	if _, ok := p.Next(); ok {
 		t.Error("Next returned true after exhaustion")
+	}
+}
+
+// scanningNext is the pre-optimization PhaseProgram.Next, kept verbatim as
+// the reference the cached-phase-state fast path is cross-checked against:
+// it re-derives phase bounds and group position from the phase slice on
+// every call.
+type scanningNext struct {
+	phases []Phase
+	pi     int
+	i      int
+	k      int
+}
+
+func (p *scanningNext) Next() (Instr, bool) {
+	for p.pi < len(p.phases) {
+		ph := &p.phases[p.pi]
+		if p.i >= ph.N {
+			p.pi++
+			p.i = 0
+			p.k = 0
+			continue
+		}
+		p.i++
+		if ph.Gen == nil {
+			return Instr{Kind: Compute}, true
+		}
+		group := ph.ComputePer + 1
+		pos := p.k
+		p.k = (p.k + 1) % group
+		if pos < ph.ComputePer {
+			return Instr{Kind: Compute}, true
+		}
+		kind := Load
+		if ph.Store {
+			kind = Store
+		}
+		return Instr{Kind: kind, Flags: ph.Flags, Addr: ph.Gen.Next()}, true
+	}
+	return Instr{}, false
+}
+
+// TestPhaseProgramMatchesScanningReference feeds identical randomized phase
+// sequences — empty and negative-N phases, zero ComputePer (pure memory),
+// nil generators, stores, flags — to the optimized PhaseProgram and the old
+// per-call-scanning form, and demands identical instruction streams.
+func TestPhaseProgramMatchesScanningReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x9a5e))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		mkPhases := func() []Phase {
+			// Rebuild from the same parameters so each run gets generators
+			// with private (but identically seeded) state.
+			r := rand.New(rand.NewSource(int64(trial)))
+			phases := make([]Phase, n)
+			for i := range phases {
+				ph := Phase{
+					N:          r.Intn(45) - 4, // includes empty and negative phases
+					ComputePer: r.Intn(6),      // includes pure-memory groups
+					Store:      r.Intn(2) == 0,
+				}
+				if r.Intn(4) != 0 {
+					ph.Gen = &SeqGen{
+						Base:   uint64(r.Intn(1 << 20)),
+						Stride: uint64(64 << r.Intn(3)),
+						Extent: uint64(1 + r.Intn(1<<14)),
+					}
+				}
+				if r.Intn(3) == 0 {
+					ph.Flags = BypassL1
+				}
+				phases[i] = ph
+			}
+			return phases
+		}
+		opt := NewPhaseProgram(mkPhases()...)
+		ref := &scanningNext{phases: mkPhases()}
+		for step := 0; ; step++ {
+			got, gok := opt.Next()
+			want, wok := ref.Next()
+			if gok != wok || got != want {
+				t.Fatalf("trial %d step %d: optimized (%+v, %v), reference (%+v, %v)",
+					trial, step, got, gok, want, wok)
+			}
+			if !gok {
+				// Exhaustion must be sticky on both.
+				if in, ok := opt.Next(); ok {
+					t.Fatalf("trial %d: optimized resurrected with %+v", trial, in)
+				}
+				break
+			}
+		}
 	}
 }
 
