@@ -20,16 +20,20 @@ test:
 	$(GO) test ./...
 
 # The concurrency gate: race-enabled tests of every code path that runs on
-# or feeds the worker-pool engine. The harness run is restricted to its
-# concurrency tests (singleflight, pre-warm, progress) because the rest of
-# its short suite is sequential simulation that the race detector slows
-# ~7x for no extra coverage; `go test -race -short ./internal/harness/`
-# still passes if you want the whole package raced. AllocsPerRun is
+# or feeds the worker-pool engine, plus the intra-simulation shard runners
+# (internal/parallel barrier pool and the chiplet sharded loop's randomized
+# cross-shard stress cell — see docs/PARALLELISM.md). The harness run is
+# restricted to its concurrency tests (singleflight, pre-warm, progress)
+# and the chiplet run to the sharded stress/abort cells because the rest of
+# both suites is sequential simulation that the race detector slows ~7x for
+# no extra coverage; `go test -race ./internal/harness/ ./internal/chiplet/`
+# still passes if you want the whole packages raced. AllocsPerRun is
 # unreliable under -race, so the zero-allocation guard for the disabled
 # observability path runs as a separate non-race step (noalloc).
 race: noalloc
-	$(GO) test -race -short ./internal/engine/... ./internal/mrc/... ./internal/obs/...
+	$(GO) test -race -short ./internal/engine/... ./internal/mrc/... ./internal/obs/... ./internal/parallel/...
 	$(GO) test -race -short -run 'Singleflight|Prewarm|SetParallel' ./internal/harness/
+	$(GO) test -race -short -run 'TestShardedRandomCrossTrafficStress|TestShardedMaxCyclesAborts' ./internal/chiplet/
 
 # The zero-cost-when-disabled guard: with a nil observer the simulator hot
 # path must not allocate — neither the observability hooks themselves nor a

@@ -34,6 +34,7 @@ func main() {
 		bench    = flag.String("bench", "", "benchmark abbreviation (see -list)")
 		sms      = flag.Int("sms", 16, "number of SMs (monolithic GPU)")
 		chiplets = flag.Int("chiplets", 0, "simulate an MCM GPU with this many chiplets instead")
+		shards   = flag.Int("shards", 0, "MCM only: run the simulation on this many parallel shard goroutines (bit-identical results; 0/1 = sequential)")
 		weak     = flag.Bool("weak", false, "use the weak-scaling variant (input scales with size)")
 		warmup   = flag.Uint64("warmup", 0, "discard statistics until this many instructions have issued (monolithic GPU only)")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
@@ -62,6 +63,9 @@ func main() {
 	if *bench == "" {
 		fmt.Fprintln(os.Stderr, "gpusim: -bench is required (try -list)")
 		os.Exit(2)
+	}
+	if *shards > 1 && *chiplets == 0 {
+		fmt.Fprintln(os.Stderr, "gpusim: -shards applies only to MCM runs (-chiplets); ignored")
 	}
 
 	var workload gpuscale.Workload
@@ -95,7 +99,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		st, err := gpuscale.SimulateMCMContext(ctx, cfg, workload, opts...)
+		st, err := gpuscale.SimulateMCMContext(ctx, cfg, workload, append(opts, gpuscale.WithShards(*shards))...)
 		if err != nil {
 			fatal(err)
 		}

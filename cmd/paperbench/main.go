@@ -25,7 +25,9 @@
 // fan their independent (workload, configuration) cells across -parallel
 // workers (default: all CPUs); results are bit-identical at any setting,
 // and live progress (jobs done, simulated cycles/sec, ETA) is reported on
-// stderr.
+// stderr. -shards parallelises *within* each MCM simulation instead
+// (per-chiplet shard runners, see docs/PARALLELISM.md) — also bit-identical
+// at any setting, and composable with -parallel.
 //
 // The shared observability flags (see cmd/internal/cliutil) attach one
 // recorder to every simulation the selected experiments run: -trace-out
@@ -51,6 +53,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..table5, fig1..fig8, artifact, all)")
 	csvDir := flag.String("csv", "", "also export raw results as CSV files into this directory")
+	shards := flag.Int("shards", 0, "run each MCM simulation on this many parallel shard goroutines (bit-identical results; 0/1 = sequential)")
 	parallel := cliutil.Parallel(flag.CommandLine)
 	quiet := cliutil.Quiet(flag.CommandLine)
 	obsFlags := cliutil.Obs(flag.CommandLine)
@@ -64,6 +67,7 @@ func main() {
 	defer stopProf()
 	h := harness.New()
 	h.SetParallel(*parallel)
+	h.SetMCMShards(*shards)
 	if !*quiet {
 		h.SetProgress(progressLine)
 	}

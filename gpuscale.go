@@ -213,6 +213,16 @@ func WithOptions(opt SimOptions) SimOption {
 	return func(o *SimOptions) { *o = opt }
 }
 
+// WithShards runs an MCM simulation on n parallel shard goroutines — the
+// package's chiplets split into n contiguous groups synchronised at a
+// deterministic cycle barrier — returning statistics bit-identical to the
+// sequential run (see docs/PARALLELISM.md for the execution model and why
+// determinism survives). 0 or 1 means sequential; n above the chiplet
+// count is clamped to it. Monolithic-GPU simulations ignore this option.
+func WithShards(n int) SimOption {
+	return func(o *SimOptions) { o.Shards = n }
+}
+
 // SimulateContext runs workload w to completion on cfg and returns its
 // statistics (IPC, f_mem, MPKI, utilisations, …). It is the blessed
 // simulation entry point: cancelling ctx aborts the run loop within a few
@@ -238,8 +248,8 @@ func SimulateSequenceContext(ctx context.Context, cfg SystemConfig, kernels []Wo
 }
 
 // SimulateMCMContext is SimulateContext on a multi-chiplet GPU. MCM runs
-// honour WithMaxCycles, WithObserver and WithSampleInterval; the remaining
-// options do not apply to the chiplet model and are ignored.
+// honour WithMaxCycles, WithObserver, WithSampleInterval and WithShards;
+// the remaining options do not apply to the chiplet model and are ignored.
 func SimulateMCMContext(ctx context.Context, cfg ChipletConfig, w Workload, opts ...SimOption) (MCMStats, error) {
 	var o SimOptions
 	for _, fn := range opts {
@@ -249,6 +259,7 @@ func SimulateMCMContext(ctx context.Context, cfg ChipletConfig, w Workload, opts
 		MaxCycles:   o.MaxCycles,
 		Recorder:    o.Recorder,
 		SampleEvery: o.SampleEvery,
+		Shards:      o.Shards,
 	})
 	if err != nil {
 		return MCMStats{}, err

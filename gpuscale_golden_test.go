@@ -32,10 +32,10 @@ type goldenEntry struct {
 // goldenCells simulates the full golden grid: all 21 strong-scaling
 // benchmarks on the 8- and 16-SM scale models (the two configurations every
 // prediction in the paper is derived from), the 4- and 2-chiplet MCM
-// configurations, two weak-scaling MCM cells, three horizon-boundary cells
-// with long-latency DRAM, and one multi-kernel sequence. The strong cells
-// are fanned across the worker pool; results are bit-identical to a
-// sequential run.
+// configurations (sequential and sharded), two weak-scaling MCM cells,
+// three horizon-boundary cells with long-latency DRAM, and one multi-kernel
+// sequence. The strong cells are fanned across the worker pool; results are
+// bit-identical to a sequential run.
 func goldenCells(t *testing.T) []goldenEntry {
 	t.Helper()
 	ctx := context.Background()
@@ -84,6 +84,34 @@ func goldenCells(t *testing.T) []goldenEntry {
 			}
 			cells = append(cells, goldenEntry{Label: fmt.Sprintf("chiplet/%s/%dc", name, chips), MCM: &st})
 		}
+	}
+
+	// Sharded MCM cells: the same chiplet configurations driven through the
+	// parallel shard loop (WithShards, docs/PARALLELISM.md). The sharded
+	// loop's contract is bit-identity with the sequential one, so these
+	// snapshots must equal their chiplet/* counterparts above — pinning them
+	// separately makes a determinism regression in either loop show up as a
+	// golden diff, not just as a test-to-test mismatch. Additive cells: they
+	// extend the snapshot, never replace existing entries.
+	for _, sc := range []struct {
+		bench  string
+		chips  int
+		shards int
+	}{{"bfs", 4, 4}, {"dct", 4, 2}, {"pf", 2, 2}} {
+		mcmCfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), sc.chips)
+		if err != nil {
+			t.Fatalf("golden sharded config: %v", err)
+		}
+		bench, err := gpuscale.BenchmarkByName(sc.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := gpuscale.SimulateMCMContext(ctx, mcmCfg, bench.Workload, gpuscale.WithShards(sc.shards))
+		if err != nil {
+			t.Fatalf("golden sharded cell %s/%dc-s%d: %v", sc.bench, sc.chips, sc.shards, err)
+		}
+		cells = append(cells, goldenEntry{
+			Label: fmt.Sprintf("chiplet-sharded/%s/%dc-s%d", sc.bench, sc.chips, sc.shards), MCM: &st})
 	}
 
 	// Weak-scaling MCM cells: two Table IV families from the paper's chiplet
@@ -173,7 +201,7 @@ func goldenCells(t *testing.T) []goldenEntry {
 // without -update: identical simulated results, faster host execution.
 func TestGoldenStats(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden grid simulates 54 cells; skipped in -short mode")
+		t.Skip("golden grid simulates 57 cells; skipped in -short mode")
 	}
 	cells := goldenCells(t)
 

@@ -3,6 +3,7 @@ package gpu
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -75,8 +76,15 @@ func TestMain(m *testing.M) {
 	code := m.Run()
 	if path := os.Getenv("BENCH_HOTPATH_JSON"); path != "" && len(hotPathResults) > 0 {
 		type out struct {
+			// HostCores contextualises the sharded_vs_sequential column:
+			// the sharded loop can only beat the sequential one when the
+			// host has cores for the shard goroutines to run on. On a
+			// single-core host the column measures barrier overhead, not
+			// speedup.
+			HostCores  int                      `json:"host_cores"`
 			Results    map[string]hotPathResult `json:"results"`
 			Speedup    map[string]float64       `json:"event_vs_legacy_speedup"`
+			Sharded    map[string]float64       `json:"sharded_vs_sequential"`
 			VsPR3      map[string]float64       `json:"speedup_vs_pr3"`
 			VsPR4      map[string]float64       `json:"speedup_vs_pr4"`
 			VsPrePR    map[string]float64       `json:"speedup_vs_pre_overhaul"`
@@ -85,8 +93,10 @@ func TestMain(m *testing.M) {
 			BaselineMc map[string]float64       `json:"pre_overhaul_sim_mcycles_per_sec"`
 		}
 		o := out{
+			HostCores:  runtime.NumCPU(),
 			Results:    hotPathResults,
 			Speedup:    map[string]float64{},
+			Sharded:    map[string]float64{},
 			VsPR3:      map[string]float64{},
 			VsPR4:      map[string]float64{},
 			VsPrePR:    map[string]float64{},
@@ -100,6 +110,9 @@ func TestMain(m *testing.M) {
 				base := name[:len(name)-len(suffix)]
 				if lg, ok := hotPathResults[base+"/legacy"]; ok && lg.SimMcyclesPerSec > 0 {
 					o.Speedup[base] = ev.SimMcyclesPerSec / lg.SimMcyclesPerSec
+				}
+				if sh, ok := hotPathResults[base+"/sharded"]; ok && ev.SimMcyclesPerSec > 0 {
+					o.Sharded[base] = sh.SimMcyclesPerSec / ev.SimMcyclesPerSec
 				}
 				if pr3, ok := pr3Baseline[base]; ok && pr3 > 0 {
 					o.VsPR3[base] = ev.SimMcyclesPerSec / pr3
@@ -166,9 +179,14 @@ func BenchmarkSimulatorHotPath(b *testing.B) {
 	}
 
 	// MCM cells: the same harness over the chiplet simulator, on the
-	// 4-chiplet scale model of the paper's 16-chiplet target. bfs is the
-	// memory-stalled case where the due-bitset fast path pays off; dct adds
-	// a reuse-heavy contrast.
+	// 4-chiplet scale model of the paper's 16-chiplet target plus the full
+	// 16-chiplet target itself. bfs is the memory-stalled case where the
+	// due-bitset fast path pays off; dct adds a reuse-heavy contrast. Each
+	// cell also runs "sharded" — one shard goroutine per chiplet — so
+	// BENCH_hotpath.json's sharded_vs_sequential column tracks the parallel
+	// loop's throughput ratio (above 1 only when host_cores allows real
+	// parallelism; on a single-core host the barrier protocol is pure
+	// overhead and the ratio measures its cost).
 	mcmCases := []struct {
 		name  string
 		chips int
@@ -176,6 +194,7 @@ func BenchmarkSimulatorHotPath(b *testing.B) {
 	}{
 		{"bfs-4c", 4, "bfs"},
 		{"dct-4c", 4, "dct"},
+		{"bfs-16c", 16, "bfs"},
 	}
 	for _, c := range mcmCases {
 		wl, err := workloads.ByName(c.bench)
@@ -189,6 +208,7 @@ func BenchmarkSimulatorHotPath(b *testing.B) {
 		}{
 			{"event", chiplet.Options{}},
 			{"legacy", chiplet.Options{UseLegacyLoop: true}},
+			{"sharded", chiplet.Options{Shards: c.chips}},
 		} {
 			b.Run(c.name+"/"+loop.name, func(b *testing.B) {
 				var cycles int64

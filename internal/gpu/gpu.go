@@ -76,6 +76,13 @@ type Options struct {
 	// cycles, for this run. Zero or negative uses the recorder's default.
 	// Ignored when Recorder is nil.
 	SampleEvery int64
+	// Shards enables sharded execution on MCM (chiplet) simulations: the
+	// package is split into that many chiplet groups, each driven by its
+	// own goroutine with a deterministic cycle barrier between them
+	// (docs/PARALLELISM.md). Results are bit-identical to sequential
+	// execution. The monolithic-GPU simulator ignores it; 0 or 1 means
+	// sequential.
+	Shards int
 }
 
 // Stats is the result of one simulation run.

@@ -80,9 +80,10 @@ type Harness struct {
 	chipletRuns map[string]*runEntry[ChipletTimedStats]
 	mrcs        map[string]*runEntry[mrc.Curve]
 
-	parallel int
-	progress func(engine.Progress)
-	observer *obs.Recorder
+	parallel  int
+	mcmShards int
+	progress  func(engine.Progress)
+	observer  *obs.Recorder
 }
 
 // New returns an empty Harness with parallelism runtime.NumCPU().
@@ -133,11 +134,32 @@ func (h *Harness) SetObserver(rec *obs.Recorder) {
 	h.observer = rec
 }
 
+// SetMCMShards sets the intra-simulation shard count for every MCM
+// simulation the harness runs from now on (see chiplet.Options.Shards).
+// Sharded runs are bit-identical to sequential ones, so memoised results
+// stay valid across setting changes — only wall clock differs. n <= 1
+// keeps the sequential event loop.
+func (h *Harness) SetMCMShards(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	h.mcmShards = n
+}
+
 // observerRef snapshots the attached recorder (possibly nil).
 func (h *Harness) observerRef() *obs.Recorder {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.observer
+}
+
+// mcmShardsRef snapshots the configured MCM shard count.
+func (h *Harness) mcmShardsRef() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mcmShards
 }
 
 // settings snapshots the parallelism configuration.

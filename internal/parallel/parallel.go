@@ -1,0 +1,171 @@
+// Package parallel is the shard-runner pool behind the MCM simulator's
+// sharded execution mode (internal/chiplet with Options.Shards > 1). It
+// owns exactly one thing: a fixed set of worker goroutines, one per shard,
+// that execute a caller-supplied phase function in lockstep — every worker
+// starts a phase together and the phase does not return to the caller until
+// every worker has finished. That pair of synchronisation points is the
+// cycle barrier the deterministic sharded run loop is built on.
+//
+// # Determinism contract
+//
+// The pool adds no ordering of its own and must not be asked to: workers
+// are pinned to shard ids for the pool's lifetime (worker i always runs
+// fn(i)), and Run returns only after all workers' writes are visible to the
+// caller (the barrier's atomics carry the happens-before edges). Everything
+// order-sensitive — applying cross-shard effects in ascending shard id,
+// merging counters, deciding the next cycle — belongs in the caller's
+// serial sections between Run calls. A phase function may touch only state
+// owned by its shard plus read-only shared state; the race gate
+// (`make race`) checks that discipline on the real run loop.
+//
+// # Barrier implementation
+//
+// The barrier is sense-reversing: each participant flips a local sense and
+// spins until the shared sense catches up, so consecutive phases cannot
+// observe each other's release. Waiters spin briefly, then fall back to
+// runtime.Gosched so the pool degrades gracefully when GOMAXPROCS (or the
+// machine) gives it fewer cores than shards — mandatory on the single-core
+// CI runner, where a pure spin barrier would deadlock the scheduler's
+// cooperative preemption into multi-millisecond stalls.
+//
+// A panic in a phase function is captured, the phase still completes at the
+// barrier (so no worker is left stranded), and Run re-panics with the
+// lowest-shard panic value — deterministic even when several shards fail in
+// the same phase.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// spinBudget is how many times a barrier waiter polls the shared sense
+// before yielding the processor. Small on purpose: the pool must stay
+// usable when shards outnumber cores, and one Gosched per miss costs far
+// less than a starved peer.
+const spinBudget = 64
+
+// barrier is a sense-reversing barrier for a fixed number of participants.
+type barrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Uint32
+}
+
+// await blocks until all n participants have arrived. local is the
+// participant's private sense word, flipped on every crossing.
+func (b *barrier) await(local *uint32) {
+	s := *local ^ 1
+	*local = s
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Store(s)
+		return
+	}
+	spins := 0
+	for b.sense.Load() != s {
+		if spins++; spins >= spinBudget {
+			spins = 0
+			runtime.Gosched()
+		}
+	}
+}
+
+// shardPanic records a panic captured in a worker's phase function.
+type shardPanic struct {
+	val   any
+	stack []byte
+}
+
+// Pool runs a phase function across a fixed set of shard workers in
+// lockstep. Use NewPool; the zero value is unusable. A Pool is not safe for
+// concurrent Run calls — it belongs to one coordinator goroutine, the way
+// the sharded run loop owns one for the duration of a simulation.
+type Pool struct {
+	n       int
+	fn      func(shard int)
+	closing bool
+	closed  bool
+	start   barrier // coordinator + workers: phase function is set
+	done    barrier // coordinator + workers: phase function has run everywhere
+	startS  uint32  // coordinator's private senses
+	doneS   uint32
+	panics  []shardPanic // worker i writes only slot i
+}
+
+// NewPool starts n worker goroutines (one per shard, n >= 1) and returns
+// the pool. The workers idle at the start barrier until Run or Close.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("parallel: pool size must be >= 1, got %d", n))
+	}
+	p := &Pool{n: n, panics: make([]shardPanic, n)}
+	p.start.n = int32(n + 1)
+	p.done.n = int32(n + 1)
+	for i := 0; i < n; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// Size returns the number of shard workers.
+func (p *Pool) Size() int { return p.n }
+
+func (p *Pool) worker(shard int) {
+	var startS, doneS uint32
+	for {
+		p.start.await(&startS)
+		if p.closing {
+			return
+		}
+		p.runOne(shard)
+		p.done.await(&doneS)
+	}
+}
+
+// runOne executes the current phase function for one shard, capturing a
+// panic so the worker still reaches the done barrier.
+func (p *Pool) runOne(shard int) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			p.panics[shard] = shardPanic{val: r, stack: buf[:runtime.Stack(buf, false)]}
+		}
+	}()
+	p.fn(shard)
+}
+
+// Run executes fn(shard) on every worker and returns when all have
+// finished. The caller's writes before Run are visible to every worker, and
+// all workers' writes are visible to the caller after Run. If any shard's
+// fn panicked, Run re-panics with the lowest shard's panic value after all
+// workers have quiesced at the barrier.
+func (p *Pool) Run(fn func(shard int)) {
+	if p.closed {
+		panic("parallel: Run on closed pool")
+	}
+	p.fn = fn
+	p.start.await(&p.startS)
+	p.done.await(&p.doneS)
+	p.fn = nil
+	for i := range p.panics {
+		if p.panics[i].val != nil {
+			r := p.panics[i]
+			for j := range p.panics {
+				p.panics[j] = shardPanic{}
+			}
+			panic(fmt.Sprintf("parallel: shard %d panicked: %v\n%s", i, r.val, r.stack))
+		}
+	}
+}
+
+// Close releases the worker goroutines. Idempotent; Run after Close panics.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.closing = true
+	p.start.await(&p.startS)
+}

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunVisitsEveryShardEveryPhase checks the lockstep contract: each of a
+// sequence of phases runs fn exactly once per shard, and writes made by the
+// workers in phase k are visible to the coordinator (and to every worker in
+// phase k+1) — the visibility the sharded run loop's serial merge sections
+// depend on.
+func TestRunVisitsEveryShardEveryPhase(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		p := NewPool(n)
+		// Ping-pong stamp arrays: each phase writes cur and reads prev (the
+		// previous phase's writes), so cross-phase visibility is exercised
+		// without same-phase read/write overlap.
+		prev, cur := make([]int, n), make([]int, n)
+		const phases = 200
+		for phase := 1; phase <= phases; phase++ {
+			p.Run(func(shard int) {
+				for s := 0; s < n; s++ {
+					if prev[s] != phase-1 {
+						panic("stale phase stamp")
+					}
+				}
+				cur[shard] = phase
+			})
+			for s := 0; s < n; s++ {
+				if cur[s] != phase {
+					t.Fatalf("n=%d phase %d: shard %d stamp %d", n, phase, s, cur[s])
+				}
+			}
+			prev, cur = cur, prev
+		}
+		p.Close()
+		p.Close() // idempotent
+	}
+}
+
+// TestPanicPropagation: a panicking shard must not strand the others at the
+// barrier, Run must re-panic with the lowest shard's value, and the pool
+// must stay usable for subsequent phases.
+func TestPanicPropagation(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	caught := func() (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		p.Run(func(shard int) {
+			if shard == 1 || shard == 3 {
+				panic("boom")
+			}
+		})
+		return ""
+	}()
+	if !strings.Contains(caught, "shard 1 panicked: boom") {
+		t.Fatalf("Run panic = %q, want lowest-shard panic (shard 1)", caught)
+	}
+	// The pool recovers: the next phase runs cleanly on all shards.
+	ran := make([]bool, 4)
+	p.Run(func(shard int) { ran[shard] = true })
+	for s, ok := range ran {
+		if !ok {
+			t.Fatalf("shard %d did not run after a panic phase", s)
+		}
+	}
+}
+
+// TestRunAfterClosePanics pins the misuse guard.
+func TestRunAfterClosePanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run after Close did not panic")
+		}
+	}()
+	p.Run(func(int) {})
+}
+
+// TestPoolSizeValidation pins the constructor guard.
+func TestPoolSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0) did not panic")
+		}
+	}()
+	NewPool(0)
+}

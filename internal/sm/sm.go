@@ -387,6 +387,26 @@ func (s *SM) Accrue(kind TickKind, weight uint64) {
 	}
 }
 
+// IssuingWarp returns the warp slot index of the instruction the current
+// Tick is issuing — valid inside a MemPort.Access callback, because Tick
+// records the greedy warp before touching memory. The sharded MCM run loop
+// uses it to tag a deferred memory access with the warp whose wake-up must
+// be repaired once the access's true completion cycle is known.
+func (s *SM) IssuingWarp() int { return s.current }
+
+// FixPendingWake rewrites a blocked warp's wake-up cycle in place — warp
+// state and the pending heap's ordering both. The sharded run loop parks a
+// deferred load's warp at a provisional far-future cycle during the
+// parallel tick phase and repairs it with the true completion cycle before
+// the next cycle's ticks; the warp must still be pending (it cannot have
+// been promoted: wake-ups are repaired before the cycle they could resolve
+// in). readyAt must be at least the repairing cycle, mirroring Tick's
+// next-cycle clamp on MemPort completions.
+func (s *SM) FixPendingWake(idx int, readyAt int64) {
+	s.warps[idx].readyAt = readyAt
+	s.pending.fix(idx, readyAt)
+}
+
 // HasReady reports whether a warp could issue (or retire) right now without
 // waiting for any pending dependency to resolve.
 func (s *SM) HasReady() bool { return s.currentReady || s.ready.len() > 0 }

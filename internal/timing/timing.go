@@ -43,10 +43,44 @@
 // The kernel is deliberately ignorant of what a "unit" is. The simulator
 // supplies a Driver; per-visited-cycle work the simulators batch (MSHR
 // expiry before the tick, warm-up resets after the event charge) hangs off
-// TickUnit and CycleEnd. This makes the kernel the single seam where
-// per-chiplet parallelism can later slot in: partition units, run TickUnit
-// fan-out per partition, keep the cycle barrier and the deterministic
-// ascending-id reduction here, once.
+// TickUnit and CycleEnd.
+//
+// # Driver contract
+//
+// The kernel decides which units tick at which cycle; the Driver does the
+// ticking and the accounting. TickUnit runs once per due unit per visited
+// cycle, in ascending unit id; AccrueStall settles a unit's un-ticked
+// interval in one call; AccrueTick classifies each ticked unit's own cycle;
+// CycleEnd runs once per visited cycle between the last TickUnit and the
+// AccrueTick batch. Driver methods must not call back into the Kernel
+// except CycleEnd, which may call RaiseAccrualFloor and ResetSkipped (the
+// warm-up reset path).
+//
+// # Phase API and barrier ordering
+//
+// Step is also exposed as its composable phases, which is how the sharded
+// MCM run loop (internal/chiplet with Options.Shards > 1, coordinated by
+// internal/parallel) drives one private Kernel per shard in lockstep:
+//
+//   - TickCycle drains the current cycle's due units (ascending unit id
+//     within each shard's kernel) and reports whether any unit issued.
+//   - FinishCycle runs the driver's CycleEnd hook and the AccrueTick batch.
+//   - NextPending exposes the earliest pending wake-up so a coordinator can
+//     take the minimum across kernels.
+//   - AdvanceTo moves the clock to the cycle the coordinator picked,
+//     charging the skipped-cycle counter exactly as Step would.
+//   - Reschedule and WakeAt let the coordinator repair a provisional
+//     wake-up between cycles (the sharded loop's deferred-memory fix-ups).
+//
+// The ordering rules a parallel coordinator must preserve for bit-identity
+// with sequential Step are: every kernel finishes TickCycle+FinishCycle for
+// cycle c before any cross-kernel effect of cycle c is applied (the cycle
+// barrier); cross-kernel effects are applied in ascending shard id, which —
+// because shards own contiguous unit-id ranges — is ascending global unit
+// id, the same order the sequential drain produces; and all kernels
+// AdvanceTo the same next cycle, computed as now+1 if any kernel's
+// TickCycle issued, else the minimum NextPending across kernels (clamped to
+// now+1). See docs/PARALLELISM.md for the full argument.
 package timing
 
 import (
@@ -139,8 +173,9 @@ type Kernel struct {
 	skipped int64
 
 	accrueAt   []int64 // unit → first cycle not yet classified
-	tickedID   []int   // scratch: units ticked this Step
+	tickedID   []int   // scratch: units ticked this cycle
 	tickedKind []uint8
+	nTicked    int // ticked units recorded for the current cycle's FinishCycle
 }
 
 // New builds a Kernel over cfg.Units units driven by d.
@@ -207,29 +242,54 @@ func (k *Kernel) Pending() bool { return k.busy != 0 || k.heap.Len() > 0 }
 // change its classification. Must not be called from inside Step.
 func (k *Kernel) ScheduleNow(unit int) {
 	k.flushAccrual(unit)
-	c := k.wakeAt[unit]
-	if c == k.now {
+	if k.wakeAt[unit] == k.now {
 		return // already due this cycle
 	}
-	if c != NoWake {
-		// The entry is in the wheel iff the unit's bit is set in the slot
-		// its wake cycle maps to — only this unit ever sets that bit, and
-		// it has at most one entry. Heap entries can sit at any distance
-		// (they are merged only when due), so a distance test would lie.
-		w := int(c&k.hmask)*k.words + unit>>6
-		bit := uint64(1) << (uint(unit) & 63)
-		if k.wheel[w]&bit != 0 {
-			k.wheel[w] &^= bit
-			k.dropBusyIfEmpty(int(c & k.hmask))
-		} else {
-			k.heap.Remove(unit)
-		}
-	}
+	k.drop(unit)
 	slot := int(k.now & k.hmask)
 	k.wheel[slot*k.words+unit>>6] |= 1 << (uint(unit) & 63)
 	k.busy |= 1 << uint(slot)
 	k.wakeAt[unit] = k.now
 }
+
+// drop removes a unit's pending wake-up entry, wherever it lives. The entry
+// is in the wheel iff the unit's bit is set in the slot its wake cycle maps
+// to — only this unit ever sets that bit, and it has at most one entry.
+// Heap entries can sit at any distance (they are merged only when due), so
+// a distance test would lie. No-op when the unit has no pending wake-up.
+func (k *Kernel) drop(unit int) {
+	c := k.wakeAt[unit]
+	if c == NoWake {
+		return
+	}
+	w := int(c&k.hmask)*k.words + unit>>6
+	bit := uint64(1) << (uint(unit) & 63)
+	if k.wheel[w]&bit != 0 {
+		k.wheel[w] &^= bit
+		k.dropBusyIfEmpty(int(c & k.hmask))
+	} else {
+		k.heap.Remove(unit)
+	}
+	k.wakeAt[unit] = NoWake
+}
+
+// Reschedule replaces a unit's pending wake-up (if any) with cycle c >= now.
+// A wake-up at now lands in the current cycle's drain, so calling this
+// before TickCycle makes the unit tick this very cycle. Unlike ScheduleNow
+// it does not settle the unit's accrual interval: the sharded run loop uses
+// it to repair a provisional wake-up between cycles, where the unit's stall
+// classification is unchanged and flushing here would diverge from the
+// sequential accounting. Must not be called from inside Step/TickCycle.
+func (k *Kernel) Reschedule(unit int, c int64) {
+	if k.wakeAt[unit] == c {
+		return
+	}
+	k.drop(unit)
+	k.wake(unit, c)
+}
+
+// WakeAt returns the unit's pending wake-up cycle, or NoWake if it is idle.
+func (k *Kernel) WakeAt(unit int) int64 { return k.wakeAt[unit] }
 
 // dropBusyIfEmpty clears the slot's occupancy bit when its bitset drained
 // to zero, so the skip scan cannot stop at a cycle with nothing due (which
@@ -293,8 +353,30 @@ func (k *Kernel) RaiseAccrualFloor() {
 // Step visits the current cycle: it ticks every due unit in ascending id
 // order, runs the driver's cycle-end hook, classifies the ticked units'
 // cycle, and advances the clock — by one cycle if any unit issued (or
-// NoSkip is set), otherwise straight to the earliest pending wake-up.
+// NoSkip is set), otherwise straight to the earliest pending wake-up. It is
+// exactly TickCycle + FinishCycle + the advance decision; a parallel
+// coordinator runs the same phases with barriers between them.
 func (k *Kernel) Step() {
+	issued := k.TickCycle()
+	k.FinishCycle()
+	if issued || k.noSkip {
+		k.AdvanceTo(k.now + 1)
+		return
+	}
+	next := k.NextPending()
+	if next < k.now+1 {
+		next = k.now + 1 // NoWake, or a heap entry already due this cycle
+	}
+	k.AdvanceTo(next)
+}
+
+// TickCycle visits the current cycle's drain phase: it merges due heap
+// entries into the wheel and ticks every due unit in ascending id order,
+// recording each tick's classification for FinishCycle. It reports whether
+// any unit issued. A cycle with no due units is a valid no-op (TickCycle
+// reports false); the sharded run loop hits that when another shard owns
+// the cycle's only work.
+func (k *Kernel) TickCycle() bool {
 	now := k.now
 	slot := int(now & k.hmask)
 	base := slot * k.words
@@ -306,7 +388,7 @@ func (k *Kernel) Step() {
 		k.wheel[base+u>>6] |= 1 << (uint(u) & 63)
 	}
 	issued := false
-	nTicked := 0
+	k.nTicked = 0
 	for w := 0; w < k.words; w++ {
 		idx := base + w
 		for k.wheel[idx] != 0 {
@@ -317,9 +399,9 @@ func (k *Kernel) Step() {
 			k.flushAccrual(u)
 			out := k.d.TickUnit(now, u)
 			k.accrueAt[u] = now + 1
-			k.tickedID[nTicked] = u
-			k.tickedKind[nTicked] = out.Kind
-			nTicked++
+			k.tickedID[k.nTicked] = u
+			k.tickedKind[k.nTicked] = out.Kind
+			k.nTicked++
 			if out.Issued {
 				issued = true
 			}
@@ -329,44 +411,52 @@ func (k *Kernel) Step() {
 		}
 	}
 	k.busy &^= 1 << uint(slot)
-	k.d.CycleEnd(now)
-	// Ticked units' own cycle is classified after CycleEnd: a warm-up
-	// reset there must land the triggering cycle in the post-reset window,
-	// matching the dense reference loops' ordering.
-	for j := 0; j < nTicked; j++ {
+	return issued
+}
+
+// FinishCycle completes the cycle TickCycle drained: it runs the driver's
+// CycleEnd hook, then classifies the ticked units' own cycle. Ticked units
+// are classified after CycleEnd because a warm-up reset there must land the
+// triggering cycle in the post-reset window, matching the dense reference
+// loops' ordering.
+func (k *Kernel) FinishCycle() {
+	k.d.CycleEnd(k.now)
+	for j := 0; j < k.nTicked; j++ {
 		k.d.AccrueTick(k.tickedID[j], k.tickedKind[j])
 	}
-	if issued || k.noSkip {
-		k.now = now + 1
-		return
-	}
-	// Nobody issued: skip to the earliest pending wake-up. The wheel's
-	// candidate comes from rotating the occupancy mask so the scan starts
-	// at now+1; the low horizon bits of r are the true rotation (garbage
-	// above them cannot win TrailingZeros64 when busy is non-zero).
-	next := now + 1
-	wheelOK := k.busy != 0
-	var wheelNext int64
-	if wheelOK {
-		start := uint((now + 1) & k.hmask)
+	k.nTicked = 0
+}
+
+// NextPending returns the earliest pending wake-up cycle, or NoWake when no
+// unit has one. Called between FinishCycle and AdvanceTo it is the kernel's
+// event-skip candidate; a coordinator over several kernels takes the
+// minimum across them. The result can be at or before now when a heap entry
+// came due but the slot was not drained — callers clamp to now+1 exactly as
+// Step does.
+func (k *Kernel) NextPending() int64 {
+	// The wheel's candidate comes from rotating the occupancy mask so the
+	// scan starts at now+1; the low horizon bits of r are the true rotation
+	// (garbage above them cannot win TrailingZeros64 when busy is non-zero).
+	next := NoWake
+	if k.busy != 0 {
+		start := uint((k.now + 1) & k.hmask)
 		r := k.busy>>start | k.busy<<(uint(k.horizon)-start)
-		wheelNext = now + 1 + int64(bits.TrailingZeros64(r))
+		next = k.now + 1 + int64(bits.TrailingZeros64(r))
 	}
-	switch {
-	case wheelOK && k.heap.Len() > 0:
-		if mk := k.heap.MinKey(); mk < wheelNext {
+	if k.heap.Len() > 0 {
+		if mk := k.heap.MinKey(); next == NoWake || mk < next {
 			next = mk
-		} else {
-			next = wheelNext
 		}
-	case wheelOK:
-		next = wheelNext
-	case k.heap.Len() > 0:
-		next = k.heap.MinKey()
 	}
-	if next < now+1 {
-		next = now + 1
-	}
-	k.skipped += next - now - 1
-	k.now = next
+	return next
+}
+
+// AdvanceTo moves the clock to cycle c > now, charging the cycles in
+// between to the skipped counter exactly as Step's event-skip does. All
+// kernels under one coordinator must AdvanceTo the same cycle, and c must
+// not be beyond any kernel's NextPending (the clock never skips past a
+// pending wake-up).
+func (k *Kernel) AdvanceTo(c int64) {
+	k.skipped += c - k.now - 1
+	k.now = c
 }
