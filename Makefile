@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet short test race quick verify noalloc deprecated-gate bench bench-check
+.PHONY: build vet short test race quick verify noalloc deprecated-gate smoke bench bench-check
 
 build:
 	$(GO) build ./...
@@ -31,8 +31,8 @@ test:
 # unreliable under -race, so the zero-allocation guard for the disabled
 # observability path runs as a separate non-race step (noalloc).
 race: noalloc
-	$(GO) test -race -short ./internal/engine/... ./internal/mrc/... ./internal/obs/... ./internal/parallel/...
-	$(GO) test -race -short -run 'Singleflight|Prewarm|SetParallel' ./internal/harness/
+	$(GO) test -race -short ./internal/engine/... ./internal/mrc/... ./internal/obs/... ./internal/parallel/... ./internal/server/...
+	$(GO) test -race -short -run 'Singleflight|Prewarm|Parallel|ResultStore|Deprecated' ./internal/harness/
 	$(GO) test -race -short -run 'TestShardedRandomCrossTrafficStress|TestShardedMaxCyclesAborts' ./internal/chiplet/
 
 # The zero-cost-when-disabled guard: with a nil observer the simulator hot
@@ -66,20 +66,40 @@ bench:
 bench-check:
 	$(GO) run ./cmd/benchcheck -baseline $(CURDIR)/BENCH_hotpath.json
 
-# The API migration gate: the deprecated entry points (Simulate,
-# SimulateWithOptions, SimulateSequence, SimulateMCM) may be called only by
-# their wrappers in gpuscale.go and the facade wrapper tests that pin the
-# wrapper/Context-form agreement. Everything else — commands, examples,
-# internal packages, benchmarks — must use the context-aware API.
+# The API migration gate, two scans:
+#   1. The deprecated facade entry points (Simulate, SimulateWithOptions,
+#      SimulateSequence, SimulateMCM) may be called only by their wrappers
+#      in gpuscale.go and by gpuscale_deprecated_test.go, which pins the
+#      wrapper/Context-form agreement. Everything else — commands,
+#      examples, internal packages, the other facade tests — must use the
+#      context-aware API.
+#   2. The deprecated harness setters (SetParallel, SetProgress,
+#      SetObserver, SetMCMShards) may be called only by
+#      internal/harness/deprecated*.go; everything else must pass
+#      functional options to harness.New.
 deprecated-gate:
 	@bad=$$(grep -rnE 'gpuscale\.(Simulate|SimulateWithOptions|SimulateSequence|SimulateMCM)\(' \
-		cmd/ examples/ internal/ bench_test.go gpuscale_obs_test.go 2>/dev/null); \
+		cmd/ examples/ internal/ bench_test.go gpuscale_obs_test.go \
+		gpuscale_test.go gpuscale_seq_test.go request_test.go 2>/dev/null); \
 	if [ -n "$$bad" ]; then \
 		echo "deprecated simulation entry points in use (switch to SimulateContext/SimulateSequenceContext/SimulateMCMContext):"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rnE '\.Set(Parallel|Progress|Observer|MCMShards)\(' \
+		cmd/ examples/ internal/ bench_test.go gpuscale_obs_test.go 2>/dev/null \
+		| grep -v 'internal/harness/deprecated'); \
+	if [ -n "$$bad" ]; then \
+		echo "deprecated harness setters in use (pass harness options to New: WithParallel, WithProgress, WithObserver, WithMCMShards):"; \
+		echo "$$bad"; exit 1; \
+	fi
 	@echo "deprecated-gate: ok"
 
-quick: build vet race short deprecated-gate
+# The daemon smoke test: boots an in-process gpuscaled, round-trips a
+# /v1/predict twice, and asserts the byte-identical cache hit, the
+# /metrics counters, and a clean shutdown (see docs/SERVICE.md).
+smoke:
+	$(GO) run ./cmd/gpuscaled -smoke
 
-verify: build vet race test deprecated-gate
+quick: build vet race short deprecated-gate smoke
+
+verify: build vet race test deprecated-gate smoke

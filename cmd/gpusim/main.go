@@ -10,6 +10,13 @@
 //	gpusim -bench dct -sms 16 -trace-out dct.trace.json -metrics-out dct.json
 //	gpusim -list
 //
+// The flags assemble a canonical service request (gpuscale.Request — the
+// same wire schema cmd/predict and the gpuscaled daemon speak), so every
+// run prints its canonical request hash: POSTing the equivalent JSON to a
+// daemon's /v1/simulate returns the same simulation from the same cache
+// key. Host-side execution knobs (-shards, observability, profiling) are
+// not part of the canonical request and never change the hash.
+//
 // The observability flags are shared with paperbench (see cmd/internal/
 // cliutil): -trace-out writes a Chrome trace_event file loadable in
 // chrome://tracing or https://ui.perfetto.dev (a .jsonl extension selects
@@ -68,44 +75,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gpusim: -shards applies only to MCM runs (-chiplets); ignored")
 	}
 
-	var workload gpuscale.Workload
-	if *weak {
-		wb, err := gpuscale.WeakBenchmarkByName(*bench)
-		if err != nil {
-			fatal(err)
-		}
-		totalSMs := *sms
-		if *chiplets > 0 {
-			totalSMs = *chiplets * gpuscale.Target16Chiplet().Chiplet.NumSMs
-		}
-		workload = wb.ForSMs(totalSMs)
+	req := gpuscale.Request{
+		Op:       gpuscale.OpSimulate,
+		Workload: gpuscale.WorkloadSpec{Bench: *bench, Weak: *weak},
+		Options: gpuscale.RequestOptions{
+			WarmupInstructions: *warmup,
+			Shards:             *shards,
+		},
+	}
+	if *chiplets > 0 {
+		req.Target.Chiplets = *chiplets
 	} else {
-		b, err := gpuscale.BenchmarkByName(*bench)
-		if err != nil {
-			fatal(err)
-		}
-		workload = b.Workload
+		req.Target.SMs = *sms
+	}
+	_, hash, err := gpuscale.Canonicalize(req)
+	if err != nil {
+		fatal(err)
+	}
+	tgt, err := req.ResolveSimulation()
+	if err != nil {
+		fatal(err)
 	}
 
 	ctx := context.Background()
 	observer := obsFlags.Observer()
-	opts := []gpuscale.SimOption{
+	opts := append(tgt.Options,
 		gpuscale.WithObserver(observer),
 		gpuscale.WithSampleInterval(obsFlags.SampleEvery),
-	}
+	)
 
-	if *chiplets > 0 {
-		cfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), *chiplets)
-		if err != nil {
-			fatal(err)
-		}
-		st, err := gpuscale.SimulateMCMContext(ctx, cfg, workload, append(opts, gpuscale.WithShards(*shards))...)
+	if tgt.MCM != nil {
+		st, err := gpuscale.SimulateMCMContext(ctx, *tgt.MCM, tgt.Workload, opts...)
 		if err != nil {
 			fatal(err)
 		}
 		if !*quiet {
-			fmt.Printf("config:        %s (%d SMs total)\n", cfg.Name, cfg.TotalSMs())
-			fmt.Printf("workload:      %s\n", workload.Name())
+			fmt.Printf("config:        %s (%d SMs total)\n", tgt.MCM.Name, tgt.MCM.TotalSMs())
+			fmt.Printf("workload:      %s\n", tgt.Workload.Name())
+			fmt.Printf("request:       %s\n", hash)
 			fmt.Printf("cycles:        %d\n", st.Cycles)
 			fmt.Printf("instructions:  %d\n", st.Instructions)
 			fmt.Printf("IPC:           %.2f\n", st.IPC)
@@ -120,18 +127,15 @@ func main() {
 		return
 	}
 
-	cfg, err := gpuscale.Scale(gpuscale.Baseline128(), *sms)
-	if err != nil {
-		fatal(err)
-	}
-	opts = append(opts, gpuscale.WithWarmupInstructions(*warmup))
-	st, err := gpuscale.SimulateContext(ctx, cfg, workload, opts...)
+	cfg := *tgt.System
+	st, err := gpuscale.SimulateContext(ctx, cfg, tgt.Workload, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	if !*quiet {
 		fmt.Printf("config:        %s\n", cfg.Name)
-		fmt.Printf("workload:      %s\n", workload.Name())
+		fmt.Printf("workload:      %s\n", tgt.Workload.Name())
+		fmt.Printf("request:       %s\n", hash)
 		fmt.Printf("cycles:        %d\n", st.Cycles)
 		fmt.Printf("instructions:  %d\n", st.Instructions)
 		fmt.Printf("IPC:           %.2f  (%.3f per SM)\n", st.IPC, st.IPC/float64(cfg.NumSMs))

@@ -65,14 +65,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
-	h := harness.New()
-	h.SetParallel(*parallel)
-	h.SetMCMShards(*shards)
-	if !*quiet {
-		h.SetProgress(progressLine)
-	}
 	observer := obsFlags.Observer()
-	h.SetObserver(observer)
+	hopts := []harness.Option{
+		harness.WithParallel(*parallel),
+		harness.WithMCMShards(*shards),
+		harness.WithObserver(observer),
+	}
+	if !*quiet {
+		hopts = append(hopts, harness.WithProgress(progressLine))
+	}
+	h := harness.New(hopts...)
 	run := func(name string, f func(*harness.Harness) error) {
 		if *exp != "all" && *exp != name {
 			return

@@ -1,0 +1,53 @@
+package gpuscale_test
+
+// Pins every deprecated simulation wrapper to its context-aware twin. This
+// file is the only sanctioned caller of the deprecated entry points
+// outside gpuscale.go itself — `make deprecated-gate` scans everything
+// else (commands, examples, internal packages, the other facade tests)
+// and fails on any use.
+
+import (
+	"context"
+	"testing"
+
+	"gpuscale"
+)
+
+func TestDeprecatedWrappersMatchContextAPI(t *testing.T) {
+	ctx := context.Background()
+	cfg := gpuscale.MustScale(gpuscale.Baseline128(), 8)
+
+	st, err := gpuscale.SimulateContext(ctx, cfg, smallLinear("dep-sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := gpuscale.Simulate(cfg, smallLinear("dep-sim")); err != nil || got != st {
+		t.Errorf("Simulate diverged from SimulateContext (err %v)", err)
+	}
+	if got, err := gpuscale.SimulateWithOptions(cfg, smallLinear("dep-sim"), gpuscale.SimOptions{}); err != nil || got != st {
+		t.Errorf("SimulateWithOptions diverged from SimulateContext (err %v)", err)
+	}
+
+	kernels := []gpuscale.Workload{smallLinear("dep-seq-a"), smallLinear("dep-seq-b")}
+	seq, err := gpuscale.SimulateSequenceContext(ctx, cfg, kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := gpuscale.SimulateSequence(cfg, kernels); err != nil || got != seq {
+		t.Errorf("SimulateSequence diverged from SimulateSequenceContext (err %v)", err)
+	}
+
+	mcmBase := gpuscale.Target16Chiplet()
+	mcmBase.Chiplet.NumSMs = 4
+	mcmCfg, err := gpuscale.ScaleChiplets(mcmBase, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcm, err := gpuscale.SimulateMCMContext(ctx, mcmCfg, smallLinear("dep-mcm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := gpuscale.SimulateMCM(mcmCfg, smallLinear("dep-mcm")); err != nil || got != mcm {
+		t.Errorf("SimulateMCM diverged from SimulateMCMContext (err %v)", err)
+	}
+}

@@ -1,6 +1,7 @@
 package gpuscale_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"testing"
@@ -12,14 +13,14 @@ func TestFacadeSimulateSequence(t *testing.T) {
 	cfg := gpuscale.MustScale(gpuscale.Baseline128(), 8)
 	k1 := smallLinear("seq-a")
 	k2 := smallLinear("seq-b")
-	st, err := gpuscale.SimulateSequence(cfg, []gpuscale.Workload{k1, k2})
+	st, err := gpuscale.SimulateSequenceContext(context.Background(), cfg, []gpuscale.Workload{k1, k2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Kernels != 2 {
 		t.Errorf("Kernels = %d, want 2", st.Kernels)
 	}
-	single, err := gpuscale.Simulate(cfg, smallLinear("seq-c"))
+	single, err := gpuscale.SimulateContext(context.Background(), cfg, smallLinear("seq-c"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,26 +48,20 @@ func TestFacadeConfigs(t *testing.T) {
 
 func TestFacadeSimulate(t *testing.T) {
 	cfg := gpuscale.MustScale(gpuscale.Baseline128(), 8)
-	st, err := gpuscale.Simulate(cfg, smallLinear("facade-sim"))
+	st, err := gpuscale.SimulateContext(context.Background(), cfg, smallLinear("facade-sim"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.IPC <= 0 || st.Instructions == 0 {
 		t.Fatalf("degenerate stats: %+v", st)
 	}
-	st2, err := gpuscale.SimulateWithOptions(cfg, smallLinear("facade-sim"), gpuscale.SimOptions{})
+	st2, err := gpuscale.SimulateContext(context.Background(), cfg, smallLinear("facade-sim"),
+		gpuscale.WithOptions(gpuscale.SimOptions{}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st != st2 {
-		t.Error("Simulate and SimulateWithOptions{} disagree")
-	}
-	st3, err := gpuscale.SimulateContext(context.Background(), cfg, smallLinear("facade-sim"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st != st3 {
-		t.Error("deprecated Simulate and SimulateContext disagree")
+		t.Error("SimulateContext and WithOptions(SimOptions{}) disagree")
 	}
 }
 
@@ -78,7 +72,7 @@ func TestFacadeSimulateMCM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := gpuscale.SimulateMCM(cfg, smallLinear("facade-mcm"))
+	st, err := gpuscale.SimulateMCMContext(context.Background(), cfg, smallLinear("facade-mcm"))
 	if err != nil {
 		t.Fatal(err)
 	}

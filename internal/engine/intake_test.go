@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpuscale/internal/config"
+)
+
+func intakeJob(name string) Job {
+	return NewJob(config.MustScale(config.Baseline128(), 8), tinyWorkload(name))
+}
+
+// TestIntakeCoalesces checks that concurrent submissions inside one linger
+// window dispatch as one batch, and that every submitter gets the same
+// Stats the batch-free Run path computes.
+func TestIntakeCoalesces(t *testing.T) {
+	var batches, jobs atomic.Int64
+	in := NewIntake(IntakeOptions{
+		Workers: 4,
+		Linger:  50 * time.Millisecond,
+		OnBatch: func(size int) { batches.Add(1); jobs.Add(int64(size)) },
+	})
+	defer in.Close()
+
+	want := runJob(context.Background(), intakeJob("intake-a"))
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+
+	const subs = 6
+	results := make([]Result, subs)
+	var wg sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = in.Submit(context.Background(), intakeJob("intake-a"))
+		}(i)
+	}
+	wg.Wait()
+
+	if got := batches.Load(); got != 1 {
+		t.Errorf("%d submissions inside one linger window dispatched %d batches", subs, got)
+	}
+	if got := jobs.Load(); got != subs {
+		t.Errorf("batch hook saw %d jobs, want %d", got, subs)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("submission %d: %v", i, r.Err)
+		}
+		if !reflect.DeepEqual(r.Stats, want.Stats) {
+			t.Errorf("submission %d: Stats differ from direct runJob", i)
+		}
+	}
+}
+
+// TestIntakeSubmitCancellation checks per-submission contexts: a cancelled
+// submission fails with its context's error while batch-mates complete.
+func TestIntakeSubmitCancellation(t *testing.T) {
+	in := NewIntake(IntakeOptions{Workers: 1, Linger: 20 * time.Millisecond})
+	defer in.Close()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before dispatch: the simulation must never start
+
+	var wg sync.WaitGroup
+	var live, dead Result
+	wg.Add(2)
+	go func() { defer wg.Done(); live = in.Submit(context.Background(), intakeJob("intake-live")) }()
+	go func() { defer wg.Done(); dead = in.Submit(cancelled, intakeJob("intake-dead")) }()
+	wg.Wait()
+
+	if live.Err != nil {
+		t.Errorf("live batch-mate failed: %v", live.Err)
+	}
+	if !errors.Is(dead.Err, context.Canceled) {
+		t.Errorf("cancelled submission error = %v, want context.Canceled", dead.Err)
+	}
+}
+
+// TestIntakeClose checks both close behaviours: pending submissions fail
+// with ErrIntakeClosed, and submissions after Close are refused.
+func TestIntakeClose(t *testing.T) {
+	// A long linger window keeps the submission pending at Close time.
+	in := NewIntake(IntakeOptions{Workers: 1, Linger: time.Hour})
+	done := make(chan Result, 1)
+	go func() { done <- in.Submit(context.Background(), intakeJob("intake-pending")) }()
+	time.Sleep(20 * time.Millisecond) // let the submission enqueue
+	in.Close()
+	select {
+	case r := <-done:
+		if !errors.Is(r.Err, ErrIntakeClosed) {
+			t.Errorf("pending submission error = %v, want ErrIntakeClosed", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not fail the pending submission")
+	}
+	if r := in.Submit(context.Background(), intakeJob("intake-after")); !errors.Is(r.Err, ErrIntakeClosed) {
+		t.Errorf("post-Close submission error = %v, want ErrIntakeClosed", r.Err)
+	}
+	in.Close() // idempotent
+}
+
+// TestIntakeSeparateWindows checks that submissions arriving after a batch
+// dispatched form a new batch rather than being lost.
+func TestIntakeSeparateWindows(t *testing.T) {
+	var batches atomic.Int64
+	in := NewIntake(IntakeOptions{
+		Workers: 2,
+		Linger:  5 * time.Millisecond,
+		OnBatch: func(int) { batches.Add(1) },
+	})
+	defer in.Close()
+
+	if r := in.Submit(context.Background(), intakeJob("win-1")); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r := in.Submit(context.Background(), intakeJob("win-2")); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	// trace.Workload jobs are deterministic, so both windows must agree.
+	if got := batches.Load(); got != 2 {
+		t.Errorf("two spaced submissions dispatched %d batches, want 2", got)
+	}
+}

@@ -13,8 +13,15 @@
 // every independent (configuration, workload) cell across a worker pool via
 // internal/engine; the per-benchmark analysis then runs sequentially over
 // cache hits, so parallel and sequential execution produce identical
-// results. SetParallel tunes (or disables) the fan-out and SetProgress
-// attaches a live progress callback.
+// results. Construction-time functional options tune the behaviour:
+// WithParallel sizes (or disables) the fan-out, WithProgress attaches a
+// live progress callback, WithObserver an observability recorder and
+// WithMCMShards the intra-simulation shard count (the old Set* methods
+// remain as deprecated wrappers).
+//
+// The package also provides ResultStore, a two-level (memory + disk)
+// single-flight byte store keyed by canonical request hashes; it backs the
+// gpuscaled daemon's response cache so that restarts do not re-simulate.
 package harness
 
 import (
@@ -86,67 +93,25 @@ type Harness struct {
 	observer  *obs.Recorder
 }
 
-// New returns an empty Harness with parallelism runtime.NumCPU().
-func New() *Harness {
-	return &Harness{
+// New returns an empty Harness configured by opts; the default is
+// parallelism runtime.NumCPU(), no progress callback, no observer, and
+// sequential MCM simulations. See options.go for the available options.
+func New(opts ...Option) *Harness {
+	h := &Harness{
 		runs:        make(map[string]*runEntry[TimedStats]),
 		chipletRuns: make(map[string]*runEntry[ChipletTimedStats]),
 		mrcs:        make(map[string]*runEntry[mrc.Curve]),
 		parallel:    runtime.NumCPU(),
 	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	return h
 }
 
 // Default is a process-wide harness shared by the benchmark suite, so that
 // every table and figure reuses the same memoised simulations.
 var Default = New()
-
-// SetParallel sets the worker-pool size used by the sweep entry points
-// (RunStrongAll, RunWeakAll, RunChipletAll). n <= 1 disables the parallel
-// pre-warm and restores fully sequential execution; n <= 0 resets to
-// runtime.NumCPU(). Results are identical at every setting — only wall
-// clock changes.
-func (h *Harness) SetParallel(n int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if n <= 0 {
-		n = runtime.NumCPU()
-	}
-	h.parallel = n
-}
-
-// SetProgress attaches a callback that receives a progress snapshot after
-// every pre-warm job completion (jobs done, simulated cycles/sec, ETA).
-// Pass nil to detach. The callback is never invoked concurrently.
-func (h *Harness) SetProgress(fn func(engine.Progress)) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.progress = fn
-}
-
-// SetObserver attaches an observability recorder to every simulation the
-// harness runs from now on (memoised results that already ran are not
-// re-observed). The recorder is safe to share across the parallel pre-warm:
-// each simulation records into its own trace stream and metrics namespace.
-// Pass nil to detach.
-func (h *Harness) SetObserver(rec *obs.Recorder) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.observer = rec
-}
-
-// SetMCMShards sets the intra-simulation shard count for every MCM
-// simulation the harness runs from now on (see chiplet.Options.Shards).
-// Sharded runs are bit-identical to sequential ones, so memoised results
-// stay valid across setting changes — only wall clock differs. n <= 1
-// keeps the sequential event loop.
-func (h *Harness) SetMCMShards(n int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if n < 0 {
-		n = 0
-	}
-	h.mcmShards = n
-}
 
 // observerRef snapshots the attached recorder (possibly nil).
 func (h *Harness) observerRef() *obs.Recorder {

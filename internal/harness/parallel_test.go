@@ -113,12 +113,10 @@ func tinyGrid() (ws []trace.Workload, cfgs []config.SystemConfig, units []prewar
 func TestPrewarmMatchesSequential(t *testing.T) {
 	ws, cfgs, units := tinyGrid()
 
-	par := New()
-	par.SetParallel(8)
+	par := New(WithParallel(8))
 	par.prewarm(units)
 
-	seq := New()
-	seq.SetParallel(1)
+	seq := New(WithParallel(1))
 
 	for _, w := range ws {
 		for _, cfg := range cfgs {
@@ -152,10 +150,11 @@ func TestPrewarmMatchesSequential(t *testing.T) {
 // progress snapshot per unit, ending complete.
 func TestPrewarmProgress(t *testing.T) {
 	_, _, units := tinyGrid()
-	h := New()
-	h.SetParallel(4)
 	var snaps []engine.Progress
-	h.SetProgress(func(p engine.Progress) { snaps = append(snaps, p) })
+	h := New(
+		WithParallel(4),
+		WithProgress(func(p engine.Progress) { snaps = append(snaps, p) }),
+	)
 	h.prewarm(units)
 	if len(snaps) != len(units) {
 		t.Fatalf("got %d progress snapshots, want %d", len(snaps), len(units))
@@ -174,8 +173,7 @@ func TestPrewarmProgress(t *testing.T) {
 // pre-warm: nothing is simulated until the analysis path asks.
 func TestPrewarmSequentialNoop(t *testing.T) {
 	w := &countingWorkload{name: "noop"}
-	h := New()
-	h.SetParallel(1)
+	h := New(WithParallel(1))
 	h.prewarm([]prewarmUnit{
 		{cfg: config.MustScale(config.Baseline128(), 8), w: w},
 		{cfg: config.MustScale(config.Baseline128(), 16), w: w},
@@ -185,15 +183,12 @@ func TestPrewarmSequentialNoop(t *testing.T) {
 	}
 }
 
-// TestSetParallelNormalises checks the n <= 0 → NumCPU reset rule.
-func TestSetParallelNormalises(t *testing.T) {
-	h := New()
-	h.SetParallel(-3)
-	if n, _ := h.settings(); n < 1 {
-		t.Errorf("SetParallel(-3) left parallelism %d", n)
+// TestWithParallelNormalises checks the n <= 0 → NumCPU reset rule.
+func TestWithParallelNormalises(t *testing.T) {
+	if n, _ := New(WithParallel(-3)).settings(); n < 1 {
+		t.Errorf("WithParallel(-3) left parallelism %d", n)
 	}
-	h.SetParallel(5)
-	if n, _ := h.settings(); n != 5 {
-		t.Errorf("SetParallel(5) gave %d", n)
+	if n, _ := New(WithParallel(5)).settings(); n != 5 {
+		t.Errorf("WithParallel(5) gave %d", n)
 	}
 }

@@ -1,0 +1,225 @@
+package harness
+
+// ResultStore is the persistence layer behind the gpuscaled response
+// cache: a two-level, single-flight byte store keyed by canonical request
+// hashes (gpuscale.Canonicalize). Level one is an in-memory map of settled
+// response bodies; level two is an optional disk directory of
+// hash-sharded JSON files, so a restarted daemon serves previously
+// computed predictions without re-simulating. Because every simulation in
+// this repository is deterministic, a stored body is exactly the body a
+// recomputation would produce — replaying cached bytes preserves the
+// byte-identical-response contract.
+//
+// Concurrency follows the harness single-flight discipline with one
+// refinement the sync.Once memo cannot express: computations are
+// context-aware. The first caller for a key becomes the owner and runs
+// the compute function; concurrent callers wait for the owner, but a
+// waiter whose own context is cancelled stops waiting immediately.
+// Errors — including owner cancellation — are never settled: the failed
+// in-flight entry is removed, so a later (or concurrently waiting) caller
+// with a live context retries and may become the new owner. A cancelled
+// client therefore cannot poison the cache for everyone else.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// StoreSource says which level of a ResultStore served a result.
+type StoreSource string
+
+const (
+	// StoreComputed: this call was the owner and ran the compute function.
+	StoreComputed StoreSource = "computed"
+	// StoreCoalesced: the call waited on a concurrent owner's computation.
+	StoreCoalesced StoreSource = "coalesced"
+	// StoreMemory: the key was already settled in memory.
+	StoreMemory StoreSource = "memory"
+	// StoreDisk: the key was loaded from the disk level (and promoted to
+	// memory).
+	StoreDisk StoreSource = "disk"
+)
+
+// storeCall is one in-flight computation; waiters block on done.
+type storeCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// ResultStore is a two-level single-flight byte store. The zero value is
+// not usable; call NewResultStore.
+type ResultStore struct {
+	dir     string // "" = memory-only
+	maxMem  int    // settled-entry cap; <= 0 = unbounded
+	mu      sync.Mutex
+	settled map[string][]byte
+	flight  map[string]*storeCall
+}
+
+// NewResultStore returns a store persisting to dir ("" keeps results in
+// memory only), holding at most maxMem settled bodies in memory (<= 0 for
+// no cap; evicted bodies remain readable from disk). The directory is
+// created if missing.
+func NewResultStore(dir string, maxMem int) (*ResultStore, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: creating result store: %w", err)
+		}
+	}
+	return &ResultStore{
+		dir:     dir,
+		maxMem:  maxMem,
+		settled: make(map[string][]byte),
+		flight:  make(map[string]*storeCall),
+	}, nil
+}
+
+// Do returns the stored body for key, computing it at most once across
+// concurrent callers. Lookup order: memory, disk, then compute (with
+// single-flight coalescing). ctx bounds only this caller's wait and the
+// owner's computation — compute must observe ctx itself for cancellation
+// to propagate into a running simulation. Successful results are settled
+// in memory and written to disk; errors are never cached.
+func (s *ResultStore) Do(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, StoreSource, error) {
+	if err := validStoreKey(key); err != nil {
+		return nil, "", err
+	}
+	for {
+		s.mu.Lock()
+		if body, ok := s.settled[key]; ok {
+			s.mu.Unlock()
+			return body, StoreMemory, nil
+		}
+		if c, ok := s.flight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, "", ctx.Err()
+			case <-c.done:
+			}
+			if c.err == nil {
+				return c.body, StoreCoalesced, nil
+			}
+			if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+				// The owner's client went away mid-computation; this
+				// waiter's context is still live, so retry (and likely
+				// become the new owner).
+				continue
+			}
+			return nil, "", c.err
+		}
+		c := &storeCall{done: make(chan struct{})}
+		s.flight[key] = c
+		s.mu.Unlock()
+
+		if body, ok := s.readDisk(key); ok {
+			s.settle(key, c, body, nil)
+			return body, StoreDisk, nil
+		}
+		body, err := compute()
+		if err == nil {
+			s.writeDisk(key, body)
+		}
+		s.settle(key, c, body, err)
+		if err != nil {
+			return nil, "", err
+		}
+		return body, StoreComputed, nil
+	}
+}
+
+// Peek reports whether key is settled in memory (it does not consult
+// disk and never blocks on an in-flight computation).
+func (s *ResultStore) Peek(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.settled[key]
+	return ok
+}
+
+// settle publishes a finished computation to the waiters and, on success,
+// to the memory level; failed entries are removed so later callers retry.
+func (s *ResultStore) settle(key string, c *storeCall, body []byte, err error) {
+	s.mu.Lock()
+	delete(s.flight, key)
+	if err == nil {
+		if s.maxMem > 0 && len(s.settled) >= s.maxMem {
+			// Evict one arbitrary entry (map iteration order). The memory
+			// level is a working set, not the source of truth — evicted
+			// keys reload from disk when configured.
+			for k := range s.settled {
+				delete(s.settled, k)
+				break
+			}
+		}
+		s.settled[key] = body
+	}
+	s.mu.Unlock()
+	c.body, c.err = body, err
+	close(c.done)
+}
+
+// diskPath shards keys by their first two characters to keep directory
+// fan-out bounded: dir/ab/abcd….json.
+func (s *ResultStore) diskPath(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+func (s *ResultStore) readDisk(key string) ([]byte, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	body, err := os.ReadFile(s.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+// writeDisk persists a body atomically (temp file + rename) so a crashed
+// or concurrent writer can never leave a torn file for readDisk to trust.
+// Persistence is best-effort: a full or read-only disk degrades the store
+// to memory-only instead of failing the request.
+func (s *ResultStore) writeDisk(key string, body []byte) {
+	if s.dir == "" {
+		return
+	}
+	path := s.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(body)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// validStoreKey restricts keys to lowercase-hex hashes of at least four
+// characters — the canonical-request SHA-256 form — so keys are always
+// safe path components and long enough to shard.
+func validStoreKey(key string) error {
+	if len(key) < 4 {
+		return fmt.Errorf("harness: result-store key %q too short (want a hex hash)", key)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("harness: result-store key %q is not lowercase hex", key)
+		}
+	}
+	return nil
+}

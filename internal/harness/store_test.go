@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const storeKeyA = "aabbccddee00112233445566778899aabbccddee00112233445566778899aabb"
+
+func TestResultStoreLevels(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewResultStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want := []byte(`{"ipc":1.5}`)
+	var computes atomic.Int64
+	compute := func() ([]byte, error) {
+		computes.Add(1)
+		return want, nil
+	}
+
+	body, src, err := s.Do(ctx, storeKeyA, compute)
+	if err != nil || string(body) != string(want) || src != StoreComputed {
+		t.Fatalf("first Do: %q %v %v", body, src, err)
+	}
+	body, src, err = s.Do(ctx, storeKeyA, compute)
+	if err != nil || string(body) != string(want) || src != StoreMemory {
+		t.Fatalf("second Do: %q %v %v", body, src, err)
+	}
+	if computes.Load() != 1 {
+		t.Errorf("computed %d times", computes.Load())
+	}
+	if !s.Peek(storeKeyA) {
+		t.Error("Peek missed a settled key")
+	}
+
+	// The disk file is hash-sharded and survives into a fresh store.
+	if _, err := os.Stat(filepath.Join(dir, storeKeyA[:2], storeKeyA+".json")); err != nil {
+		t.Errorf("disk file missing: %v", err)
+	}
+	s2, err := NewResultStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, src, err = s2.Do(ctx, storeKeyA, func() ([]byte, error) {
+		t.Error("fresh store recomputed a disk-resident key")
+		return nil, nil
+	})
+	if err != nil || string(body) != string(want) || src != StoreDisk {
+		t.Fatalf("disk Do: %q %v %v", body, src, err)
+	}
+	// Disk hits promote to memory.
+	if _, src, _ := s2.Do(ctx, storeKeyA, compute); src != StoreMemory {
+		t.Errorf("after disk hit, source = %v", src)
+	}
+}
+
+func TestResultStoreSingleFlight(t *testing.T) {
+	s, err := NewResultStore("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	started := make(chan struct{})
+	finish := make(chan struct{})
+	var computes atomic.Int64
+	compute := func() ([]byte, error) {
+		computes.Add(1)
+		close(started)
+		<-finish
+		return []byte("shared"), nil
+	}
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	srcs := make([]StoreSource, waiters)
+	go func() {
+		<-started // owner is inside compute; now pile on waiters
+		for i := 0; i < waiters; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				body, src, err := s.Do(ctx, storeKeyA, compute)
+				if err != nil || string(body) != "shared" {
+					t.Errorf("waiter %d: %q %v", i, body, err)
+				}
+				srcs[i] = src
+			}(i)
+		}
+		time.Sleep(20 * time.Millisecond) // let waiters block on the flight
+		close(finish)
+	}()
+	body, src, err := s.Do(ctx, storeKeyA, compute)
+	if err != nil || string(body) != "shared" || src != StoreComputed {
+		t.Fatalf("owner: %q %v %v", body, src, err)
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("computed %d times across %d callers", got, waiters+1)
+	}
+	for i, src := range srcs {
+		if src != StoreCoalesced && src != StoreMemory {
+			t.Errorf("waiter %d source = %v", i, src)
+		}
+	}
+}
+
+func TestResultStoreErrorsNotCached(t *testing.T) {
+	s, err := NewResultStore("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := s.Do(ctx, storeKeyA, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if s.Peek(storeKeyA) {
+		t.Error("failed computation was settled")
+	}
+	body, src, err := s.Do(ctx, storeKeyA, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(body) != "ok" || src != StoreComputed {
+		t.Fatalf("retry after error: %q %v %v", body, src, err)
+	}
+}
+
+func TestResultStoreCancelledOwnerRetries(t *testing.T) {
+	s, err := NewResultStore("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerIn := make(chan struct{})
+
+	// Owner: starts computing, then its client goes away.
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Do(ownerCtx, storeKeyA, func() ([]byte, error) {
+			close(ownerIn)
+			<-ownerCtx.Done()
+			return nil, ownerCtx.Err()
+		})
+		ownerDone <- err
+	}()
+	<-ownerIn
+
+	// Waiter with a live context: joins the flight, sees the owner fail
+	// with Canceled, retries, becomes the new owner, succeeds.
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		body, src, err := s.Do(context.Background(), storeKeyA, func() ([]byte, error) {
+			return []byte("recovered"), nil
+		})
+		if err != nil || string(body) != "recovered" || src != StoreComputed {
+			t.Errorf("waiter after cancelled owner: %q %v %v", body, src, err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter join the flight
+	cancelOwner()
+	if err := <-ownerDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("owner error = %v", err)
+	}
+	select {
+	case <-waiterDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not recover from the cancelled owner")
+	}
+
+	// A waiter whose own context dies stops waiting immediately.
+	blockCtx, cancelBlock := context.WithCancel(context.Background())
+	blockIn := make(chan struct{})
+	release := make(chan struct{})
+	go s.Do(context.Background(), "ffff"+storeKeyA[4:], func() ([]byte, error) {
+		close(blockIn)
+		<-release
+		return []byte("late"), nil
+	})
+	<-blockIn
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancelBlock()
+	}()
+	if _, _, err := s.Do(blockCtx, "ffff"+storeKeyA[4:], nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter error = %v", err)
+	}
+	close(release)
+}
+
+func TestResultStoreKeyValidationAndEviction(t *testing.T) {
+	s, err := NewResultStore("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, bad := range []string{"", "ab", "ABCD1234", "../etc", "xyz!1234"} {
+		if _, _, err := s.Do(ctx, bad, func() ([]byte, error) { return nil, nil }); err == nil {
+			t.Errorf("key %q accepted", bad)
+		}
+	}
+	// maxMem 2: settling a third key evicts one of the first two.
+	keys := []string{"aaaa0000", "bbbb0000", "cccc0000"}
+	for _, k := range keys {
+		k := k
+		if _, _, err := s.Do(ctx, k, func() ([]byte, error) { return []byte(k), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settled := 0
+	for _, k := range keys {
+		if s.Peek(k) {
+			settled++
+		}
+	}
+	if settled != 2 {
+		t.Errorf("settled entries = %d, want 2 (maxMem)", settled)
+	}
+}

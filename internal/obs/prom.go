@@ -1,0 +1,105 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4) of the metrics
+// registry, for the gpuscaled daemon's /metrics endpoint (the HTTP
+// handler itself lives in internal/server — this package deliberately
+// does not import net/http, whose transitive net initialisation starts
+// background runtime work that breaks the zero-allocation guarantee the
+// simulator's observability hooks are tested for). The renderer works
+// from a point-in-time Snapshot, so one scrape is internally consistent,
+// and it emits metric families in sorted name order so consecutive
+// scrapes of an unchanged registry are byte-stable — the same determinism
+// discipline the simulator itself follows.
+//
+// Name mapping: registry names are slash-scoped ("server/cache/hits");
+// Prometheus names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid
+// byte becomes '_' ("server_cache_hits"). Histogram families follow the
+// Prometheus convention: cumulative <name>_bucket{le="..."} series ending
+// in le="+Inf", plus <name>_sum and <name>_count.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format, families sorted by name.
+func WritePrometheus(w io.Writer, s MetricsSnapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		p := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", p, p, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writePromHistogram(w, promName(name), s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, p string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", p, promFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", p, h.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", p, promFloat(h.Sum), p, h.Count)
+	return err
+}
+
+// promName maps a registry name onto the Prometheus identifier alphabet:
+// every byte outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets
+// a '_' prefix.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := []byte(name)
+	for i, c := range b {
+		valid := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !valid {
+			b[i] = '_'
+		}
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		return "_" + string(b)
+	}
+	return string(b)
+}
+
+// promFloat formats a float the way Prometheus expects: shortest
+// round-trip decimal ('g'), so bucket bounds like 5 render as "5", not
+// "5.000000".
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,83 @@
+package obs
+
+// Note: no net/http or httptest here — the obs test binary shares a
+// process with the zero-allocation guards, and linking net/http breaks
+// them (see prom.go). The HTTP handler is tested in internal/server.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("server/cache/hits_memory").Add(3)
+	reg.Counter("server/requests/predict").Inc()
+	reg.Gauge("pool/occupancy").Set(0.5)
+	h := reg.Histogram("server/latency_ms", []float64{1, 5, 10})
+	h.Observe(0.4) // bucket le=1
+	h.Observe(3)   // bucket le=5
+	h.Observe(42)  // overflow
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE server_cache_hits_memory counter\nserver_cache_hits_memory 3\n",
+		"# TYPE server_requests_predict counter\nserver_requests_predict 1\n",
+		"# TYPE pool_occupancy gauge\npool_occupancy 0.5\n",
+		"# TYPE server_latency_ms histogram\n",
+		`server_latency_ms_bucket{le="1"} 1`,
+		`server_latency_ms_bucket{le="5"} 2`,
+		`server_latency_ms_bucket{le="10"} 2`,
+		`server_latency_ms_bucket{le="+Inf"} 3`,
+		"server_latency_ms_sum 45.4\n",
+		"server_latency_ms_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Families come out in sorted name order, so scrapes are byte-stable.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("two scrapes of an unchanged registry differ")
+	}
+	if strings.Index(out, "server_cache_hits_memory") > strings.Index(out, "server_requests_predict") {
+		t.Error("counter families not sorted by name")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"server/cache/hits": "server_cache_hits",
+		"already_valid":     "already_valid",
+		"with:colon":        "with:colon",
+		"dash-and.dot":      "dash_and_dot",
+		"8sm/ipc":           "_8sm_ipc",
+		"":                  "_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var b strings.Builder
+	var reg *Registry
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry exposition = %q, want empty", b.String())
+	}
+}

@@ -1,0 +1,229 @@
+package gpuscale_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpuscale"
+)
+
+func simRequest() gpuscale.Request {
+	return gpuscale.Request{
+		Op:       gpuscale.OpSimulate,
+		Target:   gpuscale.TargetSpec{SMs: 8},
+		Workload: gpuscale.WorkloadSpec{Bench: "dct"},
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*gpuscale.Request)
+		wantErr string // "" = valid
+	}{
+		{"simulate ok", func(r *gpuscale.Request) {}, ""},
+		{"version 1 ok", func(r *gpuscale.Request) { r.Version = gpuscale.RequestVersion }, ""},
+		{"future version", func(r *gpuscale.Request) { r.Version = 99 }, "unsupported request version"},
+		{"no op", func(r *gpuscale.Request) { r.Op = "" }, "no op"},
+		{"unknown op", func(r *gpuscale.Request) { r.Op = "forecast" }, "unknown op"},
+		{"no bench", func(r *gpuscale.Request) { r.Workload.Bench = "" }, "no benchmark"},
+		{"unknown bench", func(r *gpuscale.Request) { r.Workload.Bench = "zzz" }, "unknown benchmark"},
+		{"both targets", func(r *gpuscale.Request) { r.Target.Chiplets = 4 }, "both sms and chiplets"},
+		{"neither target", func(r *gpuscale.Request) { r.Target.SMs = 0 }, "neither sms nor chiplets"},
+		{"negative target", func(r *gpuscale.Request) { r.Target.SMs = -8 }, "negative target"},
+		{"negative max_cycles", func(r *gpuscale.Request) { r.Options.MaxCycles = -1 }, "negative max_cycles"},
+		{"negative shards", func(r *gpuscale.Request) { r.Options.Shards = -1 }, "negative shards"},
+		{"mcm simulate ok", func(r *gpuscale.Request) {
+			r.Target = gpuscale.TargetSpec{Chiplets: 4}
+			r.Workload = gpuscale.WorkloadSpec{Bench: "va", Weak: true}
+		}, ""},
+		{"mcm warmup", func(r *gpuscale.Request) {
+			r.Target = gpuscale.TargetSpec{Chiplets: 4}
+			r.Options.WarmupInstructions = 100
+		}, "warmup_instructions is not supported on MCM"},
+		{"predict ok", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpPredict
+			r.Target = gpuscale.TargetSpec{}
+		}, ""},
+		{"predict with sms", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpPredict
+		}, "leave target.sms unset"},
+		{"predict mcm ok", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpPredict
+			r.Target = gpuscale.TargetSpec{Chiplets: 16}
+			r.Workload = gpuscale.WorkloadSpec{Bench: "va", Weak: true}
+		}, ""},
+		{"predict mcm wrong size", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpPredict
+			r.Target = gpuscale.TargetSpec{Chiplets: 8}
+			r.Workload = gpuscale.WorkloadSpec{Bench: "va", Weak: true}
+		}, "only the 16-chiplet target"},
+		{"predict mcm strong", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpPredict
+			r.Target = gpuscale.TargetSpec{Chiplets: 16}
+		}, "requires a weak-scaling family"},
+		{"predict with max_cycles", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpPredict
+			r.Target = gpuscale.TargetSpec{}
+			r.Options.MaxCycles = 100
+		}, "do not apply to predict"},
+		{"mrc ok", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpMRC
+			r.Target = gpuscale.TargetSpec{}
+		}, ""},
+		{"mrc with target", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpMRC
+		}, "leave target unset"},
+		{"mrc weak", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpMRC
+			r.Target = gpuscale.TargetSpec{}
+			r.Workload = gpuscale.WorkloadSpec{Bench: "va", Weak: true}
+		}, "strong-scaling benchmarks only"},
+		{"mrc with warmup", func(r *gpuscale.Request) {
+			r.Op = gpuscale.OpMRC
+			r.Target = gpuscale.TargetSpec{}
+			r.Options.WarmupInstructions = 5
+		}, "do not apply to mrc"},
+	}
+	for _, tc := range cases {
+		r := simRequest()
+		tc.mutate(&r)
+		err := r.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestCanonicalizeEquivalences(t *testing.T) {
+	base := simRequest()
+	canon, hash, err := gpuscale.Canonicalize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hash) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", hash)
+	}
+
+	// Version 0 ("current") and the explicit current version hash the same.
+	v1 := base
+	v1.Version = gpuscale.RequestVersion
+	if _, h, err := gpuscale.Canonicalize(v1); err != nil || h != hash {
+		t.Errorf("explicit version changed the hash: %v %v", h == hash, err)
+	}
+
+	// Shards is result-invariant and must be stripped from the canonical form.
+	sharded := base
+	sharded.Options.Shards = 8
+	cs, h, err := gpuscale.Canonicalize(sharded)
+	if err != nil || h != hash {
+		t.Errorf("shards changed the hash: %v %v", h == hash, err)
+	}
+	if string(cs) != string(canon) {
+		t.Errorf("shards changed the canonical bytes:\n%s\n%s", cs, canon)
+	}
+	if strings.Contains(string(canon), "shards") {
+		t.Errorf("canonical form leaks shards: %s", canon)
+	}
+
+	// JSON field order does not matter: a reordered spelling parses and
+	// canonicalises to the same bytes.
+	reordered := []byte(`{"workload":{"bench":"dct"},"target":{"sms":8},"op":"simulate","version":0}`)
+	pr, err := gpuscale.ParseRequest(reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, h, err := gpuscale.Canonicalize(pr); err != nil || h != hash {
+		t.Errorf("field order changed the hash: %v %v", h == hash, err)
+	}
+
+	// A semantically different request must hash differently.
+	other := base
+	other.Target.SMs = 16
+	if _, h, _ := gpuscale.Canonicalize(other); h == hash {
+		t.Error("different target produced the same hash")
+	}
+	warm := base
+	warm.Options.WarmupInstructions = 1000
+	if _, h, _ := gpuscale.Canonicalize(warm); h == hash {
+		t.Error("warmup_instructions did not change the hash")
+	}
+
+	// Canonicalize refuses invalid requests.
+	bad := base
+	bad.Workload.Bench = ""
+	if _, _, err := gpuscale.Canonicalize(bad); err == nil {
+		t.Error("canonicalised an invalid request")
+	}
+}
+
+func TestParseRequestStrict(t *testing.T) {
+	if _, err := gpuscale.ParseRequest([]byte(`{"op":"simulate","tarrget":{"sms":8}}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := gpuscale.ParseRequest([]byte(`{"op":"simulate"}{"op":"mrc"}`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := gpuscale.ParseRequest([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	r, err := gpuscale.ParseRequest([]byte(`{"op":"predict","workload":{"bench":"ht"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Op != gpuscale.OpPredict || r.Workload.Bench != "ht" {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestResolveSimulation(t *testing.T) {
+	// Monolithic: scaled config, workload, warmup option.
+	r := simRequest()
+	r.Options.WarmupInstructions = 500
+	tgt, err := r.ResolveSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.System == nil || tgt.MCM != nil {
+		t.Fatal("monolithic request resolved to MCM")
+	}
+	if tgt.System.NumSMs != 8 {
+		t.Errorf("NumSMs = %d", tgt.System.NumSMs)
+	}
+	if tgt.Workload == nil || len(tgt.Options) != 1 {
+		t.Errorf("workload %v, %d options", tgt.Workload, len(tgt.Options))
+	}
+
+	// MCM: chiplet config sized from the 16-chiplet building block.
+	m := gpuscale.Request{
+		Op:       gpuscale.OpSimulate,
+		Target:   gpuscale.TargetSpec{Chiplets: 4},
+		Workload: gpuscale.WorkloadSpec{Bench: "va", Weak: true},
+		Options:  gpuscale.RequestOptions{Shards: 2},
+	}
+	mt, err := m.ResolveSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.MCM == nil || mt.System != nil {
+		t.Fatal("MCM request resolved to monolithic")
+	}
+	if mt.MCM.NumChiplets != 4 {
+		t.Errorf("NumChiplets = %d", mt.MCM.NumChiplets)
+	}
+	if len(mt.Options) != 1 {
+		t.Errorf("%d options, want 1 (shards)", len(mt.Options))
+	}
+
+	// Non-simulate ops refuse to resolve.
+	p := gpuscale.Request{Op: gpuscale.OpPredict, Workload: gpuscale.WorkloadSpec{Bench: "dct"}}
+	if _, err := p.ResolveSimulation(); err == nil {
+		t.Error("ResolveSimulation accepted a predict request")
+	}
+}
