@@ -21,12 +21,13 @@ test:
 
 # The concurrency gate: race-enabled tests of every code path that runs on
 # or feeds the worker-pool engine, plus the intra-simulation shard runners
-# (internal/parallel barrier pool and the chiplet sharded loop's randomized
-# cross-shard stress cell — see docs/PARALLELISM.md). The harness run is
-# restricted to its concurrency tests (singleflight, pre-warm, progress)
-# and the chiplet run to the sharded stress/abort cells because the rest of
-# both suites is sequential simulation that the race detector slows ~7x for
-# no extra coverage; `go test -race ./internal/harness/ ./internal/chiplet/`
+# (internal/parallel barrier pool and the gpu/chiplet sharded loops'
+# randomized cross-shard stress cells, quantum windows included — see
+# docs/PARALLELISM.md). The harness run is restricted to its concurrency
+# tests (singleflight, pre-warm, progress) and the gpu/chiplet runs to the
+# sharded stress/abort cells because the rest of those suites is sequential
+# simulation that the race detector slows ~7x for no extra coverage;
+# `go test -race ./internal/harness/ ./internal/gpu/ ./internal/chiplet/`
 # still passes if you want the whole packages raced. AllocsPerRun is
 # unreliable under -race, so the zero-allocation guard for the disabled
 # observability path runs as a separate non-race step (noalloc).
@@ -34,6 +35,7 @@ race: noalloc
 	$(GO) test -race -short ./internal/engine/... ./internal/mrc/... ./internal/obs/... ./internal/parallel/... ./internal/server/...
 	$(GO) test -race -short -run 'Singleflight|Prewarm|Parallel|ResultStore|Deprecated' ./internal/harness/
 	$(GO) test -race -short -run 'TestShardedRandomCrossTrafficStress|TestShardedMaxCyclesAborts' ./internal/chiplet/
+	$(GO) test -race -short -run 'TestGPUShardedRandomCrossTrafficStress|TestGPUShardedMaxCyclesAborts' ./internal/gpu/
 
 # The zero-cost-when-disabled guard: with a nil observer the simulator hot
 # path must not allocate — neither the observability hooks themselves nor a

@@ -14,8 +14,9 @@
 // same wire schema cmd/predict and the gpuscaled daemon speak), so every
 // run prints its canonical request hash: POSTing the equivalent JSON to a
 // daemon's /v1/simulate returns the same simulation from the same cache
-// key. Host-side execution knobs (-shards, observability, profiling) are
-// not part of the canonical request and never change the hash.
+// key. Host-side execution knobs (-shards, -quantum, observability,
+// profiling) are not part of the canonical request and never change the
+// hash.
 //
 // The observability flags are shared with paperbench (see cmd/internal/
 // cliutil): -trace-out writes a Chrome trace_event file loadable in
@@ -41,7 +42,8 @@ func main() {
 		bench    = flag.String("bench", "", "benchmark abbreviation (see -list)")
 		sms      = flag.Int("sms", 16, "number of SMs (monolithic GPU)")
 		chiplets = flag.Int("chiplets", 0, "simulate an MCM GPU with this many chiplets instead")
-		shards   = flag.Int("shards", 0, "MCM only: run the simulation on this many parallel shard goroutines (bit-identical results; 0/1 = sequential)")
+		shards   = flag.Int("shards", 0, "run the simulation on this many parallel shard goroutines (bit-identical results; 0/1 = sequential)")
+		quantum  = flag.Int("quantum", 0, "relax the sharded barrier to at most this many cycles per safe window (bit-identical results; needs -shards > 1)")
 		weak     = flag.Bool("weak", false, "use the weak-scaling variant (input scales with size)")
 		warmup   = flag.Uint64("warmup", 0, "discard statistics until this many instructions have issued (monolithic GPU only)")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
@@ -71,8 +73,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gpusim: -bench is required (try -list)")
 		os.Exit(2)
 	}
-	if *shards > 1 && *chiplets == 0 {
-		fmt.Fprintln(os.Stderr, "gpusim: -shards applies only to MCM runs (-chiplets); ignored")
+	if *quantum > 0 && *shards <= 1 {
+		fmt.Fprintln(os.Stderr, "gpusim: -quantum has no effect without -shards > 1")
 	}
 
 	req := gpuscale.Request{
@@ -81,6 +83,7 @@ func main() {
 		Options: gpuscale.RequestOptions{
 			WarmupInstructions: *warmup,
 			Shards:             *shards,
+			Quantum:            *quantum,
 		},
 	}
 	if *chiplets > 0 {

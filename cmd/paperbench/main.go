@@ -25,9 +25,11 @@
 // fan their independent (workload, configuration) cells across -parallel
 // workers (default: all CPUs); results are bit-identical at any setting,
 // and live progress (jobs done, simulated cycles/sec, ETA) is reported on
-// stderr. -shards parallelises *within* each MCM simulation instead
-// (per-chiplet shard runners, see docs/PARALLELISM.md) — also bit-identical
-// at any setting, and composable with -parallel.
+// stderr. -shards parallelises *within* each simulation instead (per-SM-
+// group shard runners on the monolithic simulator, per-chiplet-group on
+// the MCM one, see docs/PARALLELISM.md), and -quantum relaxes the sharded
+// barrier cadence — both bit-identical at any setting, and composable
+// with -parallel.
 //
 // The shared observability flags (see cmd/internal/cliutil) attach one
 // recorder to every simulation the selected experiments run: -trace-out
@@ -53,7 +55,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate (table1..table5, fig1..fig8, artifact, all)")
 	csvDir := flag.String("csv", "", "also export raw results as CSV files into this directory")
-	shards := flag.Int("shards", 0, "run each MCM simulation on this many parallel shard goroutines (bit-identical results; 0/1 = sequential)")
+	shards := flag.Int("shards", 0, "run each simulation on this many parallel shard goroutines (bit-identical results; 0/1 = sequential)")
+	quantum := flag.Int("quantum", 0, "relax the sharded barrier to at most this many cycles per safe window (bit-identical results; needs -shards > 1)")
 	parallel := cliutil.Parallel(flag.CommandLine)
 	quiet := cliutil.Quiet(flag.CommandLine)
 	obsFlags := cliutil.Obs(flag.CommandLine)
@@ -68,7 +71,8 @@ func main() {
 	observer := obsFlags.Observer()
 	hopts := []harness.Option{
 		harness.WithParallel(*parallel),
-		harness.WithMCMShards(*shards),
+		harness.WithShards(*shards),
+		harness.WithQuantum(*quantum),
 		harness.WithObserver(observer),
 	}
 	if !*quiet {

@@ -213,14 +213,26 @@ func WithOptions(opt SimOptions) SimOption {
 	return func(o *SimOptions) { *o = opt }
 }
 
-// WithShards runs an MCM simulation on n parallel shard goroutines — the
-// package's chiplets split into n contiguous groups synchronised at a
-// deterministic cycle barrier — returning statistics bit-identical to the
-// sequential run (see docs/PARALLELISM.md for the execution model and why
-// determinism survives). 0 or 1 means sequential; n above the chiplet
-// count is clamped to it. Monolithic-GPU simulations ignore this option.
+// WithShards runs the simulation on n parallel shard goroutines — the
+// simulated units (SMs on a monolithic GPU, chiplets on an MCM) split into
+// n contiguous groups synchronised at a deterministic cycle barrier —
+// returning statistics bit-identical to the sequential run (see
+// docs/PARALLELISM.md for the execution model and why determinism
+// survives). 0 or 1 means sequential; n above the unit count is clamped
+// to it.
 func WithShards(n int) SimOption {
 	return func(o *SimOptions) { o.Shards = n }
+}
+
+// WithQuantum relaxes the sharded run's per-cycle barrier: shards
+// deterministically compute a safe window — the minimum number of cycles
+// until any of their warps can next touch the shared memory path — and run
+// up to q cycles inside it without synchronising, still bit-identical to
+// the sequential run (docs/PARALLELISM.md explains the safety argument).
+// 0 disables relaxation (barrier every cycle); it has no effect without
+// WithShards(n>1). Large values are clamped to an internal maximum.
+func WithQuantum(q int) SimOption {
+	return func(o *SimOptions) { o.Quantum = q }
 }
 
 // SimulateContext runs workload w to completion on cfg and returns its
@@ -248,8 +260,9 @@ func SimulateSequenceContext(ctx context.Context, cfg SystemConfig, kernels []Wo
 }
 
 // SimulateMCMContext is SimulateContext on a multi-chiplet GPU. MCM runs
-// honour WithMaxCycles, WithObserver, WithSampleInterval and WithShards;
-// the remaining options do not apply to the chiplet model and are ignored.
+// honour WithMaxCycles, WithObserver, WithSampleInterval, WithShards and
+// WithQuantum; the remaining options do not apply to the chiplet model and
+// are ignored.
 func SimulateMCMContext(ctx context.Context, cfg ChipletConfig, w Workload, opts ...SimOption) (MCMStats, error) {
 	var o SimOptions
 	for _, fn := range opts {
@@ -260,6 +273,7 @@ func SimulateMCMContext(ctx context.Context, cfg ChipletConfig, w Workload, opts
 		Recorder:    o.Recorder,
 		SampleEvery: o.SampleEvery,
 		Shards:      o.Shards,
+		Quantum:     o.Quantum,
 	})
 	if err != nil {
 		return MCMStats{}, err

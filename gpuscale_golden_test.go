@@ -31,10 +31,11 @@ type goldenEntry struct {
 
 // goldenCells simulates the full golden grid: all 21 strong-scaling
 // benchmarks on the 8- and 16-SM scale models (the two configurations every
-// prediction in the paper is derived from), the 4- and 2-chiplet MCM
-// configurations (sequential and sharded), two weak-scaling MCM cells,
-// three horizon-boundary cells with long-latency DRAM, and one multi-kernel
-// sequence. The strong cells are fanned across the worker pool; results are
+// prediction in the paper is derived from), three sharded monolithic cells
+// (one with quantum-relaxed barriers) byte-identical to their sequential
+// twins, the 4- and 2-chiplet MCM configurations (sequential and sharded),
+// two weak-scaling MCM cells, three horizon-boundary cells with
+// long-latency DRAM, and one multi-kernel sequence. The strong cells are fanned across the worker pool; results are
 // bit-identical to a sequential run.
 func goldenCells(t *testing.T) []goldenEntry {
 	t.Helper()
@@ -112,6 +113,43 @@ func goldenCells(t *testing.T) []goldenEntry {
 		}
 		cells = append(cells, goldenEntry{
 			Label: fmt.Sprintf("chiplet-sharded/%s/%dc-s%d", sc.bench, sc.chips, sc.shards), MCM: &st})
+	}
+
+	// Sharded monolithic cells: strong-scaling cells from the grid above
+	// re-run through the per-SM-group shard loop (WithShards), one with
+	// quantum-relaxed barriers (WithQuantum). Bit-identity with the
+	// sequential loop is the sharded loop's contract, so each snapshot here
+	// must be byte-identical to its strong/* twin — pinning them separately
+	// makes a determinism regression in either loop show up as a golden
+	// diff. Additive cells: they extend the snapshot, never replace
+	// existing entries.
+	for _, gc := range []struct {
+		bench   string
+		sms     int
+		shards  int
+		quantum int
+	}{{"bfs", 16, 4, 0}, {"dct", 8, 2, 0}, {"pf", 16, 3, 64}} {
+		bench, err := gpuscale.BenchmarkByName(gc.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []gpuscale.SimOption{gpuscale.WithShards(gc.shards)}
+		label := fmt.Sprintf("gpu-sharded/%s/%dsm-s%d", gc.bench, gc.sms, gc.shards)
+		if gc.quantum > 0 {
+			opts = append(opts, gpuscale.WithQuantum(gc.quantum))
+			label = fmt.Sprintf("%s-q%d", label, gc.quantum)
+		}
+		st, err := gpuscale.SimulateContext(ctx, gpuscale.MustScale(base, gc.sms), bench.Workload, opts...)
+		if err != nil {
+			t.Fatalf("golden gpu-sharded cell %s: %v", label, err)
+		}
+		twin := fmt.Sprintf("strong/%s/%dsm", gc.bench, gc.sms)
+		for _, c := range cells {
+			if c.Label == twin && *c.Sim != st {
+				t.Errorf("%s diverged from its sequential twin %s\n got %+v\nwant %+v", label, twin, st, *c.Sim)
+			}
+		}
+		cells = append(cells, goldenEntry{Label: label, Sim: &st})
 	}
 
 	// Weak-scaling MCM cells: two Table IV families from the paper's chiplet
@@ -201,7 +239,7 @@ func goldenCells(t *testing.T) []goldenEntry {
 // without -update: identical simulated results, faster host execution.
 func TestGoldenStats(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden grid simulates 57 cells; skipped in -short mode")
+		t.Skip("golden grid simulates 60 cells; skipped in -short mode")
 	}
 	cells := goldenCells(t)
 

@@ -83,8 +83,11 @@ func TestShardedMatchesSequential(t *testing.T) {
 			}
 			seq := run(Options{})
 			for _, shards := range []int{2, 3, 4} {
-				if got := run(Options{Shards: shards}); got != seq {
-					t.Errorf("shards=%d stats diverge\nsharded    %+v\nsequential %+v", shards, got, seq)
+				for _, quantum := range []int{0, 64} {
+					if got := run(Options{Shards: shards, Quantum: quantum}); got != seq {
+						t.Errorf("shards=%d quantum=%d stats diverge\nsharded    %+v\nsequential %+v",
+							shards, quantum, got, seq)
+					}
 				}
 			}
 		})
@@ -110,8 +113,11 @@ func TestShardedRandomCrossTrafficStress(t *testing.T) {
 	}
 	seq := run(Options{})
 	for _, shards := range []int{2, 4, 8} {
-		if got := run(Options{Shards: shards}); got != seq {
-			t.Errorf("shards=%d stats diverge\nsharded    %+v\nsequential %+v", shards, got, seq)
+		for _, quantum := range []int{0, 256} {
+			if got := run(Options{Shards: shards, Quantum: quantum}); got != seq {
+				t.Errorf("shards=%d quantum=%d stats diverge\nsharded    %+v\nsequential %+v",
+					shards, quantum, got, seq)
+			}
 		}
 	}
 }
@@ -124,6 +130,9 @@ func TestShardsValidation(t *testing.T) {
 	w := func() trace.Workload { return streamWorkload(8, 2, 10) }
 	if _, err := New(cfg, w(), Options{Shards: -1}); err == nil {
 		t.Error("negative Shards accepted")
+	}
+	if _, err := New(cfg, w(), Options{Quantum: -1}); err == nil {
+		t.Error("negative Quantum accepted")
 	}
 	if _, err := New(cfg, w(), Options{Shards: 2, UseLegacyLoop: true}); err == nil {
 		t.Error("Shards with UseLegacyLoop accepted")

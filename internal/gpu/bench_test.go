@@ -85,6 +85,7 @@ func TestMain(m *testing.M) {
 			Results    map[string]hotPathResult `json:"results"`
 			Speedup    map[string]float64       `json:"event_vs_legacy_speedup"`
 			Sharded    map[string]float64       `json:"sharded_vs_sequential"`
+			Quantum    map[string]float64       `json:"quantum_vs_sequential"`
 			VsPR3      map[string]float64       `json:"speedup_vs_pr3"`
 			VsPR4      map[string]float64       `json:"speedup_vs_pr4"`
 			VsPrePR    map[string]float64       `json:"speedup_vs_pre_overhaul"`
@@ -97,6 +98,7 @@ func TestMain(m *testing.M) {
 			Results:    hotPathResults,
 			Speedup:    map[string]float64{},
 			Sharded:    map[string]float64{},
+			Quantum:    map[string]float64{},
 			VsPR3:      map[string]float64{},
 			VsPR4:      map[string]float64{},
 			VsPrePR:    map[string]float64{},
@@ -113,6 +115,9 @@ func TestMain(m *testing.M) {
 				}
 				if sh, ok := hotPathResults[base+"/sharded"]; ok && ev.SimMcyclesPerSec > 0 {
 					o.Sharded[base] = sh.SimMcyclesPerSec / ev.SimMcyclesPerSec
+				}
+				if q, ok := hotPathResults[base+"/quantum"]; ok && ev.SimMcyclesPerSec > 0 {
+					o.Quantum[base] = q.SimMcyclesPerSec / ev.SimMcyclesPerSec
 				}
 				if pr3, ok := pr3Baseline[base]; ok && pr3 > 0 {
 					o.VsPR3[base] = ev.SimMcyclesPerSec / pr3
@@ -154,12 +159,21 @@ func BenchmarkSimulatorHotPath(b *testing.B) {
 			b.Fatal(err)
 		}
 		cfg := config.MustScale(config.Baseline128(), c.sms)
+		// Besides the event/legacy pair, each monolithic cell runs "sharded"
+		// (4 SM-group shard goroutines, barrier every cycle) and "quantum"
+		// (the same shards with quantum-relaxed barriers) so the
+		// sharded_vs_sequential and quantum_vs_sequential columns track the
+		// parallel loops' throughput ratios. Both are above 1 only when
+		// host_cores allows real parallelism; on a single-core host they
+		// measure barrier-protocol overhead instead.
 		for _, loop := range []struct {
 			name string
 			opt  Options
 		}{
 			{"event", Options{}},
 			{"legacy", Options{UseLegacyLoop: true}},
+			{"sharded", Options{Shards: 4}},
+			{"quantum", Options{Shards: 4, Quantum: 256}},
 		} {
 			b.Run(c.name+"/"+loop.name, func(b *testing.B) {
 				var cycles int64
@@ -209,6 +223,7 @@ func BenchmarkSimulatorHotPath(b *testing.B) {
 			{"event", chiplet.Options{}},
 			{"legacy", chiplet.Options{UseLegacyLoop: true}},
 			{"sharded", chiplet.Options{Shards: c.chips}},
+			{"quantum", chiplet.Options{Shards: c.chips, Quantum: 256}},
 		} {
 			b.Run(c.name+"/"+loop.name, func(b *testing.B) {
 				var cycles int64

@@ -1,0 +1,525 @@
+// Sharded execution mode for the monolithic GPU: the package's SMs are
+// partitioned into contiguous groups ("shards"), each driven by its own
+// goroutine over a private timing kernel, synchronised at a cycle barrier
+// by an internal/parallel pool. Results are bit-identical to the sequential
+// event loop — the contract and the determinism argument live in
+// docs/PARALLELISM.md. The protocol is the MCM simulator's (see
+// internal/chiplet/sharded.go) with one structural difference: the
+// monolithic NoC/LLC/DRAM path is a single shared resource domain (one
+// bisection server feeding every LLC slice), so there is no per-owner
+// parallel replay phase — deferred post-L1 accesses are replayed serially
+// by the coordinator at the barrier, in ascending shard id (= ascending
+// global SM id, since shards own contiguous SM ranges), which is exactly
+// the sequential drain's within-cycle access order. Replaying at the same
+// barrier also means wake-up repairs land immediately, before the advance
+// decision, instead of next cycle.
+//
+// Per visited cycle:
+//
+//  1. Serial: CTA refills, grid barrier, termination, cancellation, cycle
+//     limit — the same control flow runEvent runs between Steps.
+//  2. Phase A (parallel, per shard): TickCycle on the shard's kernel. An
+//     SM access that misses (or bypasses) its private L1 is recorded in
+//     the shard's deferred list instead of being resolved, and the issuing
+//     warp parks at a provisional far-future wake-up; L1 hits and MSHR
+//     merges resolve locally (they touch only the SM's own structures),
+//     accruing into shard-local counters.
+//  3. Serial: merge issue/live/dirty/counter deltas; replay the deferred
+//     accesses against the shared crossbar/LLC/DRAM in ascending shard id,
+//     repairing each load's warp wake-up; charge SimEvents; run the
+//     warm-up check (FinishCycle runs here, serially, until warm-up
+//     settles, so a reset still precedes the triggering cycle's
+//     classification exactly as the sequential ordering has it).
+//  4. Serial: advance every kernel to the same next cycle — now+1 if
+//     anything issued, else the minimum NextPending across shards — or,
+//     with Options.Quantum set, open a barrier-free window (below).
+//
+// # Quantum-relaxed barriers
+//
+// With Options.Quantum > 0 the coordinator computes, each barrier, a safe
+// window bound: the earliest cycle at which ANY warp in the package could
+// issue a memory instruction or retire (sm.MemEventBound over every SM,
+// scanned in parallel in phase A, plus a serial fold of the cycle's
+// just-replayed deferred loads). Before that bound no cross-shard
+// interaction of any kind is possible — post-L1 traffic, CTA residency
+// changes, grid barriers and warm-up all require a memory event or a
+// retirement first — so each shard's kernel runs its own Step loop locally
+// (timing.RunWindow) with no barrier until the window ends. Within the
+// window the union of the shards' visited-cycle sets equals the sequential
+// kernel's visited set, which is what keeps SimEvents and SkippedCycles
+// exact (per-shard visited bitmaps are OR'd and popcounted at the window
+// barrier); windows are cut short at sampling boundaries and MaxCycles so
+// those observations land on the same cycles as sequential runs. Bound
+// violations cannot corrupt shared state — a mid-window miss is recorded,
+// not applied — and trip a panic at the window barrier.
+package gpu
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+
+	"gpuscale/internal/cache"
+	"gpuscale/internal/parallel"
+	"gpuscale/internal/sm"
+	"gpuscale/internal/timing"
+	"gpuscale/internal/trace"
+)
+
+// provisionalWake parks a deferred load's warp until the barrier replay
+// repairs it. Must sort after any real wake-up; never consulted by the
+// advance decision (a deferring cycle always issued).
+const provisionalWake = int64(1) << 62
+
+// maxQuantum caps Options.Quantum: it sizes the per-shard visited bitmaps
+// (64 words at 4096) and bounds how stale a shard's clock can run ahead of
+// the barrier.
+const maxQuantum = 4096
+
+// deferredAccess is one post-L1 access recorded during the parallel tick
+// phase and replayed serially at the barrier. The issuing shard writes
+// every field; only the coordinator reads them.
+type deferredAccess struct {
+	m       *sm.SM
+	f       *cache.MSHRFile
+	lu      int // issuing SM, local to the shard's kernel
+	warp    int // issuing warp slot; -1 for stores (no wake-up to repair)
+	line    uint64
+	arrival int64 // issue cycle, pushed past a full MSHR's next completion
+	issueAt int64
+	load    bool
+	bypass  bool
+	full    bool
+}
+
+// gpuShard is one runner: a contiguous SM group, its private timing kernel
+// (unit ids local, 0 = firstSM), arena, and the per-cycle buffers the
+// barrier protocol exchanges. It implements timing.Driver over its own SMs
+// and sm.ProgramRecycler for their retiring programs.
+type gpuShard struct {
+	sim     *Simulator
+	id      int
+	firstSM int
+	endSM   int
+	tk      *timing.Kernel
+	arena   *trace.Arena
+
+	deferred  []deferredAccess
+	issued    bool
+	issuedD   uint64 // instructions issued this phase, merged into issuedSoFar
+	liveDelta int
+	ctaDirty  bool
+	loads     uint64 // L1-hit load counters, merged at the barrier
+	loadLat   uint64
+	mshrStall uint64
+
+	// Quantum state: the shard's phase-A window bound, its visited-cycle
+	// bitmap over the current window, and its post-window advance candidate.
+	bound   int64
+	visited []uint64
+	cand    int64
+}
+
+// buildShards partitions the SMs into n contiguous groups. Contiguity is
+// what lets the barrier's ascending-shard-id reduction reproduce the
+// sequential kernel's ascending-global-SM drain order.
+func (s *Simulator) buildShards(n int) {
+	nsm := len(s.sms)
+	base, rem := nsm/n, nsm%n
+	s.shards = make([]*gpuShard, n)
+	s.shardOfSM = make([]*gpuShard, nsm)
+	first := 0
+	for i := 0; i < n; i++ {
+		cnt := base
+		if i < rem {
+			cnt++
+		}
+		sh := &gpuShard{sim: s, id: i, firstSM: first, endSM: first + cnt}
+		sh.tk = timing.MustNew(timing.Config{Units: cnt, NoSkip: s.opt.DisableEventSkip}, sh)
+		sh.arena = trace.NewArena(cnt * s.cfg.WarpsPerSM)
+		// An SM issues at most one instruction per cycle, so deferred never
+		// outgrows the shard's SM count — the append never reallocates.
+		sh.deferred = make([]deferredAccess, 0, cnt)
+		if s.quantum > 0 {
+			sh.visited = make([]uint64, (s.quantum+63)/64)
+		}
+		for g := first; g < sh.endSM; g++ {
+			s.shardOfSM[g] = sh
+			s.ports[g].sh = sh
+			s.sms[g].SetRecycler(sh)
+		}
+		s.shards[i] = sh
+		first = sh.endSM
+	}
+}
+
+// Release implements sm.ProgramRecycler: a shard's retiring programs return
+// to the shard's own arena (retirement happens inside the parallel tick
+// phase, so a package-wide arena would race).
+func (sh *gpuShard) Release(p trace.Program) {
+	if sh.sim.kernelAW[sh.sim.kernelIdx] != nil {
+		sh.arena.Release(p)
+	}
+}
+
+// deferAccess records a post-L1 access for barrier replay and returns the
+// provisional completion. Called from port.Access, inside the issuing SM's
+// Tick, so IssuingWarp identifies the warp whose wake-up the replay must
+// repair. Stores get no repair (the SM ignores their completion) but are
+// still recorded: their bandwidth and LLC effects must replay in order.
+func (sh *gpuShard) deferAccess(p *port, line uint64, arrival, now int64, load, bypass, full bool) int64 {
+	m := sh.sim.sms[p.smID]
+	warp := -1
+	if load {
+		warp = m.IssuingWarp()
+	}
+	sh.deferred = append(sh.deferred, deferredAccess{
+		m:       m,
+		f:       sh.sim.mshrs[p.smID],
+		lu:      p.smID - sh.firstSM,
+		warp:    warp,
+		line:    line,
+		arrival: arrival,
+		issueAt: now,
+		load:    load,
+		bypass:  bypass,
+		full:    full,
+	})
+	return provisionalWake
+}
+
+// phaseA is the parallel tick phase: drain this shard's due units at the
+// current cycle, then (once warm-up has settled) finish the cycle and, in
+// quantum mode, scan this shard's SMs for the window bound.
+func (sh *gpuShard) phaseA() {
+	sh.issued = sh.tk.TickCycle()
+	if sh.sim.shardFinish {
+		sh.tk.FinishCycle()
+		if sh.sim.quantum > 0 {
+			sh.bound = sh.memBound()
+		}
+	}
+}
+
+// memBound is the shard's half of the quantum bound: the earliest cycle at
+// or after now+1 at which any of its SMs' warps could issue a memory
+// instruction or retire. now+1 is exact for the eventual window start: a
+// later start only matters for warps that are ready before it, and after a
+// no-issue cycle no warp is ready (a ready warp would have issued), while
+// after an issue the next cycle IS now+1. Deferred-load warps sit at the
+// provisional far-future wake-up during this scan and are folded in
+// serially once the replay stamps their true completions.
+func (sh *gpuShard) memBound() int64 {
+	from := sh.tk.Now() + 1
+	bound := from + int64(sh.sim.quantum) // beyond the cap precision is wasted
+	for g := sh.firstSM; g < sh.endSM; g++ {
+		if b := sh.sim.sms[g].MemEventBound(from); b < bound {
+			bound = b
+			if bound <= from {
+				break
+			}
+		}
+	}
+	return bound
+}
+
+// phaseWindow is the parallel quantum phase: run this shard's kernel
+// locally over [winBase, winLimit) with no barrier, recording visited
+// cycles for the coordinator's event/skip accounting.
+func (sh *gpuShard) phaseWindow() {
+	words := int(sh.sim.winLimit-sh.sim.winBase+63) >> 6
+	vw := sh.visited[:words]
+	for i := range vw {
+		vw[i] = 0
+	}
+	sh.cand = sh.tk.RunWindow(sh.sim.winLimit, sh.sim.winBase, vw)
+}
+
+// timing.Driver over the shard's own SMs (unit ids local to the shard).
+
+// TickUnit mirrors Simulator.TickUnit with shard-local issue/live/dirty
+// accumulation; the coordinator merges the deltas at the barrier.
+func (sh *gpuShard) TickUnit(now int64, lu int) timing.Outcome {
+	s := sh.sim
+	g := sh.firstSM + lu
+	m := s.sms[g]
+	liveBefore := m.LiveWarps()
+	s.mshrs[g].Expire(now)
+	k := m.Tick(now, s.ports[g])
+	out := timing.Outcome{Wake: timing.NoWake, Kind: uint8(k), Issued: k == sm.Issued}
+	if out.Issued {
+		sh.issuedD++
+	}
+	if d := liveBefore - m.LiveWarps(); d > 0 {
+		sh.liveDelta += d
+		sh.ctaDirty = true
+	}
+	if m.HasReady() {
+		out.Wake = now + 1
+	} else if ev, ok := m.NextEvent(); ok {
+		out.Wake = ev
+	}
+	return out
+}
+
+// AccrueStall mirrors Simulator.AccrueStall.
+func (sh *gpuShard) AccrueStall(lu int, cycles uint64) {
+	m := sh.sim.sms[sh.firstSM+lu]
+	m.Accrue(m.StallKind(), cycles)
+}
+
+// AccrueTick mirrors Simulator.AccrueTick.
+func (sh *gpuShard) AccrueTick(lu int, kind uint8) {
+	sh.sim.sms[sh.firstSM+lu].Accrue(sm.TickKind(kind), 1)
+}
+
+// CycleEnd is a no-op: SimEvents and the warm-up check are the
+// coordinator's, run serially at the barrier to match the sequential
+// ordering exactly.
+func (sh *gpuShard) CycleEnd(now int64) {}
+
+// replayDeferred resolves the cycle's deferred accesses against the shared
+// crossbar/LLC/DRAM path, walking shards in ascending id — deferred lists
+// are appended in ascending local unit order, so the replay order is
+// ascending global SM id, the sequential within-cycle order. Loads get
+// their MSHR allocation, warp wake-up repair and kernel reschedule here,
+// immediately, so the advance decision below already sees true wake-ups.
+// Returns the minimum window bound over the replayed loads' warps (the
+// serial fold the parallel phase-A scan cannot see), or its cap when
+// quantum mode is off.
+func (s *Simulator) replayDeferred() int64 {
+	bound := int64(1) << 62
+	for _, sh := range s.shards {
+		for i := range sh.deferred {
+			rec := &sh.deferred[i]
+			nSlices := uint64(len(s.llc))
+			slice := int(rec.line % nSlices)
+			t := s.xbar.Transfer(rec.arrival, slice, s.cfg.LineSize)
+			t += int64(s.cfg.LLCHitLatency)
+			s.llcAcc++
+			sliceLocal := (rec.line / nSlices) << s.lineBits
+			if !s.llc[slice].Access(sliceLocal) {
+				s.llcMiss++
+				t = s.mem.Access(t, rec.line, s.cfg.LineSize)
+				t += int64((rec.line * 0x9e3779b9 >> 13) % 13)
+			}
+			t += int64(s.cfg.NoCBaseLatency)
+			if rec.load && !rec.bypass && !rec.full {
+				rec.f.Allocate(rec.line, t)
+			}
+			if rec.load {
+				s.loads++
+				s.loadLat += uint64(t - rec.issueAt)
+				s.loadHist.Observe(float64(t - rec.issueAt))
+				rdy := t
+				if rdy <= rec.issueAt {
+					rdy = rec.issueAt + 1 // sm.Tick's next-cycle clamp
+				}
+				rec.m.FixPendingWake(rec.warp, rdy)
+				// The SM's reported wake had this load parked at the
+				// provisional cycle; fold the true completion in. A CTA
+				// launch may already have scheduled the unit earlier —
+				// never push a wake-up back.
+				if w := sh.tk.WakeAt(rec.lu); w == timing.NoWake || rdy < w {
+					sh.tk.Reschedule(rec.lu, rdy)
+				}
+				if s.quantum > 0 {
+					if b := rec.m.WarpMemEventBound(rec.warp, rdy); b < bound {
+						bound = b
+					}
+				}
+			}
+		}
+		sh.deferred = sh.deferred[:0]
+	}
+	return bound
+}
+
+// runSharded is the sharded run loop: runEvent's control flow with Step
+// replaced by the barrier protocol described at the top of this file.
+func (s *Simulator) runSharded(ctx context.Context) (Stats, error) {
+	pool := parallel.NewPoolLabeled(len(s.shards), "gpu")
+	defer pool.Close()
+	phaseA := func(i int) { s.shards[i].phaseA() }
+	phaseW := func(i int) { s.shards[i].phaseWindow() }
+	s.kernelStart = s.now
+	iters := 0
+	for {
+		iters++
+		if iters >= ctxCheckEvery {
+			iters = 0
+			select {
+			case <-ctx.Done():
+				return Stats{}, fmt.Errorf("gpu: %q on %s cancelled at cycle %d: %w",
+					s.kernels[s.kernelIdx].Name(), s.cfg.Name, s.now, ctx.Err())
+			default:
+			}
+		}
+		if s.ctaDirty {
+			s.fillCTAs()
+		}
+		if s.liveTotal == 0 {
+			if s.nextCTA >= s.numCTAs {
+				if s.stream != nil {
+					s.stream.Span(s.kernelStart, s.now, "kernel", s.kernels[s.kernelIdx].Name())
+					s.kernelStart = s.now
+				}
+				if !s.advanceKernel() {
+					break
+				}
+				s.ctaDirty = true
+				continue
+			}
+			s.ctaDirty = true // mirror the dense loop's unconditional refill
+		}
+		if s.opt.MaxCycles > 0 && s.now > s.opt.MaxCycles {
+			return Stats{}, fmt.Errorf("gpu: %q on %s exceeded MaxCycles=%d",
+				s.kernels[s.kernelIdx].Name(), s.cfg.Name, s.opt.MaxCycles)
+		}
+		pool.Run(phaseA)
+		issued := false
+		nDeferred := 0
+		for _, sh := range s.shards {
+			issued = issued || sh.issued
+			s.issuedSoFar += sh.issuedD
+			sh.issuedD = 0
+			s.liveTotal -= sh.liveDelta
+			sh.liveDelta = 0
+			if sh.ctaDirty {
+				s.ctaDirty = true
+				sh.ctaDirty = false
+			}
+			s.loads += sh.loads
+			s.loadLat += sh.loadLat
+			s.mshrStall += sh.mshrStall
+			sh.loads, sh.loadLat, sh.mshrStall = 0, 0, 0
+			nDeferred += len(sh.deferred)
+		}
+		winBound := int64(1) << 62
+		if nDeferred > 0 {
+			winBound = s.replayDeferred()
+		}
+		s.events += uint64(len(s.sms))
+		if !s.shardFinish {
+			// Warm-up not settled: the reset check must precede the ticked
+			// SMs' cycle classification, so FinishCycle runs here, serially,
+			// exactly where the sequential CycleEnd/AccrueTick ordering puts
+			// it. Once warm-up is done the check can never fire again and
+			// FinishCycle moves into the parallel phase.
+			if !s.warmupDone && s.opt.WarmupInstructions > 0 && s.issuedSoFar >= s.opt.WarmupInstructions {
+				s.resetStats()
+			}
+			for _, sh := range s.shards {
+				sh.tk.FinishCycle()
+			}
+			if s.warmupDone || s.opt.WarmupInstructions == 0 {
+				s.shardFinish = true
+			}
+		}
+		next := s.now + 1
+		if !issued && !s.opt.DisableEventSkip {
+			// Event-skip: the earliest pending wake-up across all shards,
+			// exactly Step's decision over one global kernel. No provisional
+			// wake can be consulted here — a deferring cycle always issued,
+			// and its repair has already landed above.
+			next = timing.NoWake
+			for _, sh := range s.shards {
+				if p := sh.tk.NextPending(); p != timing.NoWake && (next == timing.NoWake || p < next) {
+					next = p
+				}
+			}
+			if next < s.now+1 {
+				next = s.now + 1
+			}
+		}
+		if s.quantum > 0 && s.shardFinish && !s.ctaDirty && s.liveTotal > 0 {
+			w := winBound
+			for _, sh := range s.shards {
+				if sh.bound < w {
+					w = sh.bound
+				}
+			}
+			if qcap := next + int64(s.quantum); w > qcap {
+				w = qcap
+			}
+			if s.opt.MaxCycles > 0 && w > s.opt.MaxCycles+1 {
+				w = s.opt.MaxCycles + 1 // post-window check aborts exactly as sequential would
+			}
+			if s.stream != nil && w > s.nextSample {
+				w = s.nextSample // samples land on the same cycles as sequential
+			}
+			if w > next+1 {
+				s.runWindow(pool, phaseW, next, w)
+				continue
+			}
+		}
+		s.skipped += next - s.now - 1
+		for _, sh := range s.shards {
+			sh.tk.AdvanceTo(next)
+		}
+		s.now = next
+		if s.stream != nil && s.now >= s.nextSample {
+			s.sampleObs()
+			for s.nextSample <= s.now {
+				s.nextSample += s.sampleEvery
+			}
+		}
+	}
+	return s.stats(), nil
+}
+
+// runWindow executes one quantum window [base, limit): every shard advances
+// to base, runs its kernel locally with no barrier until its own next cycle
+// would reach limit, and the coordinator reconciles at the window barrier —
+// merging counters, OR-ing the visited bitmaps for the global event/skip
+// charge, and advancing every kernel to the minimum candidate, which equals
+// the sequential advance decision at the last globally-visited cycle.
+func (s *Simulator) runWindow(pool *parallel.Pool, phaseW func(int), base, limit int64) {
+	s.winBase, s.winLimit = base, limit
+	s.skipped += base - s.now - 1
+	for _, sh := range s.shards {
+		sh.tk.AdvanceTo(base)
+	}
+	pool.Run(phaseW)
+	g := timing.NoWake
+	for _, sh := range s.shards {
+		// Tripwires: the bound proved no memory instruction or retirement
+		// could occur before limit; any deferred access, L1 traffic or
+		// residency change inside the window is a bound bug, detected here
+		// before it can affect shared state (deferred accesses are recorded,
+		// not applied).
+		if len(sh.deferred) != 0 || sh.loads != 0 || sh.mshrStall != 0 || sh.liveDelta != 0 || sh.ctaDirty {
+			panic(fmt.Sprintf("gpu: quantum window [%d,%d) violated by shard %d (deferred=%d loads=%d stalls=%d live=%d dirty=%v)",
+				base, limit, sh.id, len(sh.deferred), sh.loads, sh.mshrStall, sh.liveDelta, sh.ctaDirty))
+		}
+		s.issuedSoFar += sh.issuedD
+		sh.issuedD = 0
+		if sh.cand != timing.NoWake && (g == timing.NoWake || sh.cand < g) {
+			g = sh.cand
+		}
+	}
+	words := int(limit-base+63) >> 6
+	vis := int64(0)
+	for wi := 0; wi < words; wi++ {
+		u := uint64(0)
+		for _, sh := range s.shards {
+			u |= sh.visited[wi]
+		}
+		vis += int64(bits.OnesCount64(u))
+	}
+	s.events += uint64(len(s.sms)) * uint64(vis)
+	if g == timing.NoWake || g < limit {
+		g = limit // unreachable with live warps; keeps the clock monotonic
+	}
+	s.skipped += g - base - vis
+	for _, sh := range s.shards {
+		sh.tk.AdvanceTo(g)
+	}
+	s.now = g
+	if s.stream != nil && s.now >= s.nextSample {
+		s.sampleObs()
+		for s.nextSample <= s.now {
+			s.nextSample += s.sampleEvery
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package gpu
+
+import (
+	"context"
+	"testing"
+
+	"gpuscale/internal/config"
+	"gpuscale/internal/trace"
+	"gpuscale/internal/workloads"
+)
+
+// randomTrafficWorkload scatters every warp's loads uniformly over a shared
+// region (deterministically seeded per warp): lines interleave across LLC
+// slices and MSHR merges, full-MSHR pushback and DRAM jitter all fire, so
+// every shard keeps injecting traffic into the shared post-L1 path — the
+// randomized stress cell the race gate runs.
+func randomTrafficWorkload(ctas, warps, loads int) trace.Workload {
+	return &trace.FuncWorkload{
+		WName: "gpu-random-traffic",
+		Spec:  trace.KernelSpec{NumCTAs: ctas, WarpsPerCTA: warps},
+		Factory: func(cta, warp int) trace.Program {
+			seed := uint64(cta)<<16 | uint64(warp) | 1
+			g := trace.NewRandGen(0, 128, 1<<20, seed)
+			return trace.NewPhaseProgram(trace.Phase{N: loads * 2, ComputePer: 1, Gen: g})
+		},
+	}
+}
+
+// TestGPUShardedMatchesSequential is the tentpole's bit-identity contract
+// for the monolithic simulator: the same simulation at Shards=1 (sequential
+// event loop) and Shards=N, with and without quantum-relaxed barriers, must
+// produce identical Stats — across workload shapes, a real benchmark,
+// warm-up resets, kernel sequences, sampling, and the no-skip ablation.
+func TestGPUShardedMatchesSequential(t *testing.T) {
+	bfs, err := workloads.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []struct {
+		name string
+		cfg  config.SystemConfig
+		mk   func() []trace.Workload
+		base Options
+	}{
+		{"compute/16sm", testConfig(16), func() []trace.Workload {
+			return []trace.Workload{computeWorkload(48, 2, 60)}
+		}, Options{}},
+		{"stream/16sm", testConfig(16), func() []trace.Workload {
+			return []trace.Workload{streamWorkload(48, 2, 40)}
+		}, Options{}},
+		{"reuse/16sm", testConfig(16), func() []trace.Workload {
+			return []trace.Workload{reuseWorkload(48, 2, 1<<18, 40, 0)}
+		}, Options{}},
+		{"random/16sm", testConfig(16), func() []trace.Workload {
+			return []trace.Workload{randomTrafficWorkload(32, 2, 25)}
+		}, Options{}},
+		{"bfs/16sm", testConfig(16), func() []trace.Workload {
+			return []trace.Workload{bfs.Workload}
+		}, Options{}},
+		{"stream/warmup", testConfig(16), func() []trace.Workload {
+			return []trace.Workload{streamWorkload(48, 2, 40)}
+		}, Options{WarmupInstructions: 1500}},
+		{"stream/noskip", testConfig(8), func() []trace.Workload {
+			return []trace.Workload{streamWorkload(24, 2, 25)}
+		}, Options{DisableEventSkip: true}},
+		{"sequence/2kernels", testConfig(16), func() []trace.Workload {
+			return []trace.Workload{
+				streamWorkload(32, 2, 30),
+				reuseWorkload(32, 2, 1<<18, 30, 0),
+			}
+		}, Options{}},
+	}
+	for _, c := range cells {
+		t.Run(c.name, func(t *testing.T) {
+			run := func(opt Options) Stats {
+				t.Helper()
+				s, err := NewSequence(c.cfg, c.mk(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			seq := run(c.base)
+			for _, shards := range []int{2, 3, 4} {
+				for _, quantum := range []int{0, 64} {
+					opt := c.base
+					opt.Shards = shards
+					opt.Quantum = quantum
+					if got := run(opt); got != seq {
+						t.Errorf("shards=%d quantum=%d stats diverge\nsharded    %+v\nsequential %+v",
+							shards, quantum, got, seq)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGPUShardedRandomCrossTrafficStress is the larger randomized cell:
+// heavier shared-LLC traffic over more SMs, shard counts that divide the
+// SMs evenly and unevenly, quantum on and off — meant to run under the race
+// detector (make race) to check the phase discipline on a real workload.
+func TestGPUShardedRandomCrossTrafficStress(t *testing.T) {
+	cfg := testConfig(16)
+	run := func(opt Options) Stats {
+		t.Helper()
+		st, err := RunWithOptions(cfg, randomTrafficWorkload(64, 2, 30), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	seq := run(Options{})
+	for _, shards := range []int{2, 5, 8, 16} {
+		for _, quantum := range []int{0, 256} {
+			if got := run(Options{Shards: shards, Quantum: quantum}); got != seq {
+				t.Errorf("shards=%d quantum=%d stats diverge\nsharded    %+v\nsequential %+v",
+					shards, quantum, got, seq)
+			}
+		}
+	}
+}
+
+// TestGPUShardsValidation pins the option edge cases on the monolithic
+// simulator: negatives rejected (shards and quantum), legacy+shards
+// rejected, counts beyond NumSMs clamped (and still bit-identical), 0/1
+// selecting the plain sequential loop, and quantum alone being inert.
+func TestGPUShardsValidation(t *testing.T) {
+	cfg := testConfig(8)
+	w := func() trace.Workload { return streamWorkload(16, 2, 10) }
+	if _, err := New(cfg, w(), Options{Shards: -1}); err == nil {
+		t.Error("negative Shards accepted")
+	}
+	if _, err := New(cfg, w(), Options{Quantum: -1}); err == nil {
+		t.Error("negative Quantum accepted")
+	}
+	if _, err := New(cfg, w(), Options{Shards: 2, UseLegacyLoop: true}); err == nil {
+		t.Error("Shards with UseLegacyLoop accepted")
+	}
+	for _, n := range []int{0, 1} {
+		s, err := New(cfg, w(), Options{Shards: n, Quantum: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.shards != nil {
+			t.Errorf("Shards=%d built shard runners", n)
+		}
+	}
+	s, err := New(cfg, w(), Options{Shards: 99, Quantum: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.shards) != cfg.NumSMs {
+		t.Fatalf("Shards=99 on %d SMs built %d shards", cfg.NumSMs, len(s.shards))
+	}
+	if s.quantum != maxQuantum {
+		t.Fatalf("Quantum=1<<20 clamped to %d, want %d", s.quantum, maxQuantum)
+	}
+	clamped, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(cfg, w())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped != seq {
+		t.Errorf("clamped sharded run diverged\nsharded    %+v\nsequential %+v", clamped, seq)
+	}
+}
+
+// TestGPUShardedMaxCyclesAborts mirrors the sequential MaxCycles abort for
+// the sharded loop (quantum windows must not run past the limit), and
+// checks context cancellation unwinds the worker pool cleanly.
+func TestGPUShardedMaxCyclesAborts(t *testing.T) {
+	cfg := testConfig(8)
+	s, err := New(cfg, streamWorkload(64, 2, 50), Options{Shards: 2, Quantum: 256, MaxCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("MaxCycles exceeded without error")
+	}
+
+	s2, err := New(cfg, streamWorkload(64, 2, 50), Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s2.RunContext(ctx); err == nil {
+		t.Error("cancelled context did not abort the sharded run")
+	}
+}

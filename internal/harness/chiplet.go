@@ -26,7 +26,8 @@ func (h *Harness) runChiplet(cfg config.ChipletConfig, w trace.Workload) (Chiple
 	e := entryFor(&h.mu, h.chipletRuns, key)
 	e.once.Do(func() {
 		start := time.Now()
-		sim, err := chiplet.New(cfg, w, chiplet.Options{Recorder: h.observerRef(), Shards: h.mcmShardsRef()})
+		_, quantum := h.shardingRef()
+		sim, err := chiplet.New(cfg, w, chiplet.Options{Recorder: h.observerRef(), Shards: h.mcmShardsRef(), Quantum: quantum})
 		if err != nil {
 			e.err = fmt.Errorf("harness: MCM %s on %s: %w", w.Name(), cfg.Name, err)
 			return

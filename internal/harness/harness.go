@@ -15,8 +15,9 @@
 // cache hits, so parallel and sequential execution produce identical
 // results. Construction-time functional options tune the behaviour:
 // WithParallel sizes (or disables) the fan-out, WithProgress attaches a
-// live progress callback, WithObserver an observability recorder and
-// WithMCMShards the intra-simulation shard count (the old Set* methods
+// live progress callback, WithObserver an observability recorder,
+// WithShards/WithQuantum the intra-simulation sharding for every run and
+// WithMCMShards an MCM-specific shard override (the old Set* methods
 // remain as deprecated wrappers).
 //
 // The package also provides ResultStore, a two-level (memory + disk)
@@ -88,6 +89,8 @@ type Harness struct {
 	mrcs        map[string]*runEntry[mrc.Curve]
 
 	parallel  int
+	shards    int
+	quantum   int
 	mcmShards int
 	progress  func(engine.Progress)
 	observer  *obs.Recorder
@@ -120,11 +123,23 @@ func (h *Harness) observerRef() *obs.Recorder {
 	return h.observer
 }
 
-// mcmShardsRef snapshots the configured MCM shard count.
+// shardingRef snapshots the configured general shard count and barrier
+// quantum.
+func (h *Harness) shardingRef() (shards, quantum int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.shards, h.quantum
+}
+
+// mcmShardsRef snapshots the shard count MCM runs should use: the
+// MCM-specific override when set, else the general WithShards count.
 func (h *Harness) mcmShardsRef() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.mcmShards
+	if h.mcmShards > 0 {
+		return h.mcmShards
+	}
+	return h.shards
 }
 
 // settings snapshots the parallelism configuration.
@@ -141,7 +156,8 @@ func (h *Harness) Run(cfg config.SystemConfig, w trace.Workload) (TimedStats, er
 	e := entryFor(&h.mu, h.runs, key)
 	e.once.Do(func() {
 		start := time.Now()
-		st, err := gpu.RunWithOptions(cfg, w, gpu.Options{Recorder: h.observerRef()})
+		shards, quantum := h.shardingRef()
+		st, err := gpu.RunWithOptions(cfg, w, gpu.Options{Recorder: h.observerRef(), Shards: shards, Quantum: quantum})
 		if err != nil {
 			e.err = fmt.Errorf("harness: simulating %s on %s: %w", w.Name(), cfg.Name, err)
 			return

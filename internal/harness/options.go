@@ -51,11 +51,42 @@ func WithObserver(rec *obs.Recorder) Option {
 	}
 }
 
-// WithMCMShards sets the intra-simulation shard count for every MCM
-// simulation the harness runs (see chiplet.Options.Shards). Sharded runs
-// are bit-identical to sequential ones, so memo keys stay valid at every
-// setting — only wall clock differs. n <= 1 keeps the sequential event
-// loop; negative n is treated as 0.
+// WithShards sets the intra-simulation shard count for every simulation
+// the harness runs — SM groups on the monolithic simulator
+// (gpu.Options.Shards), chiplet groups on the MCM simulator
+// (chiplet.Options.Shards). Sharded runs are bit-identical to sequential
+// ones, so memo keys stay valid at every setting — only wall clock
+// differs. n <= 1 keeps the sequential event loops; negative n is treated
+// as 0. WithMCMShards, when also set, overrides this count for MCM runs.
+func WithShards(n int) Option {
+	return func(h *Harness) {
+		if n < 0 {
+			n = 0
+		}
+		h.shards = n
+	}
+}
+
+// WithQuantum relaxes the sharded runs' per-cycle barrier: shards advance
+// in deterministically-safe windows of up to q cycles between
+// synchronisations (see docs/PARALLELISM.md). Bit-identical at every
+// setting; no effect unless a shard count above 1 is configured. q <= 0
+// keeps the barrier-every-cycle cadence.
+func WithQuantum(q int) Option {
+	return func(h *Harness) {
+		if q < 0 {
+			q = 0
+		}
+		h.quantum = q
+	}
+}
+
+// WithMCMShards sets the intra-simulation shard count for MCM simulations
+// only (see chiplet.Options.Shards), overriding WithShards for those runs.
+// Sharded runs are bit-identical to sequential ones, so memo keys stay
+// valid at every setting — only wall clock differs. n <= 1 keeps the
+// sequential event loop (unless WithShards set a count); negative n is
+// treated as 0.
 func WithMCMShards(n int) Option {
 	return func(h *Harness) {
 		if n < 0 {

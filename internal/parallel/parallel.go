@@ -35,8 +35,11 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -97,6 +100,16 @@ type Pool struct {
 // NewPool starts n worker goroutines (one per shard, n >= 1) and returns
 // the pool. The workers idle at the start barrier until Run or Close.
 func NewPool(n int) *Pool {
+	return NewPoolLabeled(n, "")
+}
+
+// NewPoolLabeled is NewPool with runtime/pprof labels attached to every
+// worker goroutine: "shard" carries the worker's shard id and, when sim is
+// non-empty, "sim" names the simulator kind driving the pool. CPU profiles
+// (-cpuprofile on the CLIs, /debug/pprof on the daemon) then attribute
+// samples per shard per simulator, which is how barrier imbalance between
+// shards is diagnosed.
+func NewPoolLabeled(n int, sim string) *Pool {
 	if n < 1 {
 		panic(fmt.Sprintf("parallel: pool size must be >= 1, got %d", n))
 	}
@@ -104,7 +117,15 @@ func NewPool(n int) *Pool {
 	p.start.n = int32(n + 1)
 	p.done.n = int32(n + 1)
 	for i := 0; i < n; i++ {
-		go p.worker(i)
+		go func(shard int) {
+			kv := []string{"shard", strconv.Itoa(shard)}
+			if sim != "" {
+				kv = append(kv, "sim", sim)
+			}
+			pprof.Do(context.Background(), pprof.Labels(kv...), func(context.Context) {
+				p.worker(shard)
+			})
+		}(i)
 	}
 	return p
 }

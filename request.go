@@ -12,7 +12,8 @@ package gpuscale
 // canonical hash fully determines its response bytes. Canonicalize
 // therefore (1) validates, (2) normalises — fills in the current schema
 // version and strips fields that cannot change the result, such as the
-// shard count, which only changes host wall-clock time — and (3) marshals
+// shard count and barrier quantum, which only change host wall-clock time
+// — and (3) marshals
 // the normalised struct with encoding/json, whose field order is fixed by
 // the struct definition. Two requests that differ only in JSON field
 // order, schema-version spelling (0 vs 1) or result-invariant options hash
@@ -90,8 +91,8 @@ func (w WorkloadSpec) Resolve(totalSMs int) (Workload, error) {
 
 // RequestOptions tunes a simulate request. MaxCycles and
 // WarmupInstructions change the reported statistics, so they are part of
-// the canonical form; Shards only changes how many goroutines compute the
-// bit-identical result, so Canonicalize strips it.
+// the canonical form; Shards and Quantum only change how the host computes
+// the bit-identical result, so Canonicalize strips them.
 type RequestOptions struct {
 	// MaxCycles aborts the simulation with an error beyond this many
 	// cycles; zero means no limit. Simulate only.
@@ -99,11 +100,16 @@ type RequestOptions struct {
 	// WarmupInstructions discards pre-warm-up statistics; monolithic
 	// simulate only.
 	WarmupInstructions uint64 `json:"warmup_instructions,omitempty"`
-	// Shards is the intra-simulation shard count for MCM runs. Results
-	// are bit-identical at every setting (docs/PARALLELISM.md), so this
-	// field is excluded from the canonical form; servers choose their own
-	// shard count.
+	// Shards is the intra-simulation shard count (SM groups on a
+	// monolithic target, chiplet groups on an MCM). Results are
+	// bit-identical at every setting (docs/PARALLELISM.md), so this field
+	// is excluded from the canonical form; servers choose their own shard
+	// count.
 	Shards int `json:"shards,omitempty"`
+	// Quantum relaxes the sharded run's barrier cadence (cycles per safe
+	// window). Like Shards it cannot change the result, only host
+	// wall-clock time, so it too is stripped from the canonical form.
+	Quantum int `json:"quantum,omitempty"`
 }
 
 // Request is one prediction-service operation in the canonical wire
@@ -208,14 +214,18 @@ func (r Request) Validate() error {
 	if r.Options.Shards < 0 {
 		return fmt.Errorf("gpuscale: negative shards")
 	}
+	if r.Options.Quantum < 0 {
+		return fmt.Errorf("gpuscale: negative quantum")
+	}
 	return nil
 }
 
 // Canonicalize validates r, normalises it — Version becomes
-// RequestVersion, result-invariant options (Shards) are stripped — and
-// returns the canonical JSON encoding plus its lowercase-hex SHA-256,
-// which the service and CLIs use as the cache key. Requests that can only
-// differ in host-side execution strategy canonicalise identically.
+// RequestVersion, result-invariant options (Shards, Quantum) are stripped
+// — and returns the canonical JSON encoding plus its lowercase-hex
+// SHA-256, which the service and CLIs use as the cache key. Requests that
+// can only differ in host-side execution strategy canonicalise
+// identically.
 func Canonicalize(r Request) (canon []byte, hash string, err error) {
 	if err := r.Validate(); err != nil {
 		return nil, "", err
@@ -223,6 +233,7 @@ func Canonicalize(r Request) (canon []byte, hash string, err error) {
 	n := r
 	n.Version = RequestVersion
 	n.Options.Shards = 0
+	n.Options.Quantum = 0
 	canon, err = json.Marshal(n)
 	if err != nil {
 		return nil, "", fmt.Errorf("gpuscale: canonicalising request: %w", err)
@@ -275,6 +286,9 @@ func (r Request) ResolveSimulation() (SimTarget, error) {
 		if r.Options.Shards > 0 {
 			opts = append(opts, WithShards(r.Options.Shards))
 		}
+		if r.Options.Quantum > 0 {
+			opts = append(opts, WithQuantum(r.Options.Quantum))
+		}
 		return SimTarget{MCM: &cfg, Workload: w, Options: opts}, nil
 	}
 	cfg, err := Scale(Baseline128(), r.Target.SMs)
@@ -287,6 +301,12 @@ func (r Request) ResolveSimulation() (SimTarget, error) {
 	}
 	if r.Options.WarmupInstructions > 0 {
 		opts = append(opts, WithWarmupInstructions(r.Options.WarmupInstructions))
+	}
+	if r.Options.Shards > 0 {
+		opts = append(opts, WithShards(r.Options.Shards))
+	}
+	if r.Options.Quantum > 0 {
+		opts = append(opts, WithQuantum(r.Options.Quantum))
 	}
 	return SimTarget{System: &cfg, Workload: w, Options: opts}, nil
 }

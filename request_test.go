@@ -33,6 +33,7 @@ func TestRequestValidate(t *testing.T) {
 		{"negative target", func(r *gpuscale.Request) { r.Target.SMs = -8 }, "negative target"},
 		{"negative max_cycles", func(r *gpuscale.Request) { r.Options.MaxCycles = -1 }, "negative max_cycles"},
 		{"negative shards", func(r *gpuscale.Request) { r.Options.Shards = -1 }, "negative shards"},
+		{"negative quantum", func(r *gpuscale.Request) { r.Options.Quantum = -1 }, "negative quantum"},
 		{"mcm simulate ok", func(r *gpuscale.Request) {
 			r.Target = gpuscale.TargetSpec{Chiplets: 4}
 			r.Workload = gpuscale.WorkloadSpec{Bench: "va", Weak: true}
@@ -160,6 +161,62 @@ func TestCanonicalizeEquivalences(t *testing.T) {
 	bad.Workload.Bench = ""
 	if _, _, err := gpuscale.Canonicalize(bad); err == nil {
 		t.Error("canonicalised an invalid request")
+	}
+}
+
+// TestCanonicalizeStripsShardingOptions pins the daemon cache-key
+// stability contract for the monolithic simulator's sharding knobs: a
+// simulate request with any combination of shards and quantum set must
+// canonicalise to the same bytes and hash as one with neither, because
+// both options are bit-identity-preserving host execution strategy
+// (docs/PARALLELISM.md) and must never fragment the cache key space.
+func TestCanonicalizeStripsShardingOptions(t *testing.T) {
+	base := simRequest() // monolithic: target.sms = 8
+	canon, hash, err := gpuscale.Canonicalize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []gpuscale.RequestOptions{
+		{Shards: 4},
+		{Quantum: 256},
+		{Shards: 4, Quantum: 256},
+	} {
+		r := base
+		r.Options.Shards = opt.Shards
+		r.Options.Quantum = opt.Quantum
+		cs, h, err := gpuscale.Canonicalize(r)
+		if err != nil {
+			t.Fatalf("shards=%d quantum=%d: %v", opt.Shards, opt.Quantum, err)
+		}
+		if h != hash {
+			t.Errorf("shards=%d quantum=%d changed the hash", opt.Shards, opt.Quantum)
+		}
+		if string(cs) != string(canon) {
+			t.Errorf("shards=%d quantum=%d changed the canonical bytes:\n%s\n%s",
+				opt.Shards, opt.Quantum, cs, canon)
+		}
+	}
+	for _, leak := range []string{"shards", "quantum"} {
+		if strings.Contains(string(canon), leak) {
+			t.Errorf("canonical form leaks %s: %s", leak, canon)
+		}
+	}
+
+	// The stripped options still reach the simulator via ResolveSimulation
+	// (server policy may override them, but the request's spelling works).
+	r := base
+	r.Options.Shards = 4
+	r.Options.Quantum = 256
+	tgt, err := r.ResolveSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o gpuscale.SimOptions
+	for _, fn := range tgt.Options {
+		fn(&o)
+	}
+	if o.Shards != 4 || o.Quantum != 256 {
+		t.Errorf("resolved options %+v, want Shards=4 Quantum=256", o)
 	}
 }
 
