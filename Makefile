@@ -50,7 +50,9 @@ noalloc:
 # the event-driven run loop against the dense legacy baseline on full
 # kernels and writes the machine-readable summary (simulated Mcycles/s,
 # events/s, event-vs-legacy speedup) to BENCH_hotpath.json; the micro and
-# figure benchmarks track the component hot paths and the paper pipeline.
+# figure benchmarks track the component hot paths and the paper pipeline,
+# and BenchmarkAnalyticPredict merges the analytic tier's per-request cost
+# and analytic-vs-cycle speedup columns into the same summary.
 # Compare runs with `go run golang.org/x/perf/cmd/benchstat` if available,
 # or diff BENCH_hotpath.json.
 bench:
@@ -58,7 +60,9 @@ bench:
 		$(GO) test -run XXX -bench 'BenchmarkSimulatorHotPath|BenchmarkSteadyStateCycle' \
 		-benchmem ./internal/gpu/
 	$(GO) test -run XXX -bench 'BenchmarkCacheAccess|BenchmarkMSHR' -benchmem ./internal/cache/
-	$(GO) test -run XXX -bench 'BenchmarkFigure|BenchmarkTable' -benchmem -benchtime 1x .
+	BENCH_HOTPATH_JSON=$(CURDIR)/BENCH_hotpath.json \
+		$(GO) test -run XXX -bench 'BenchmarkFigure|BenchmarkTable|BenchmarkAnalyticPredict' \
+		-benchmem -benchtime 1x .
 
 # The throughput regression guard: re-runs the hot-path cells three times
 # and fails if any cell's best simMcyc/s drops more than 20% below the

@@ -1,0 +1,166 @@
+package gpuscale
+
+// The analytic latency tier of the facade: microsecond-scale predictions
+// from internal/analytic, either per simulation cell (AnalyzeCell and
+// friends — the analytic mirror of SimulateContext) or as the full
+// scale-model prediction ladder (PredictAnalytic — the analytic mirror of
+// the /v1/predict pipeline). No simulation runs on any of these paths;
+// every result carries a confidence score the serving tier uses to decide
+// whether to escalate to the cycle simulator (docs/ANALYTIC.md).
+
+import (
+	"fmt"
+
+	"gpuscale/internal/analytic"
+	"gpuscale/internal/config"
+)
+
+// AnalyticEstimate is one microsecond-scale analytical prediction of a
+// simulation cell: estimated IPC, f_mem, LLC MPKI and a confidence score.
+type AnalyticEstimate = analytic.Estimate
+
+// AnalyzeCell analytically predicts one monolithic simulation cell — the
+// microsecond-scale stand-in for SimulateContext.
+func AnalyzeCell(cfg SystemConfig, w Workload) (AnalyticEstimate, error) {
+	return analytic.EstimateCell(cfg, w)
+}
+
+// AnalyzeMCMCell analytically predicts one multi-chip-module cell — the
+// stand-in for SimulateMCMContext.
+func AnalyzeMCMCell(cfg ChipletConfig, w Workload) (AnalyticEstimate, error) {
+	return analytic.EstimateMCM(cfg, w)
+}
+
+// AnalyzeSequence analytically predicts a back-to-back kernel sequence —
+// the stand-in for SimulateSequenceContext.
+func AnalyzeSequence(cfg SystemConfig, ws []Workload) (AnalyticEstimate, error) {
+	return analytic.EstimateSequence(cfg, ws)
+}
+
+// AnalyticPrediction is the analytic tier's version of the scale-model
+// prediction pipeline: the same PredictionInput the cycle tier feeds to
+// Predict, produced from analytical scale-model estimates instead of
+// simulations, plus the estimates themselves and the overall confidence
+// (the minimum over every cell the ladder consulted).
+type AnalyticPrediction struct {
+	// Input is ready for Predict — sizes, scale-model IPCs, the analytic
+	// MPKI curve (strong scaling) and f_mem at the large model.
+	Input PredictionInput
+	// Small and Large are the analytic scale-model estimates.
+	Small, Large AnalyticEstimate
+	// MCM reports the multi-chip-module case study (sizes are chiplets).
+	MCM bool
+	// Confidence is the minimum confidence across the consulted cells.
+	Confidence float64
+}
+
+// PredictAnalytic runs the full scale-model prediction ladder analytically
+// for a predict-op request: estimate the two scale models, estimate the
+// miss-rate curve (strong scaling), and assemble the PredictionInput that
+// Predict extrapolates to the target sizes — all without simulating.
+func PredictAnalytic(req Request) (AnalyticPrediction, error) {
+	if req.Op == "" {
+		req.Op = OpPredict
+	}
+	if err := req.Validate(); err != nil {
+		return AnalyticPrediction{}, err
+	}
+	if req.Op != OpPredict {
+		return AnalyticPrediction{}, fmt.Errorf("gpuscale: PredictAnalytic on %q request", req.Op)
+	}
+	if req.Target.Chiplets > 0 {
+		return predictAnalyticMCM(req)
+	}
+
+	sizes := config.StandardSizes
+	base := Baseline128()
+	ests := make([]AnalyticEstimate, 2)
+	for i, n := range sizes[:2] {
+		w, err := req.Workload.Resolve(n)
+		if err != nil {
+			return AnalyticPrediction{}, err
+		}
+		est, err := analytic.EstimateCell(MustScale(base, n), w)
+		if err != nil {
+			return AnalyticPrediction{}, err
+		}
+		ests[i] = est
+	}
+	out := AnalyticPrediction{Small: ests[0], Large: ests[1]}
+	fsizes := make([]float64, len(sizes))
+	for i, n := range sizes {
+		fsizes[i] = float64(n)
+	}
+	out.Input = PredictionInput{
+		Sizes:    fsizes,
+		SmallIPC: ests[0].IPC,
+		LargeIPC: ests[1].IPC,
+	}
+	out.Confidence = minConf(ests[0].Confidence, ests[1].Confidence)
+	if req.Workload.Weak {
+		out.Input.Mode = WeakScaling
+		return out, nil
+	}
+	out.Input.Mode = StrongScaling
+	w, err := req.Workload.Resolve(0)
+	if err != nil {
+		return AnalyticPrediction{}, err
+	}
+	mpki, err := analytic.MPKICurve(w, StandardConfigs())
+	if err != nil {
+		return AnalyticPrediction{}, err
+	}
+	out.Input.MPKI = mpki
+	// FMemLarge feeds Eq. 3's 1/(1-f_mem·r) term and must stay in [0, 1).
+	out.Input.FMemLarge = ests[1].FMem
+	if out.Input.FMemLarge > 0.999 {
+		out.Input.FMemLarge = 0.999
+	}
+	return out, nil
+}
+
+// predictAnalyticMCM is the multi-chip-module ladder: 4- and 8-chiplet
+// analytic scale models predicting the 16-chiplet target, weak scaling.
+func predictAnalyticMCM(req Request) (AnalyticPrediction, error) {
+	base := Target16Chiplet()
+	sizes := config.ChipletStandardSizes
+	ests := make([]AnalyticEstimate, 2)
+	for i, n := range sizes[:2] {
+		cfg, err := ScaleChiplets(base, n)
+		if err != nil {
+			return AnalyticPrediction{}, err
+		}
+		w, err := req.Workload.Resolve(cfg.TotalSMs())
+		if err != nil {
+			return AnalyticPrediction{}, err
+		}
+		est, err := analytic.EstimateMCM(cfg, w)
+		if err != nil {
+			return AnalyticPrediction{}, err
+		}
+		ests[i] = est
+	}
+	fsizes := make([]float64, len(sizes))
+	for i, n := range sizes {
+		fsizes[i] = float64(n)
+	}
+	return AnalyticPrediction{
+		Input: PredictionInput{
+			Sizes:    fsizes,
+			SmallIPC: ests[0].IPC,
+			LargeIPC: ests[1].IPC,
+			Mode:     WeakScaling,
+		},
+		Small:      ests[0],
+		Large:      ests[1],
+		MCM:        true,
+		Confidence: minConf(ests[0].Confidence, ests[1].Confidence),
+	}, nil
+}
+
+func minConf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

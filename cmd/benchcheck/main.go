@@ -2,7 +2,9 @@
 // re-runs the hot-path benchmark harness (BenchmarkSimulatorHotPath, GPU
 // and MCM cells) and fails if any cell's simulated-megacycles-per-second
 // throughput regressed by more than the tolerance against the committed
-// BENCH_hotpath.json.
+// BENCH_hotpath.json. It also re-runs BenchmarkAnalyticPredict and fails
+// if the analytic tier's speedup over the cycle pipeline falls below the
+// -analytic-floor (100x by default) on any committed cell.
 //
 // Usage:
 //
@@ -45,6 +47,13 @@ type benchFile struct {
 	} `json:"results"`
 	Sharded map[string]float64 `json:"sharded_vs_sequential"`
 	Quantum map[string]float64 `json:"quantum_vs_sequential"`
+	// Analytic is the analytic_vs_cycle column: per benchmark, the wall
+	//-clock speedup of the analytic prediction tier over the cycle
+	// pipeline on the same request. Judged against an absolute floor
+	// (-analytic-floor), not the relative tolerance: the tier's contract
+	// is "at least 100x", and the measured ratios sit orders of magnitude
+	// above it on any machine.
+	Analytic map[string]float64 `json:"analytic_vs_cycle"`
 }
 
 func readBench(path string) (benchFile, error) {
@@ -56,9 +65,6 @@ func readBench(path string) (benchFile, error) {
 	if err := json.Unmarshal(buf, &f); err != nil {
 		return f, fmt.Errorf("parsing %s: %w", path, err)
 	}
-	if len(f.Results) == 0 {
-		return f, fmt.Errorf("%s has no results", path)
-	}
 	return f, nil
 }
 
@@ -68,6 +74,8 @@ func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime for each fresh run")
 	runs := flag.Int("runs", 3, "fresh benchmark runs; each cell is judged on its best run")
 	pkg := flag.String("pkg", "./internal/gpu/", "package holding the hot-path benchmarks")
+	analyticFloor := flag.Float64("analytic-floor", 100, "minimum analytic_vs_cycle speedup per cell (0 skips the analytic check)")
+	analyticPkg := flag.String("analytic-pkg", ".", "package holding BenchmarkAnalyticPredict")
 	flag.Parse()
 	if *runs < 1 {
 		fatalf("benchcheck: -runs must be at least 1")
@@ -76,6 +84,9 @@ func main() {
 	baseline, err := readBench(*baselinePath)
 	if err != nil {
 		fatalf("benchcheck: baseline: %v", err)
+	}
+	if len(baseline.Results) == 0 {
+		fatalf("benchcheck: baseline: %s has no results", *baselinePath)
 	}
 
 	tmp, err := os.MkdirTemp("", "benchcheck")
@@ -181,8 +192,47 @@ func main() {
 		}
 	}
 
+	// Analytic tier: one fresh run of BenchmarkAnalyticPredict (each cell
+	// times the full cycle pipeline once, so best-of-N would be slow for
+	// no benefit — the measured ratios are ~10^4, judged against a 10^2
+	// floor that a load spike cannot cross).
+	if *analyticFloor > 0 && len(baseline.Analytic) > 0 {
+		freshPath := filepath.Join(tmp, "analytic.json")
+		cmd := exec.Command("go", "test", "-run", "XXX",
+			"-bench", "BenchmarkAnalyticPredict", "-benchtime", "1x", *analyticPkg)
+		cmd.Env = append(os.Environ(), "BENCH_HOTPATH_JSON="+freshPath)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		fmt.Printf("benchcheck: analytic run: %v\n", cmd.Args)
+		if err := cmd.Run(); err != nil {
+			fatalf("benchcheck: analytic benchmark run failed: %v", err)
+		}
+		fresh, err := readBench(freshPath)
+		if err != nil {
+			fatalf("benchcheck: analytic run: %v", err)
+		}
+		names := make([]string, 0, len(baseline.Analytic))
+		for name := range baseline.Analytic {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			got, ok := fresh.Analytic[name]
+			switch {
+			case !ok:
+				fmt.Printf("FAIL analytic_vs_cycle      %-10s missing from fresh run (baseline stale? regenerate with `make bench`)\n", name)
+				failed = true
+			case got < *analyticFloor:
+				fmt.Printf("FAIL analytic_vs_cycle      %-10s %8.0fx below the %.0fx floor\n", name, got, *analyticFloor)
+				failed = true
+			default:
+				fmt.Printf("ok   analytic_vs_cycle      %-10s %8.0fx (floor %.0fx, baseline %.0fx)\n", name, got, *analyticFloor, baseline.Analytic[name])
+			}
+		}
+	}
+
 	if failed {
-		fatalf("benchcheck: hot-path throughput regressed more than %.0f%% (or cells went missing)", *tolerance*100)
+		fatalf("benchcheck: hot-path throughput regressed more than %.0f%% (or cells went missing, or the analytic tier fell below its floor)", *tolerance*100)
 	}
 	fmt.Println("benchcheck: ok")
 }

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"gpuscale"
 	"gpuscale/cmd/internal/cliutil"
 	"gpuscale/internal/server"
 )
@@ -49,6 +50,9 @@ func main() {
 	tenantQueue := fs.Int("tenant-queue", 64, "max admitted requests per tenant before 429")
 	linger := fs.Duration("batch-linger", 2*time.Millisecond, "simulation batch coalescing window")
 	shards := fs.Int("mcm-shards", 0, "shard count for MCM simulations (0 = sequential; results identical)")
+	memoBytes := fs.Int64("memo-bytes", 64<<20, "in-memory response cache budget in bytes (LRU eviction)")
+	confidence := fs.Float64("confidence-threshold", gpuscale.DefaultConfidenceThreshold,
+		"auto-tier requests below this analytic confidence escalate to the cycle simulator")
 	smoke := fs.Bool("smoke", false, "run the in-process self-test and exit")
 	parallel := cliutil.Parallel(fs)
 	fs.Parse(os.Args[1:])
@@ -57,16 +61,18 @@ func main() {
 		if err := runSmoke(*parallel, *linger); err != nil {
 			log.Fatalf("gpuscaled: smoke: %v", err)
 		}
-		fmt.Println("gpuscaled smoke: ok (predict round-trip, byte-identical cache hit, /metrics scrape, clean shutdown)")
+		fmt.Println("gpuscaled smoke: ok (analytic tier, predict round-trip, byte-identical cache hit, /metrics scrape, clean shutdown)")
 		return
 	}
 
 	srv, err := server.New(server.Options{
-		StoreDir:       *store,
-		Workers:        *parallel,
-		TenantCapacity: *tenantQueue,
-		BatchLinger:    *linger,
-		MCMShards:      *shards,
+		StoreDir:            *store,
+		Workers:             *parallel,
+		TenantCapacity:      *tenantQueue,
+		BatchLinger:         *linger,
+		MCMShards:           *shards,
+		MemoBytes:           *memoBytes,
+		ConfidenceThreshold: *confidence,
 	})
 	if err != nil {
 		log.Fatalf("gpuscaled: %v", err)
@@ -98,10 +104,11 @@ func main() {
 }
 
 // runSmoke exercises the daemon end to end inside one process: it binds an
-// ephemeral port, makes the same cheap predict request twice, and checks
-// the acceptance contract — byte-identical bodies, the second served from
-// cache per both the X-Cache header and the /metrics hit counter — then
-// shuts down cleanly.
+// ephemeral port, makes one auto-tier predict request (served analytically,
+// no simulation) and the same cheap cycle predict request twice, and checks
+// the acceptance contract — byte-identical bodies, the second cycle request
+// served from cache, the tier visible in X-Tier and the /metrics counters —
+// then shuts down cleanly.
 func runSmoke(parallel int, linger time.Duration) error {
 	srv, err := server.New(server.Options{Workers: parallel, BatchLinger: linger})
 	if err != nil {
@@ -117,35 +124,54 @@ func runSmoke(parallel int, linger time.Duration) error {
 	go func() { done <- hs.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 
-	const reqBody = `{"op":"predict","workload":{"bench":"ht"}}`
-	post := func() ([]byte, string, error) {
+	post := func(reqBody string) ([]byte, http.Header, error) {
 		resp, err := http.Post(base+"/v1/predict", "application/json", strings.NewReader(reqBody))
 		if err != nil {
-			return nil, "", err
+			return nil, nil, err
 		}
 		defer resp.Body.Close()
 		body, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return nil, "", fmt.Errorf("predict: HTTP %d: %s", resp.StatusCode, body)
+			return nil, nil, fmt.Errorf("predict: HTTP %d: %s", resp.StatusCode, body)
 		}
-		return body, resp.Header.Get("X-Cache"), nil
+		return body, resp.Header, nil
 	}
-	first, src1, err := post()
+	// Tier round-trip first, while the cache is cold: ht's analytic
+	// confidence is high, so auto must answer from the microsecond tier
+	// without starting a simulation (sims_started below stays at 2, both
+	// from the scale models of the first cycle request). Once a cycle
+	// response settles in the store, auto prefers it — hence cold-cache.
+	third, hdr3, err := post(`{"op":"predict","workload":{"bench":"ht"},"options":{"tier":"auto"}}`)
 	if err != nil {
 		return err
 	}
-	if src1 != "computed" {
-		return fmt.Errorf("first predict served from %q, want computed", src1)
+	if tier := hdr3.Get("X-Tier"); tier != "analytic" {
+		return fmt.Errorf("auto-tier predict served from tier %q, want analytic", tier)
 	}
-	second, src2, err := post()
+	if !bytes.Contains(third, []byte(`"tier":"analytic"`)) {
+		return errors.New("analytic response body does not declare its tier")
+	}
+
+	const reqBody = `{"op":"predict","workload":{"bench":"ht"}}`
+	first, hdr1, err := post(reqBody)
 	if err != nil {
 		return err
 	}
-	if src2 != "memory" {
-		return fmt.Errorf("second predict served from %q, want memory", src2)
+	if src := hdr1.Get("X-Cache"); src != "computed" {
+		return fmt.Errorf("first predict served from %q, want computed", src)
+	}
+	if tier := hdr1.Get("X-Tier"); tier != "cycle" {
+		return fmt.Errorf("first predict served from tier %q, want cycle", tier)
+	}
+	second, hdr2, err := post(reqBody)
+	if err != nil {
+		return err
+	}
+	if src := hdr2.Get("X-Cache"); src != "memory" {
+		return fmt.Errorf("second predict served from %q, want memory", src)
 	}
 	if !bytes.Equal(first, second) {
 		return errors.New("cache replay is not byte-identical to the computed response")
@@ -160,7 +186,13 @@ func runSmoke(parallel int, linger time.Duration) error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"server_cache_hits_memory 1", "server_requests_predict 2", "server_sims_started 2"} {
+	for _, want := range []string{
+		"server_cache_hits_memory 1",
+		"server_requests_predict 3",
+		"server_sims_started 2",
+		"server_tier_analytic 1",
+		"server_tier_cycle 2",
+	} {
 		if !strings.Contains(string(metrics), want) {
 			return fmt.Errorf("/metrics missing %q", want)
 		}

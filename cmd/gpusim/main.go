@@ -8,15 +8,21 @@
 //	gpusim -bench bfs -weak -sms 32
 //	gpusim -bench va -weak -chiplets 8
 //	gpusim -bench dct -sms 16 -trace-out dct.trace.json -metrics-out dct.json
+//	gpusim -bench dct -sms 16 -tier analytic
 //	gpusim -list
 //
 // The flags assemble a canonical service request (gpuscale.Request — the
 // same wire schema cmd/predict and the gpuscaled daemon speak), so every
 // run prints its canonical request hash: POSTing the equivalent JSON to a
 // daemon's /v1/simulate returns the same simulation from the same cache
-// key. Host-side execution knobs (-shards, -quantum, observability,
+// key. Host-side execution knobs (-shards, -quantum, -tier, observability,
 // profiling) are not part of the canonical request and never change the
 // hash.
+//
+// -tier analytic answers from the microsecond-scale analytical model
+// (docs/ANALYTIC.md) instead of simulating; -tier auto does the same but
+// falls back to the cycle simulator when the model's confidence is below
+// gpuscale.DefaultConfidenceThreshold.
 //
 // The observability flags are shared with paperbench (see cmd/internal/
 // cliutil): -trace-out writes a Chrome trace_event file loadable in
@@ -45,6 +51,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "run the simulation on this many parallel shard goroutines (bit-identical results; 0/1 = sequential)")
 		quantum  = flag.Int("quantum", 0, "relax the sharded barrier to at most this many cycles per safe window (bit-identical results; needs -shards > 1)")
 		weak     = flag.Bool("weak", false, "use the weak-scaling variant (input scales with size)")
+		tier     = flag.String("tier", "cycle", "latency tier: cycle simulates; analytic answers from the microsecond model; auto answers analytically unless confidence is low")
 		warmup   = flag.Uint64("warmup", 0, "discard statistics until this many instructions have issued (monolithic GPU only)")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
 		quiet    = cliutil.Quiet(flag.CommandLine)
@@ -100,6 +107,35 @@ func main() {
 		fatal(err)
 	}
 
+	// The tier is a host-side knob like -shards: it selects how this
+	// process produces the numbers and is not part of the canonical
+	// request (simulate requests have no wire tier — only predict does).
+	switch *tier {
+	case "", gpuscale.TierCycle:
+	case gpuscale.TierAnalytic, gpuscale.TierAuto:
+		var est gpuscale.AnalyticEstimate
+		if tgt.MCM != nil {
+			est, err = gpuscale.AnalyzeMCMCell(*tgt.MCM, tgt.Workload)
+		} else {
+			est, err = gpuscale.AnalyzeCell(*tgt.System, tgt.Workload)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *tier == gpuscale.TierAnalytic || est.Confidence >= gpuscale.DefaultConfidenceThreshold {
+			if !*quiet {
+				printAnalytic(tgt, hash, est)
+			}
+			return
+		}
+		if !*quiet {
+			fmt.Printf("analytic confidence %.2f below %.2f; escalating to the cycle simulator\n",
+				est.Confidence, gpuscale.DefaultConfidenceThreshold)
+		}
+	default:
+		fatal(fmt.Errorf("unknown tier %q (want cycle, analytic or auto)", *tier))
+	}
+
 	ctx := context.Background()
 	observer := obsFlags.Observer()
 	opts := append(tgt.Options,
@@ -152,6 +188,29 @@ func main() {
 	}
 	if err := obsFlags.WriteOutputs(observer); err != nil {
 		fatal(err)
+	}
+}
+
+// printAnalytic renders an analytic-tier estimate in the same layout as
+// the simulated statistics block.
+func printAnalytic(tgt gpuscale.SimTarget, hash string, est gpuscale.AnalyticEstimate) {
+	if tgt.MCM != nil {
+		fmt.Printf("config:        %s (%d SMs total)\n", tgt.MCM.Name, tgt.MCM.TotalSMs())
+	} else {
+		fmt.Printf("config:        %s\n", tgt.System.Name)
+	}
+	fmt.Printf("workload:      %s\n", tgt.Workload.Name())
+	fmt.Printf("request:       %s\n", hash)
+	fmt.Printf("tier:          analytic (confidence %.2f)\n", est.Confidence)
+	fmt.Printf("cycles:        %.0f (estimated)\n", est.Cycles)
+	fmt.Printf("instructions:  %.0f\n", est.Instructions)
+	fmt.Printf("IPC:           %.2f\n", est.IPC)
+	fmt.Printf("f_mem:         %.3f\n", est.FMem)
+	fmt.Printf("LLC MPKI:      %.2f\n", est.LLCMPKI)
+	if tgt.MCM != nil {
+		fmt.Printf("remote frac:   %.3f\n", est.RemoteFraction)
+	} else {
+		fmt.Printf("L1 miss rate:  %.3f\n", est.L1MissRate)
 	}
 }
 

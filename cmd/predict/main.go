@@ -53,6 +53,7 @@ func main() {
 		bench    = flag.String("bench", "", "service mode: predict this benchmark from simulated scale models")
 		chiplets = flag.Int("chiplets", 0, "service mode: 16 selects the MCM case study (requires -weak)")
 		srvURL   = flag.String("server", "", "service mode: gpuscaled base URL (default: evaluate in-process)")
+		tier     = flag.String("tier", "", "service mode: latency tier (cycle, analytic, auto); auto answers analytically and escalates to the simulator when confidence is low")
 		jsonOut  = flag.Bool("json", false, "service mode: print the raw JSON response body")
 		smallSMs = flag.Int("small-sms", 8, "numeric mode: size (SMs or chiplets) of the smallest scale model; the large one is twice as big")
 		fmem     = flag.Float64("fmem", 0, "numeric mode: memory-stall fraction of the largest scale model (required for cliff workloads)")
@@ -63,7 +64,7 @@ func main() {
 	flag.Parse()
 
 	if *bench != "" {
-		if err := runService(*bench, *weak, *chiplets, *srvURL, *parallel, *jsonOut, *quiet); err != nil {
+		if err := runService(*bench, *weak, *chiplets, *srvURL, *tier, *parallel, *jsonOut, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, "predict:", err)
 			os.Exit(1)
 		}
@@ -74,11 +75,12 @@ func main() {
 
 // runService evaluates a canonical predict request — remotely against a
 // gpuscaled daemon, or in-process through the daemon's own evaluator.
-func runService(bench string, weak bool, chiplets int, srvURL string, parallel int, jsonOut, quiet bool) error {
+func runService(bench string, weak bool, chiplets int, srvURL, tier string, parallel int, jsonOut, quiet bool) error {
 	req := gpuscale.Request{
 		Op:       gpuscale.OpPredict,
 		Target:   gpuscale.TargetSpec{Chiplets: chiplets},
 		Workload: gpuscale.WorkloadSpec{Bench: bench, Weak: weak},
+		Options:  gpuscale.RequestOptions{Tier: tier},
 	}
 	var (
 		body []byte
@@ -108,6 +110,9 @@ func runService(bench string, weak bool, chiplets int, srvURL string, parallel i
 	if !quiet {
 		sm := resp.ScaleModels
 		fmt.Printf("request:      %s\n", hash)
+		if resp.Tier != "" {
+			fmt.Printf("tier:         %s (confidence %.2f)\n", resp.Tier, resp.Confidence)
+		}
 		fmt.Printf("scale models: %.0f %s (IPC %.2f), %.0f %s (IPC %.2f); correction factor C = %.3f\n",
 			sm[0].Size, unit, sm[0].IPC, sm[1].Size, unit, sm[1].IPC, resp.CorrectionFactor)
 		if resp.Mode == "strong" {

@@ -1,0 +1,239 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gpuscale/internal/trace"
+)
+
+// features is the static, configuration-independent summary of a workload:
+// instruction mix per warp and the merged access classes of its memory
+// streams. It is extracted once per workload (extractFeatures memoizes by
+// name) from the phase descriptors of a deterministic sample of warp
+// programs — no instruction is ever replayed.
+type features struct {
+	kernel trace.KernelSpec
+
+	// Per-warp instruction mix (means over the sampled warps).
+	instrPerWarp  float64
+	loadsPerWarp  float64
+	storesPerWarp float64
+
+	// classes are the merged access streams, deterministically ordered.
+	classes []accessClass
+
+	// unknownWeight is the fraction of memory references whose generator
+	// could not describe itself (including whole programs without
+	// PhaseDescriber); it feeds straight into the confidence score.
+	unknownWeight float64
+
+	// irregular reports that sampled warps had differing instruction
+	// counts (data-dependent control shape); maxInstrPerWarp is the longest
+	// sampled warp, which sets the makespan tail when the grid fits in few
+	// scheduling waves.
+	irregular       bool
+	maxInstrPerWarp float64
+}
+
+// accessClass is one merged memory stream: every sampled generator with
+// the same (class, stride, extent, store, bypass) signature, classified as
+// shared (one base address across warps) or private (per-warp bases).
+type accessClass struct {
+	seq    bool // strided sequential (vs uniform random)
+	shared bool // same data across warps (vs per-warp private)
+	bypass bool // skips the L1 (camping streams)
+	store  bool
+
+	// refsPerWarp is the mean memory references per warp into this class,
+	// averaged over all sampled warps (traffic accounting).
+	refsPerWarp float64
+	// refsPerOwner is the mean references per distinct base region —
+	// for private classes, one warp's references into its own region
+	// (reuse accounting).
+	refsPerOwner float64
+	// weight is this class's fraction of all memory references.
+	weight float64
+	// footprint is the touched unique bytes: kernel-total for shared
+	// classes, per-owner for private ones.
+	footprint float64
+	stride    float64
+}
+
+// totalWarps returns the kernel's total warp count as a float.
+func (f *features) totalWarps() float64 {
+	return float64(f.kernel.NumCTAs * f.kernel.WarpsPerCTA)
+}
+
+// memPerWarp returns loads+stores per warp.
+func (f *features) memPerWarp() float64 { return f.loadsPerWarp + f.storesPerWarp }
+
+// maxSampleCTAs bounds feature-extraction cost: CTAs are sampled evenly
+// across the grid (picking up modular irregularity like bfs's cta%7 input
+// sizes), every warp of a sampled CTA is described.
+const maxSampleCTAs = 128
+
+// groupKey merges generator descriptors that differ only in base address;
+// the distinct-base count then separates shared from private data.
+type groupKey struct {
+	class  trace.GenClass
+	stride uint64
+	extent uint64
+	store  bool
+	bypass bool
+}
+
+type groupAcc struct {
+	refs  float64
+	bases map[uint64]struct{}
+}
+
+// extractFeatures statically summarises w. It never replays instructions;
+// cost is proportional to sampled CTAs × warps × phases.
+func extractFeatures(w trace.Workload) (*features, error) {
+	k := w.Kernel()
+	if k.NumCTAs <= 0 || k.WarpsPerCTA <= 0 {
+		return nil, fmt.Errorf("analytic: workload %q has an empty kernel", w.Name())
+	}
+	samples := k.NumCTAs
+	if samples > maxSampleCTAs {
+		samples = maxSampleCTAs
+	}
+	groups := make(map[groupKey]*groupAcc)
+	var totalInstr, totalLoads, totalStores, totalRefs, unknownRefs float64
+	minInstr, maxInstr := math.MaxFloat64, 0.0
+	sampledWarps := 0
+	for i := 0; i < samples; i++ {
+		cta := i * k.NumCTAs / samples
+		for warp := 0; warp < k.WarpsPerCTA; warp++ {
+			sampledWarps++
+			prog := w.NewProgram(cta, warp)
+			pd, ok := prog.(trace.PhaseDescriber)
+			if !ok {
+				// Opaque program: count nothing, mark everything unknown.
+				unknownRefs++
+				totalRefs++
+				minInstr = 0
+				continue
+			}
+			warpInstr := 0.0
+			for _, ph := range pd.DescribePhases() {
+				warpInstr += float64(ph.N)
+				mem := float64(ph.MemCount())
+				if mem == 0 {
+					continue
+				}
+				if ph.Store {
+					totalStores += mem
+				} else {
+					totalLoads += mem
+				}
+				totalRefs += mem
+				for _, g := range ph.Gens {
+					refs := mem * g.Weight
+					if g.Class == trace.GenUnknown || g.Stride == 0 || g.Extent == 0 {
+						unknownRefs += refs
+						continue
+					}
+					key := groupKey{
+						class:  g.Class,
+						stride: g.Stride,
+						extent: g.Extent,
+						store:  ph.Store,
+						bypass: ph.Flags&trace.BypassL1 != 0,
+					}
+					acc := groups[key]
+					if acc == nil {
+						acc = &groupAcc{bases: make(map[uint64]struct{})}
+						groups[key] = acc
+					}
+					acc.refs += refs
+					acc.bases[g.Base] = struct{}{}
+				}
+			}
+			totalInstr += warpInstr
+			if warpInstr < minInstr {
+				minInstr = warpInstr
+			}
+			if warpInstr > maxInstr {
+				maxInstr = warpInstr
+			}
+		}
+	}
+	f := &features{
+		kernel:          k,
+		instrPerWarp:    totalInstr / float64(sampledWarps),
+		loadsPerWarp:    totalLoads / float64(sampledWarps),
+		storesPerWarp:   totalStores / float64(sampledWarps),
+		irregular:       maxInstr > minInstr*1.01+1,
+		maxInstrPerWarp: maxInstr,
+	}
+	if totalRefs > 0 {
+		f.unknownWeight = unknownRefs / totalRefs
+	}
+
+	// Deterministic class order: sort the group keys.
+	keys := make([]groupKey, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		if a.extent != b.extent {
+			return a.extent < b.extent
+		}
+		if a.stride != b.stride {
+			return a.stride < b.stride
+		}
+		if a.store != b.store {
+			return !a.store
+		}
+		return !a.bypass && b.bypass
+	})
+	warpsTotal := f.totalWarps()
+	for _, key := range keys {
+		acc := groups[key]
+		nBases := float64(len(acc.bases))
+		shared := len(acc.bases) == 1
+		c := accessClass{
+			seq:          key.class == trace.GenSeq,
+			shared:       shared,
+			bypass:       key.bypass,
+			store:        key.store,
+			refsPerWarp:  acc.refs / float64(sampledWarps),
+			refsPerOwner: acc.refs / nBases,
+			weight:       acc.refs / totalRefs,
+			stride:       float64(key.stride),
+		}
+		// Touched footprint: a sequential walk covers refs×stride bytes
+		// (wrapping at extent); a random walk covers the extent with
+		// saturating probability. Shared classes aggregate every warp's
+		// references; private ones only their owner's.
+		extent := float64(key.extent)
+		touched := c.refsPerOwner * c.stride
+		if shared {
+			touched = c.refsPerWarp * warpsTotal * c.stride
+		}
+		c.footprint = coverage(extent, touched, c.seq)
+		f.classes = append(f.classes, c)
+	}
+	return f, nil
+}
+
+// coverage estimates the unique bytes touched when `touched` bytes of
+// references land in a region of `extent` bytes. A sequential walk covers
+// min(touched, extent) exactly; a random walk covers the extent with the
+// classic coupon-collector saturation 1-e^(-touched/extent).
+func coverage(extent, touched float64, seq bool) float64 {
+	if extent <= 0 {
+		return 0
+	}
+	if seq {
+		return math.Min(extent, touched)
+	}
+	return extent * (1 - math.Exp(-touched/extent))
+}

@@ -1,0 +1,593 @@
+package analytic
+
+import (
+	"math"
+
+	"gpuscale/internal/config"
+)
+
+// The analytical performance model. Everything here is closed-form
+// arithmetic over a workload's static features (features.go) and a digested
+// configuration (resources): cache-hit estimates per access class, a
+// roofline cap per bandwidth resource, an M/M/1-style queueing correction,
+// and a small damped fixed point tying average load latency to achieved
+// IPC. No simulation state exists; one estimate costs microseconds.
+
+// resources is a configuration digested into model units: capacities in
+// bytes, latencies in cycles, bandwidths in bytes per SM cycle. The MCM
+// fields are zero for monolithic systems.
+type resources struct {
+	numSMs     float64
+	warpsPerSM float64
+	maxCTAs    float64 // per-SM concurrent CTA limit (config side)
+
+	l1   float64 // per-SM L1 capacity
+	llc  float64 // aggregate LLC capacity
+	line float64
+
+	l1Lat, llcLat, dramLat, nocBase, computeLat float64
+
+	dramBPC float64 // aggregate DRAM bytes/cycle
+	nocBPC  float64 // aggregate NoC bisection bytes/cycle
+	slices  float64 // aggregate LLC slice count
+	portBPC float64 // per-slice NoC port bytes/cycle (bisection/slices)
+
+	// llcPow2 is the LLC capacity the simulator actually indexes: the
+	// cache model rounds each slice's set count DOWN to a power of two,
+	// so a 1.0625 MiB slice behaves as 1 MiB. All capacity reasoning uses
+	// this, not the nominal size.
+	llcPow2 float64
+
+	// MCM package structure (chiplets == 0 for monolithic).
+	chiplets float64
+	chipLLC  float64 // one chiplet's pow2-effective LLC capacity
+	interLat float64 // one-way inter-chiplet latency
+	interBPC float64 // aggregate inter-chiplet link bytes/cycle
+}
+
+// llcPow2Bytes returns the power-of-two-effective capacity of an LLC built
+// from `slices` set-associative slices: the simulator's cache floors each
+// slice's set count to a power of two, silently shrinking non-pow2 slices.
+func llcPow2Bytes(total, slices, ways, line float64) float64 {
+	if slices <= 0 || ways <= 0 || line <= 0 {
+		return total
+	}
+	sets := math.Floor(total / slices / line / ways)
+	if sets < 1 {
+		return total
+	}
+	pow2 := math.Pow(2, math.Floor(math.Log2(sets)))
+	return pow2 * ways * line * slices
+}
+
+// dramJitter is the mean of the simulators' deterministic per-line DRAM
+// latency spread (hash(line) % 13).
+const dramJitter = 6.0
+
+// monoResources digests a monolithic SystemConfig.
+func monoResources(cfg config.SystemConfig) resources {
+	r := resources{
+		numSMs:     float64(cfg.NumSMs),
+		warpsPerSM: float64(cfg.WarpsPerSM),
+		maxCTAs:    float64(cfg.MaxCTAsPerSM),
+		l1:         float64(cfg.L1SizeBytes),
+		llc:        float64(cfg.LLCSizeBytes),
+		line:       float64(cfg.LineSize),
+		l1Lat:      float64(cfg.L1HitLatency),
+		llcLat:     float64(cfg.LLCHitLatency),
+		dramLat:    float64(cfg.DRAMLatency),
+		nocBase:    float64(cfg.NoCBaseLatency),
+		computeLat: float64(cfg.ComputeLatency),
+		dramBPC:    cfg.BytesPerCycle(cfg.TotalMemBWGBps()),
+		nocBPC:     cfg.BytesPerCycle(cfg.NoCBisectionGBps),
+		slices:     float64(cfg.LLCSlices),
+	}
+	r.portBPC = r.nocBPC / math.Max(1, r.slices)
+	r.llcPow2 = llcPow2Bytes(r.llc, r.slices, float64(cfg.LLCWays), r.line)
+	return r
+}
+
+// mcmResources digests a ChipletConfig: per-chiplet shared resources
+// aggregate linearly with the chiplet count; the inter-chiplet link and
+// latency describe the remote-access path.
+func mcmResources(cfg config.ChipletConfig) resources {
+	ch := cfg.Chiplet
+	n := float64(cfg.NumChiplets)
+	r := monoResources(ch)
+	r.numSMs = n * float64(ch.NumSMs)
+	r.chipLLC = r.llcPow2
+	r.llc *= n
+	r.llcPow2 *= n
+	r.dramBPC *= n
+	r.nocBPC *= n
+	r.slices *= n
+	// portBPC stays per-slice: one chiplet's bisection over its own slices.
+	r.chiplets = n
+	r.interLat = float64(cfg.InterChipletLatency)
+	r.interBPC = n * ch.BytesPerCycle(cfg.InterChipletGBpsPerChiplet)
+	return r
+}
+
+// Empirically calibrated MCM factors (tmp experiments against the cycle
+// simulator's golden grid; see docs/ANALYTIC.md).
+
+// ringAlpha is the effective fraction of the NoC bisection available to a
+// phase-aligned shared ring on a chiplet package. Every warp of a ring
+// benchmark starts at the same line-index residue, so the instantaneous
+// load concentrates on one moving LLC slice; with chiplet-grade ports
+// (~8 cycles per line) this collapses throughput to a small fraction that
+// recovers slowly with chiplet count as CTA assignment drifts the phases.
+func ringAlpha(n float64) float64 {
+	return 0.14 + 0.16*(1-1/math.Max(1, n))
+}
+
+// chipImbalance derates MCM bandwidth rooflines for CTA-assignment
+// imbalance: the distributed scheduler's refill order plus completion
+// drift leaves chiplets with uneven work (a 4-chiplet run was observed
+// serving 1545/917 CTAs on its extreme chiplets).
+func chipImbalance(n float64) float64 {
+	return math.Max(0.55, 1-0.13*(n-1))
+}
+
+// campingEff derates the slice-port camping roofline: the hot slice's port
+// is not perfectly pipelined by the (blocking) warps that feed it.
+const campingEff = 0.85
+
+// sharedRandDerate scales the capacity hit ratio of a random walk over a
+// shared footprint: concurrent warps race and evict each other's lines
+// before reuse even when the footprint nominally fits.
+const sharedRandDerate = 0.9
+
+// classRates is the per-class solution of the cache model.
+type classRates struct {
+	l1Hit  float64
+	llcHit float64
+	remote float64 // probability a post-L1 access crosses chiplets
+}
+
+// residentDemand is the LLC capacity a class wants resident: its whole
+// footprint for shared data, one footprint per concurrently resident warp
+// for private data.
+func residentDemand(c accessClass, concurrentWarps float64) float64 {
+	if c.shared {
+		return c.footprint
+	}
+	return c.footprint * concurrentWarps
+}
+
+// solveCaches estimates per-class L1 and LLC hit rates at the given
+// resources. R is the resident warps per SM.
+func solveCaches(res resources, f *features, rr float64) []classRates {
+	rates := make([]classRates, len(f.classes))
+	concurrent := rr * res.numSMs
+	warpsTotal := f.totalWarps()
+
+	// L1: private per SM, shared by the R resident warps.
+	for i, c := range f.classes {
+		switch {
+		case c.bypass:
+			rates[i].l1Hit = 0
+		case !c.shared:
+			lines := math.Max(1, c.footprint/res.line)
+			switch {
+			case c.footprint*rr <= res.l1:
+				// The resident warps' private data co-fits: everything
+				// after the cold miss per line hits.
+				rates[i].l1Hit = clamp01(1 - lines/math.Max(1, c.refsPerOwner))
+			case c.seq:
+				rates[i].l1Hit = 0 // streaming or cyclic thrash
+			default:
+				rates[i].l1Hit = clamp01((res.l1 / math.Max(1, rr)) / c.footprint)
+			}
+		default:
+			// Shared data: resident warps sample the same region from
+			// uncorrelated offsets; a line is present with probability
+			// ~ capacity/footprint.
+			rates[i].l1Hit = math.Min(0.98, res.l1/math.Max(res.l1, c.footprint)*clamp01(res.l1/c.footprint))
+			if c.footprint > 0 && res.l1 < c.footprint {
+				rates[i].l1Hit = clamp01(res.l1 / c.footprint)
+			}
+		}
+		// Remote probability: first-touch page placement keeps private
+		// data on its owner's chiplet; shared data is touched first by an
+		// effectively uniform chiplet, so (n-1)/n of accesses are remote.
+		if res.chiplets > 1 && c.shared {
+			rates[i].remote = (res.chiplets - 1) / res.chiplets
+		}
+	}
+
+	// LLC: two-pass allocation. Classes whose resident demand is tiny
+	// (camping hot lines, small shared tiles) stay resident and reserve
+	// their capacity; the rest waterfill the remainder by access share.
+	rem := res.llcPow2
+	type big struct {
+		i      int
+		demand float64
+		refs   float64
+	}
+	var bigs []big
+	for i, c := range f.classes {
+		demand := residentDemand(c, concurrent)
+		llcRefs := c.refsPerWarp * warpsTotal * (1 - rates[i].l1Hit)
+		if demand <= 0.05*res.llcPow2 {
+			// Resident: only cold misses.
+			cold := math.Max(1, c.footprint/res.line)
+			if !c.shared {
+				cold = math.Max(1, c.footprint/res.line) // per owner
+				llcRefs = c.refsPerOwner * (1 - rates[i].l1Hit)
+			}
+			rates[i].llcHit = clamp01(1 - cold/math.Max(1, llcRefs))
+			rem -= demand
+			continue
+		}
+		bigs = append(bigs, big{i: i, demand: demand, refs: llcRefs})
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	// Waterfill ascending by demand so a fitting class is not starved by
+	// a hopeless streaming one.
+	for pass := 0; pass < len(bigs); pass++ {
+		// selection sort step: smallest remaining demand first (few
+		// classes; determinism matters more than asymptotics).
+		min := pass
+		for j := pass + 1; j < len(bigs); j++ {
+			if bigs[j].demand < bigs[min].demand {
+				min = j
+			}
+		}
+		bigs[pass], bigs[min] = bigs[min], bigs[pass]
+	}
+	refsLeft := 0.0
+	for _, b := range bigs {
+		refsLeft += b.refs
+	}
+	for _, b := range bigs {
+		share := rem
+		if refsLeft > 0 && len(bigs) > 1 {
+			share = rem * b.refs / refsLeft
+			if share > b.demand {
+				share = b.demand
+			}
+		}
+		refsLeft -= b.refs
+		rem -= share
+		rem = math.Max(0, rem)
+		c := f.classes[b.i]
+		switch {
+		case c.shared && c.seq:
+			// The miss-rate-curve cliff: a cyclic ring either fits (cold
+			// misses only) or thrashes under LRU. On a chiplet package the
+			// ring sees only ONE chiplet's pow2 LLC: with 64-line pages the
+			// slice set index equals the page index mod sets, and the
+			// block-cyclic first-touch ownership maps each chiplet's owned
+			// ring pages onto 1/n of its sets — the aggregate effective
+			// capacity stays one chiplet's worth at every chiplet count.
+			fitCap := share + rem
+			if res.chiplets > 0 && res.chipLLC < fitCap {
+				fitCap = res.chipLLC
+			}
+			if b.demand <= fitCap { // it may also use the unclaimed rest
+				cold := math.Max(1, c.footprint/res.line)
+				rates[b.i].llcHit = clamp01(1 - cold/math.Max(1, b.refs))
+				rem = math.Max(0, rem-(b.demand-share))
+			} else {
+				rates[b.i].llcHit = 0
+			}
+		case c.shared: // random over a shared footprint
+			rates[b.i].llcHit = sharedRandDerate * math.Min(1, (share+rem)/math.Max(1, b.demand))
+		case c.seq: // private streams
+			if b.demand <= share+rem {
+				cold := math.Max(1, c.footprint/res.line)
+				refsOwner := c.refsPerOwner * (1 - rates[b.i].l1Hit)
+				rates[b.i].llcHit = clamp01(1 - cold/math.Max(1, refsOwner))
+				rem = math.Max(0, rem-(b.demand-share))
+			} else {
+				rates[b.i].llcHit = 0
+			}
+		default: // private random
+			rates[b.i].llcHit = clamp01((share + rem) / b.demand)
+		}
+	}
+	return rates
+}
+
+// occupancy returns the mean resident warps per SM.
+func occupancy(res resources, f *features) float64 {
+	k := f.kernel
+	ctas := res.maxCTAs
+	if k.CTAsPerSMLimit > 0 && float64(k.CTAsPerSMLimit) < ctas {
+		ctas = float64(k.CTAsPerSMLimit)
+	}
+	byWarps := math.Floor(res.warpsPerSM / float64(k.WarpsPerCTA))
+	if byWarps < ctas {
+		ctas = byWarps
+	}
+	avail := float64(k.NumCTAs) / res.numSMs
+	if avail < ctas {
+		ctas = avail
+	}
+	if ctas <= 0 {
+		ctas = 1.0 / res.numSMs
+	}
+	return ctas * float64(k.WarpsPerCTA)
+}
+
+// solution is the solved model for one (resources, workload) cell.
+type solution struct {
+	ipc         float64 // total instructions per cycle across the system
+	fmem        float64
+	cycles      float64
+	instrTotal  float64
+	llcMPKI     float64
+	l1MissRate  float64
+	remoteFrac  float64
+	utilization float64 // highest bandwidth utilization at the solution
+	residentR   float64
+	cliffNear   bool
+	camping     bool
+	mcm         bool
+}
+
+// fixedPointIters bounds the latency/IPC relaxation. The loop is damped
+// and monotone in practice; a fixed iteration count keeps the estimate
+// bit-deterministic.
+const fixedPointIters = 48
+
+// solve runs the full model for one configuration.
+func solve(res resources, f *features) solution {
+	rr := occupancy(res, f)
+	rates := solveCaches(res, f, rr)
+	warpsTotal := f.totalWarps()
+	instrTotal := f.instrPerWarp * warpsTotal
+	loads := f.loadsPerWarp
+	stores := f.storesPerWarp
+	computes := f.instrPerWarp - loads - stores
+	if computes < 0 {
+		computes = 0
+	}
+
+	// Aggregate traffic per instruction (bytes crossing each resource).
+	var llcRefs, llcMisses, remoteRefs, loadRefs, ringRefs float64
+	var hotCapInstr = math.Inf(1)
+	memRefs := f.memPerWarp() * warpsTotal
+	unknownRefs := f.unknownWeight * memRefs
+	slicesChip := res.slices
+	if res.chiplets > 1 {
+		slicesChip = res.slices / res.chiplets
+	}
+	for i, c := range f.classes {
+		refs := c.refsPerWarp * warpsTotal
+		miss1 := refs * (1 - rates[i].l1Hit)
+		llcRefs += miss1
+		llcMisses += miss1 * (1 - rates[i].llcHit)
+		remoteRefs += miss1 * rates[i].remote
+		if !c.store {
+			loadRefs += refs
+		}
+		if c.shared && c.seq {
+			ringRefs += miss1
+		}
+		// Slice-port camping: shared hot lines concentrate on few LLC
+		// slices, and each slice's NoC port serves portBPC bytes/cycle;
+		// the hot lines' aggregate port rate caps the instruction rate.
+		if c.shared && miss1 > 0 {
+			lines := math.Max(1, c.footprint/res.line)
+			if lines < slicesChip {
+				cap := campingEff * lines * (res.portBPC / res.line) * instrTotal / miss1
+				if cap < hotCapInstr {
+					hotCapInstr = cap
+				}
+			}
+		}
+	}
+	// Unknown streams: assume they miss both caches.
+	llcRefs += unknownRefs
+	llcMisses += unknownRefs
+	loadRefs += unknownRefs
+
+	nocBytesPerInstr := llcRefs * res.line / instrTotal
+	dramBytesPerInstr := llcMisses * res.line / instrTotal
+	interBytesPerInstr := remoteRefs * res.line / instrTotal
+
+	// Latency of one load as a function of the queueing state.
+	latency := func(qNoC, qDram, qInter float64) float64 {
+		if loadRefs <= 0 {
+			return res.l1Lat
+		}
+		sum := 0.0
+		for i, c := range f.classes {
+			if c.store {
+				continue
+			}
+			refs := c.refsPerWarp * warpsTotal
+			missPath := 2*res.nocBase + res.llcLat + qNoC +
+				rates[i].remote*(2*res.interLat+qInter) +
+				(1-rates[i].llcHit)*(res.dramLat+dramJitter+qDram)
+			sum += refs * (rates[i].l1Hit*res.l1Lat + (1-rates[i].l1Hit)*missPath)
+		}
+		// Unknown load streams take the full miss path.
+		sum += unknownRefs * (2*res.nocBase + res.llcLat + qNoC + res.dramLat + dramJitter + qDram)
+		return sum / loadRefs
+	}
+
+	// Roofline caps in total instructions per cycle. MCM rooflines are
+	// derated for CTA-assignment imbalance between chiplets.
+	eff := 1.0
+	if res.chiplets > 1 {
+		eff = chipImbalance(res.chiplets)
+	}
+	capInstr := hotCapInstr
+	if dramBytesPerInstr > 0 {
+		capInstr = math.Min(capInstr, eff*res.dramBPC/dramBytesPerInstr)
+	}
+	if nocBytesPerInstr > 0 {
+		capInstr = math.Min(capInstr, eff*res.nocBPC/nocBytesPerInstr)
+	}
+	if interBytesPerInstr > 0 && res.interBPC > 0 {
+		capInstr = math.Min(capInstr, eff*res.interBPC/interBytesPerInstr)
+	}
+	// Phase-aligned ring collapse (chiplet packages only): a shared cyclic
+	// ring keeps every warp on the same moving LLC slice, so its traffic
+	// sees only ringAlpha of the nominal bisection. The imbalance derate is
+	// not stacked — ringAlpha was calibrated against end-to-end runs.
+	if res.chiplets > 0 && ringRefs > 0 {
+		ringBytesPerInstr := ringRefs * res.line / instrTotal
+		capInstr = math.Min(capInstr, ringAlpha(res.chiplets)*res.nocBPC/ringBytesPerInstr)
+	}
+
+	// Irregular grids that fit in few scheduling waves end with a makespan
+	// tail: short warps drain while the longest still run, shrinking the
+	// mean resident occupancy toward R × mean/max instruction counts.
+	rrEff := rr
+	if f.irregular && f.maxInstrPerWarp > f.instrPerWarp && f.kernel.WarpsPerCTA > 0 {
+		residentCTAs := rr / float64(f.kernel.WarpsPerCTA)
+		waves := math.Max(1, math.Ceil(float64(f.kernel.NumCTAs)/math.Max(1, residentCTAs*res.numSMs)))
+		rrEff = rr * (1 - (1-f.instrPerWarp/f.maxInstrPerWarp)/waves)
+	}
+
+	warpTime := func(l float64) float64 {
+		return computes*res.computeLat + stores + loads*l + 1
+	}
+	ipcFromLat := func(l float64) float64 {
+		perSM := math.Min(1, rrEff*f.instrPerWarp/warpTime(l))
+		return math.Min(perSM*res.numSMs, capInstr)
+	}
+
+	// Damped fixed point: latency includes queueing delays that depend on
+	// achieved throughput, which depends on latency.
+	l := latency(0, 0, 0)
+	var ipc float64
+	var maxRho float64
+	for i := 0; i < fixedPointIters; i++ {
+		ipc = ipcFromLat(l)
+		rhoN := clampRho(ipc * nocBytesPerInstr / res.nocBPC)
+		rhoD := clampRho(ipc * dramBytesPerInstr / res.dramBPC)
+		rhoI := 0.0
+		if res.interBPC > 0 {
+			rhoI = clampRho(ipc * interBytesPerInstr / res.interBPC)
+		}
+		maxRho = math.Max(rhoN, math.Max(rhoD, rhoI))
+		// The NoC queue has two stations: the bisection (line/nocBPC
+		// service) and the per-slice port (line/portBPC — the slow one on
+		// chiplet packages, ~8 cycles per line). Uniform traffic loads the
+		// mean port at the bisection utilization.
+		qN := res.line * (1/res.nocBPC + 1/res.portBPC) * rhoN / (1 - rhoN)
+		qD := res.line / res.dramBPC * rhoD / (1 - rhoD)
+		qI := 0.0
+		if res.interBPC > 0 {
+			qI = res.line / res.interBPC * rhoI / (1 - rhoI)
+		}
+		lNew := latency(qN, qD, qI)
+		l += 0.5 * (lNew - l)
+	}
+	ipc = ipcFromLat(l)
+
+	// When a bandwidth roofline binds, the simulator reaches the same
+	// throughput through queueing-inflated latencies; recover the implied
+	// effective load latency so f_mem reflects the saturated state.
+	lEff := l
+	perSMLat := math.Min(1, rrEff*f.instrPerWarp/warpTime(l)) * res.numSMs
+	if loads > 0 && ipc < perSMLat {
+		need := rrEff * f.instrPerWarp * res.numSMs / ipc // required warp time
+		lEff = (need - computes*res.computeLat - stores - 1) / loads
+		if lEff < l {
+			lEff = l
+		}
+	}
+
+	ipcSM := ipc / res.numSMs
+	memWait := loads * lEff
+	pipeWait := computes * (res.computeLat - 1)
+	fmem := 0.0
+	if memWait > 0 {
+		// A no-issue cycle counts as a memory stall when any blocked warp
+		// waits on memory; pipe-only stalls need every warp in a short
+		// arithmetic gap at once, which R resident warps make rare.
+		pipeOnly := pipeWait / math.Max(1, rrEff*0.5)
+		fmem = (1 - math.Min(1, ipcSM)) * memWait / (memWait + pipeOnly)
+	}
+
+	sol := solution{
+		ipc:         ipc,
+		fmem:        clamp01(fmem),
+		cycles:      instrTotal / math.Max(ipc, 1e-9),
+		instrTotal:  instrTotal,
+		llcMPKI:     llcMisses / (instrTotal / 1000),
+		l1MissRate:  llcRefs / math.Max(1, memRefs),
+		utilization: maxRho,
+		residentR:   rr,
+	}
+	if llcRefs > 0 {
+		sol.remoteFrac = remoteRefs / llcRefs
+	}
+	sol.mcm = res.chiplets > 0
+	for _, c := range f.classes {
+		if c.bypass {
+			sol.camping = true
+		}
+		demand := residentDemand(c, rr*res.numSMs)
+		if demand > 0 {
+			// The cliff position is set by the capacity the class actually
+			// sees: one chiplet's pow2 LLC for a ring on an MCM package.
+			capacity := res.llcPow2
+			if res.chiplets > 0 && c.shared && c.seq && res.chipLLC < capacity {
+				capacity = res.chipLLC
+			}
+			ratio := demand / capacity
+			if ratio >= 0.5 && ratio <= 2 {
+				sol.cliffNear = true
+			}
+		}
+	}
+	return sol
+}
+
+// confidence scores how much of the model's input was actually modelled:
+// structural blind spots (opaque generators), regimes where small errors
+// have large effects (working sets near the LLC cliff, near-saturated
+// resources, slice camping), and shape irregularity all shrink it.
+func confidence(f *features, sol solution) float64 {
+	conf := 1 - f.unknownWeight
+	if sol.mcm {
+		// Chiplet packages stack calibrated factors (ring alpha, CTA
+		// imbalance, page ownership); their residual error is the model's
+		// largest, so the serving tier should prefer to escalate them.
+		conf *= 0.60
+	}
+	if sol.cliffNear {
+		conf *= 0.70
+	}
+	if sol.utilization > 0.9 {
+		conf *= 0.80
+	}
+	if sol.camping {
+		conf *= 0.70
+	}
+	if f.irregular {
+		conf *= 0.85
+	}
+	return clamp01(conf)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// clampRho bounds a utilization for the M/M/1 queue term; 0.98 keeps the
+// inflation finite while the roofline cap handles true saturation.
+func clampRho(rho float64) float64 {
+	if rho < 0 {
+		return 0
+	}
+	if rho > 0.98 {
+		return 0.98
+	}
+	return rho
+}

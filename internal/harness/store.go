@@ -51,32 +51,115 @@ type storeCall struct {
 	err  error
 }
 
+// storeEntry is one settled body threaded on the intrusive LRU list:
+// entries link to their neighbours directly, so a hit promotes in O(1)
+// with two pointer swaps and zero allocation.
+type storeEntry struct {
+	key        string
+	body       []byte
+	prev, next *storeEntry
+}
+
+// entryOverhead approximates the fixed per-entry memory cost beyond the
+// key and body bytes: the entry struct, its map slot, and the string/slice
+// headers. It keeps the byte budget honest for many tiny bodies.
+const entryOverhead = 128
+
+// size is the bytes this entry charges against the memory budget.
+func (e *storeEntry) size() int64 {
+	return int64(len(e.key)) + int64(len(e.body)) + entryOverhead
+}
+
 // ResultStore is a two-level single-flight byte store. The zero value is
 // not usable; call NewResultStore.
 type ResultStore struct {
-	dir     string // "" = memory-only
-	maxMem  int    // settled-entry cap; <= 0 = unbounded
-	mu      sync.Mutex
-	settled map[string][]byte
-	flight  map[string]*storeCall
+	dir      string // "" = memory-only
+	maxBytes int64  // memory-level budget; <= 0 = unbounded
+	mu       sync.Mutex
+	settled  map[string]*storeEntry
+	memBytes int64      // sum of settled entry sizes
+	mru, lru *storeEntry // list ends: mru = most recently used
+	flight   map[string]*storeCall
 }
 
 // NewResultStore returns a store persisting to dir ("" keeps results in
-// memory only), holding at most maxMem settled bodies in memory (<= 0 for
-// no cap; evicted bodies remain readable from disk). The directory is
-// created if missing.
-func NewResultStore(dir string, maxMem int) (*ResultStore, error) {
+// memory only), holding at most maxBytes of settled bodies in memory
+// (<= 0 for no cap). Eviction is strict LRU over an intrusive list —
+// every hit, including disk promotions, refreshes recency in O(1) — and
+// evicted bodies remain readable from disk when configured. The directory
+// is created if missing.
+func NewResultStore(dir string, maxBytes int64) (*ResultStore, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("harness: creating result store: %w", err)
 		}
 	}
 	return &ResultStore{
-		dir:     dir,
-		maxMem:  maxMem,
-		settled: make(map[string][]byte),
-		flight:  make(map[string]*storeCall),
+		dir:      dir,
+		maxBytes: maxBytes,
+		settled:  make(map[string]*storeEntry),
+		flight:   make(map[string]*storeCall),
 	}, nil
+}
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (s *ResultStore) unlink(e *storeEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.mru = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.lru = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry. Caller holds mu.
+func (s *ResultStore) pushFront(e *storeEntry) {
+	e.next = s.mru
+	if s.mru != nil {
+		s.mru.prev = e
+	}
+	s.mru = e
+	if s.lru == nil {
+		s.lru = e
+	}
+}
+
+// touch promotes an already-resident entry to the front. Caller holds mu.
+func (s *ResultStore) touch(e *storeEntry) {
+	if s.mru == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// insert settles a body in memory and evicts from the LRU end until the
+// byte budget holds again. The newest entry is never evicted — it is
+// being served right now, so its memory is live either way. Caller holds
+// mu.
+func (s *ResultStore) insert(key string, body []byte) {
+	if e, ok := s.settled[key]; ok {
+		s.touch(e)
+		return
+	}
+	e := &storeEntry{key: key, body: body}
+	s.settled[key] = e
+	s.memBytes += e.size()
+	s.pushFront(e)
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.memBytes > s.maxBytes && s.lru != nil && s.lru != e {
+		victim := s.lru
+		s.unlink(victim)
+		delete(s.settled, victim.key)
+		s.memBytes -= victim.size()
+	}
 }
 
 // Do returns the stored body for key, computing it at most once across
@@ -91,7 +174,9 @@ func (s *ResultStore) Do(ctx context.Context, key string, compute func() ([]byte
 	}
 	for {
 		s.mu.Lock()
-		if body, ok := s.settled[key]; ok {
+		if e, ok := s.settled[key]; ok {
+			s.touch(e)
+			body := e.body
 			s.mu.Unlock()
 			return body, StoreMemory, nil
 		}
@@ -134,12 +219,46 @@ func (s *ResultStore) Do(ctx context.Context, key string, compute func() ([]byte
 }
 
 // Peek reports whether key is settled in memory (it does not consult
-// disk and never blocks on an in-flight computation).
+// disk, never blocks on an in-flight computation, and does not refresh
+// LRU recency).
 func (s *ResultStore) Peek(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.settled[key]
 	return ok
+}
+
+// Lookup returns key's body if it is already available — settled in
+// memory (refreshing recency) or readable from disk (promoting to
+// memory) — without ever computing or waiting on an in-flight
+// computation. The serving tier uses it to prefer a finished cycle
+// response over a fresh analytic estimate.
+func (s *ResultStore) Lookup(key string) ([]byte, StoreSource, bool) {
+	if validStoreKey(key) != nil {
+		return nil, "", false
+	}
+	s.mu.Lock()
+	if e, ok := s.settled[key]; ok {
+		s.touch(e)
+		body := e.body
+		s.mu.Unlock()
+		return body, StoreMemory, true
+	}
+	s.mu.Unlock()
+	if body, ok := s.readDisk(key); ok {
+		s.mu.Lock()
+		s.insert(key, body)
+		s.mu.Unlock()
+		return body, StoreDisk, true
+	}
+	return nil, "", false
+}
+
+// MemoryBytes reports the bytes currently charged to the memory level.
+func (s *ResultStore) MemoryBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memBytes
 }
 
 // settle publishes a finished computation to the waiters and, on success,
@@ -148,16 +267,7 @@ func (s *ResultStore) settle(key string, c *storeCall, body []byte, err error) {
 	s.mu.Lock()
 	delete(s.flight, key)
 	if err == nil {
-		if s.maxMem > 0 && len(s.settled) >= s.maxMem {
-			// Evict one arbitrary entry (map iteration order). The memory
-			// level is a working set, not the source of truth — evicted
-			// keys reload from disk when configured.
-			for k := range s.settled {
-				delete(s.settled, k)
-				break
-			}
-		}
-		s.settled[key] = body
+		s.insert(key, body)
 	}
 	s.mu.Unlock()
 	c.body, c.err = body, err

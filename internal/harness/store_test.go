@@ -195,8 +195,12 @@ func TestResultStoreCancelledOwnerRetries(t *testing.T) {
 	close(release)
 }
 
+// storeBudget fits exactly two of the 8-byte-key/8-byte-body test entries
+// used below (each charges len(key)+len(body)+entryOverhead = 144 bytes).
+const storeBudget = 2*144 + 10
+
 func TestResultStoreKeyValidationAndEviction(t *testing.T) {
-	s, err := NewResultStore("", 2)
+	s, err := NewResultStore("", storeBudget)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +210,7 @@ func TestResultStoreKeyValidationAndEviction(t *testing.T) {
 			t.Errorf("key %q accepted", bad)
 		}
 	}
-	// maxMem 2: settling a third key evicts one of the first two.
+	// A byte budget for two entries: settling a third evicts one.
 	keys := []string{"aaaa0000", "bbbb0000", "cccc0000"}
 	for _, k := range keys {
 		k := k
@@ -221,6 +225,87 @@ func TestResultStoreKeyValidationAndEviction(t *testing.T) {
 		}
 	}
 	if settled != 2 {
-		t.Errorf("settled entries = %d, want 2 (maxMem)", settled)
+		t.Errorf("settled entries = %d, want 2 (byte budget)", settled)
+	}
+	if got := s.MemoryBytes(); got <= 0 || got > storeBudget {
+		t.Errorf("MemoryBytes = %d, want in (0, %d]", got, storeBudget)
+	}
+}
+
+// TestResultStoreLRUOrder pins the eviction order: strictly least recently
+// used, where hits (Do and Lookup alike) refresh recency.
+func TestResultStoreLRUOrder(t *testing.T) {
+	s, err := NewResultStore("", storeBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	put := func(k string) {
+		t.Helper()
+		if _, _, err := s.Do(ctx, k, func() ([]byte, error) { return []byte(k), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b, c, d := "aaaa0000", "bbbb0000", "cccc0000", "dddd0000"
+
+	put(a)
+	put(b)
+	put(c) // over budget: a is the LRU entry and must be the one evicted
+	if s.Peek(a) || !s.Peek(b) || !s.Peek(c) {
+		t.Fatalf("after a,b,c: settled = a:%v b:%v c:%v, want only b and c", s.Peek(a), s.Peek(b), s.Peek(c))
+	}
+
+	// A hit on b makes c the LRU entry, so d must evict c, not b.
+	if body, _, ok := s.Lookup(b); !ok || string(body) != b {
+		t.Fatalf("Lookup(b) = %q %v", body, ok)
+	}
+	put(d)
+	if !s.Peek(b) || s.Peek(c) || !s.Peek(d) {
+		t.Fatalf("after touching b and adding d: settled = b:%v c:%v d:%v, want b and d", s.Peek(b), s.Peek(c), s.Peek(d))
+	}
+
+	// The just-settled entry is never its own victim, even when a single
+	// body exceeds the whole budget.
+	big := "eeee0000"
+	if _, _, err := s.Do(ctx, big, func() ([]byte, error) { return make([]byte, 2*storeBudget), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Peek(big) {
+		t.Error("oversized entry was evicted while being served")
+	}
+	if s.Peek(b) || s.Peek(d) {
+		t.Error("oversized entry did not evict the rest of the working set")
+	}
+}
+
+// TestResultStoreLookup pins Lookup's non-computing contract: memory hit,
+// disk hit with promotion, and a plain miss.
+func TestResultStoreLookup(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewResultStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, ok := s.Lookup(storeKeyA); ok {
+		t.Error("Lookup hit an empty store")
+	}
+	want := []byte(`{"ipc":2.5}`)
+	if _, _, err := s.Do(ctx, storeKeyA, func() ([]byte, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if body, src, ok := s.Lookup(storeKeyA); !ok || src != StoreMemory || string(body) != string(want) {
+		t.Errorf("Lookup after Do = %q %v %v", body, src, ok)
+	}
+	// A fresh store over the same directory serves from disk and promotes.
+	s2, err := NewResultStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body, src, ok := s2.Lookup(storeKeyA); !ok || src != StoreDisk || string(body) != string(want) {
+		t.Errorf("Lookup from disk = %q %v %v", body, src, ok)
+	}
+	if _, src, ok := s2.Lookup(storeKeyA); !ok || src != StoreMemory {
+		t.Errorf("Lookup after promotion source = %v (ok=%v)", src, ok)
 	}
 }

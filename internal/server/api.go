@@ -113,4 +113,11 @@ type PredictResponse struct {
 	MPKI []float64 `json:"mpki,omitempty"`
 	// Predictions are the predicted target sizes, smallest first.
 	Predictions []PredictionPoint `json:"predictions"`
+	// Tier is "analytic" when this body came from the analytic tier; empty
+	// (omitted) on cycle responses, whose bytes must stay identical to
+	// builds that predate tiering.
+	Tier string `json:"tier,omitempty"`
+	// Confidence is the analytic model's confidence in [0, 1]; zero
+	// (omitted) on cycle responses.
+	Confidence float64 `json:"confidence,omitempty"`
 }

@@ -44,6 +44,26 @@ func EvalLocal(ctx context.Context, req gpuscale.Request, workers, mcmShards int
 	if err != nil {
 		return nil, "", err
 	}
+	// Latency tiers work without a daemon too: tier=analytic always
+	// answers analytically; tier=auto does unless confidence falls below
+	// the default threshold, in which case it falls through to the cycle
+	// pipeline exactly like the daemon's escalation path.
+	if req.Op == gpuscale.OpPredict {
+		switch req.Options.Tier {
+		case gpuscale.TierAnalytic:
+			body, err := evalPredictAnalytic(req, hash)
+			return body, hash, err
+		case gpuscale.TierAuto:
+			ap, err := gpuscale.PredictAnalytic(req)
+			if err != nil {
+				return nil, "", err
+			}
+			if ap.Confidence >= defaultConfidenceThreshold {
+				body, err := marshalAnalytic(ap, req, hash)
+				return body, hash, err
+			}
+		}
+	}
 	s, err := New(Options{Workers: workers, MCMShards: mcmShards})
 	if err != nil {
 		return nil, "", err
@@ -236,6 +256,50 @@ func (s *Server) evalPredictMCM(ctx context.Context, req gpuscale.Request, hash 
 		CorrectionFactor: gpuscale.CorrectionFactor(fsizes[0], small.IPC, fsizes[1], large.IPC),
 		Predictions:      preds,
 	})
+}
+
+// evalPredictAnalytic answers a predict request from the analytic tier:
+// the same response shape as evalPredict, produced by the microsecond
+// model (gpuscale.PredictAnalytic) with no simulation anywhere on the
+// path. The body is deterministic (pure arithmetic over static workload
+// features), so it caches under AnalyticCacheKey like any other response.
+func evalPredictAnalytic(req gpuscale.Request, hash string) ([]byte, error) {
+	ap, err := gpuscale.PredictAnalytic(req)
+	if err != nil {
+		return nil, err
+	}
+	return marshalAnalytic(ap, req, hash)
+}
+
+// marshalAnalytic renders an already-computed analytic prediction into the
+// canonical response body.
+func marshalAnalytic(ap gpuscale.AnalyticPrediction, req gpuscale.Request, hash string) ([]byte, error) {
+	in := ap.Input
+	preds, err := finishPredictions(in)
+	if err != nil {
+		return nil, err
+	}
+	resp := PredictResponse{
+		RequestHash: hash,
+		Op:          req.Op,
+		Workload:    req.Workload.Bench,
+		MCM:         ap.MCM,
+		ScaleModels: []ScaleModelPoint{
+			{Size: in.Sizes[0], IPC: in.SmallIPC},
+			{Size: in.Sizes[1], IPC: in.LargeIPC},
+		},
+		CorrectionFactor: gpuscale.CorrectionFactor(in.Sizes[0], in.SmallIPC, in.Sizes[1], in.LargeIPC),
+		MPKI:             in.MPKI,
+		Predictions:      preds,
+		Tier:             gpuscale.TierAnalytic,
+		Confidence:       ap.Confidence,
+	}
+	if in.Mode == gpuscale.WeakScaling {
+		resp.Mode = "weak"
+	} else {
+		resp.Mode = "strong"
+	}
+	return marshalResponse(resp)
 }
 
 // submitAll submits jobs to the intake concurrently — concurrent

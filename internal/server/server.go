@@ -43,9 +43,14 @@ type Options struct {
 	// MCMShards is the shard count applied to every MCM simulation the
 	// server runs (results are bit-identical at every setting).
 	MCMShards int
-	// MemoEntries caps the in-memory level of the response cache; <= 0
-	// means 4096. Evicted entries reload from StoreDir when configured.
-	MemoEntries int
+	// MemoBytes caps the in-memory level of the response cache in bytes
+	// (strict LRU); <= 0 means 64 MiB. Evicted entries reload from
+	// StoreDir when configured.
+	MemoBytes int64
+	// ConfidenceThreshold gates auto-tier escalation: an auto predict
+	// request whose analytic confidence is below it escalates to the cycle
+	// simulator. <= 0 means 0.5.
+	ConfidenceThreshold float64
 	// Registry receives the server's metrics (and is exported at
 	// /metrics); nil creates a private one.
 	Registry *obs.Registry
@@ -68,11 +73,26 @@ type metrics struct {
 	batchJobs  *obs.Counter
 	latencyMS  *obs.Histogram
 	reqCounter map[string]*obs.Counter
+
+	// Latency-tier instrumentation (docs/ANALYTIC.md): which tier served
+	// each response, auto-tier escalations, and the analytic fast path's
+	// latency in host microseconds (its budget is < 1 ms).
+	tierServed map[string]*obs.Counter
+	escalated  *obs.Counter
+	analyticUS *obs.Histogram
 }
 
 // latencyBoundsMS buckets request latency in host milliseconds: cache hits
 // land in the low buckets, fresh simulations in the high ones.
 var latencyBoundsMS = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 30000}
+
+// analyticBoundsUS buckets the analytic fast path in host microseconds;
+// the tier's contract is to answer well under a millisecond.
+var analyticBoundsUS = []float64{50, 100, 250, 500, 1000, 2500, 10000}
+
+// defaultConfidenceThreshold gates auto-tier escalation when the operator
+// sets none.
+const defaultConfidenceThreshold = gpuscale.DefaultConfidenceThreshold
 
 // Server is the gpuscaled HTTP service. Create with New, mount Handler on
 // an http.Server, and Close when done.
@@ -97,14 +117,17 @@ func New(opt Options) (*Server, error) {
 	if opt.BatchLinger <= 0 {
 		opt.BatchLinger = 2 * time.Millisecond
 	}
-	if opt.MemoEntries <= 0 {
-		opt.MemoEntries = 4096
+	if opt.MemoBytes <= 0 {
+		opt.MemoBytes = 64 << 20
+	}
+	if opt.ConfidenceThreshold <= 0 {
+		opt.ConfidenceThreshold = defaultConfidenceThreshold
 	}
 	reg := opt.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	store, err := harness.NewResultStore(opt.StoreDir, opt.MemoEntries)
+	store, err := harness.NewResultStore(opt.StoreDir, opt.MemoBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +154,12 @@ func New(opt Options) (*Server, error) {
 			gpuscale.OpPredict:  reg.Counter("server/requests/predict"),
 			gpuscale.OpMRC:      reg.Counter("server/requests/mrc"),
 		},
+		tierServed: map[string]*obs.Counter{
+			gpuscale.TierAnalytic: reg.Counter("server/tier/analytic"),
+			gpuscale.TierCycle:    reg.Counter("server/tier/cycle"),
+		},
+		escalated:  reg.Counter("server/tier/escalated"),
+		analyticUS: reg.Histogram("server/tier/analytic_latency_us", analyticBoundsUS),
 	}
 	s.intake = engine.NewIntake(engine.IntakeOptions{
 		Workers: opt.Workers,
@@ -230,6 +259,16 @@ func (s *Server) handle(op string, w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	start := time.Now()
+	if req.Op == gpuscale.OpPredict &&
+		(req.Options.Tier == gpuscale.TierAnalytic || req.Options.Tier == gpuscale.TierAuto) {
+		if s.servePredictFast(w, r, req, hash, start) {
+			return
+		}
+		// The analytic model was not confident enough for this auto
+		// request: escalate to the cycle pipeline below, whose response is
+		// byte-identical to a direct cycle-tier request.
+		s.m.escalated.Inc()
+	}
 	body, src, err := s.store.Do(r.Context(), hash, func() ([]byte, error) {
 		return s.eval(r.Context(), req, hash)
 	})
@@ -244,6 +283,56 @@ func (s *Server) handle(op string, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.countSource(src)
+	s.m.tierServed[gpuscale.TierCycle].Inc()
+	writeBody(w, hash, gpuscale.TierCycle, src, body)
+}
+
+// servePredictFast is the analytic latency tier (docs/ANALYTIC.md): answer
+// a predict request in microseconds from the analytical model, with no
+// simulation anywhere on the path. It reports whether the request was
+// fully served; false means an auto-tier request whose analytic
+// confidence fell below the escalation threshold — the caller then runs
+// the cycle pipeline.
+func (s *Server) servePredictFast(w http.ResponseWriter, r *http.Request, req gpuscale.Request, hash string, start time.Time) bool {
+	if req.Options.Tier == gpuscale.TierAuto {
+		// A settled cycle response outranks any estimate, and serving it
+		// costs no more than the analytic path would.
+		if body, src, ok := s.store.Lookup(hash); ok {
+			s.m.latencyMS.Observe(float64(time.Since(start).Milliseconds()))
+			s.countSource(src)
+			s.m.tierServed[gpuscale.TierCycle].Inc()
+			writeBody(w, hash, gpuscale.TierCycle, src, body)
+			return true
+		}
+	}
+	ap, err := gpuscale.PredictAnalytic(req)
+	if err != nil {
+		s.m.errors.Inc()
+		writeError(w, http.StatusInternalServerError, err)
+		return true
+	}
+	if req.Options.Tier == gpuscale.TierAuto && ap.Confidence < s.opt.ConfidenceThreshold {
+		return false
+	}
+	body, src, err := s.store.Do(r.Context(), gpuscale.AnalyticCacheKey(hash), func() ([]byte, error) {
+		return marshalAnalytic(ap, req, hash)
+	})
+	if err != nil {
+		s.m.errors.Inc()
+		writeError(w, http.StatusInternalServerError, err)
+		return true
+	}
+	s.m.analyticUS.Observe(float64(time.Since(start).Microseconds()))
+	s.m.latencyMS.Observe(float64(time.Since(start).Milliseconds()))
+	s.countSource(src)
+	s.m.tierServed[gpuscale.TierAnalytic].Inc()
+	writeBody(w, hash, gpuscale.TierAnalytic, src, body)
+	return true
+}
+
+// countSource bumps the cache counter matching a store source.
+func (s *Server) countSource(src harness.StoreSource) {
 	switch src {
 	case harness.StoreMemory:
 		s.m.hitsMem.Inc()
@@ -254,9 +343,15 @@ func (s *Server) handle(op string, w http.ResponseWriter, r *http.Request) {
 	default:
 		s.m.misses.Inc()
 	}
+}
+
+// writeBody emits a successful response with the standard headers; X-Tier
+// says which latency tier produced the body.
+func writeBody(w http.ResponseWriter, hash, tier string, src harness.StoreSource, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Request-Hash", hash)
 	w.Header().Set("X-Cache", string(src))
+	w.Header().Set("X-Tier", tier)
 	w.Write(body)
 }
 

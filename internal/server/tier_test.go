@@ -1,0 +1,141 @@
+package server
+
+// Latency-tier routing tests: the analytic fast path serves without
+// simulating and caches under its own keyspace, auto escalates
+// byte-identically to the cycle pipeline when confidence is low, and a
+// settled cycle response outranks a fresh analytic estimate. The
+// analytic-only test runs no simulation and never skips; the escalation
+// and settled-cycle tests drive the real simulator and skip under -short.
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServerAnalyticTier exercises the simulation-free fast path: an
+// auto-tier request on a cold cache and a direct analytic-tier request
+// must both be served analytically (ht's confidence is 1.0), the second
+// from the analytic keyspace's memory cache, byte-identically.
+func TestServerAnalyticTier(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	auto := `{"op":"predict","workload":{"bench":"ht"},"options":{"tier":"auto"}}`
+	code, hdr, first := post(t, ts.Client(), ts.URL, "/v1/predict", auto, "")
+	if code != http.StatusOK {
+		t.Fatalf("auto predict: %d %s", code, first)
+	}
+	if got := hdr.Get("X-Tier"); got != "analytic" {
+		t.Errorf("auto X-Tier = %q, want analytic", got)
+	}
+	if got := hdr.Get("X-Cache"); got != "computed" {
+		t.Errorf("auto X-Cache = %q, want computed", got)
+	}
+	if !bytes.Contains(first, []byte(`"tier":"analytic"`)) {
+		t.Errorf("analytic body does not declare its tier: %s", first)
+	}
+	if !bytes.Contains(first, []byte(`"confidence":`)) {
+		t.Errorf("analytic body carries no confidence: %s", first)
+	}
+
+	direct := `{"op":"predict","workload":{"bench":"ht"},"options":{"tier":"analytic"}}`
+	code, hdr, second := post(t, ts.Client(), ts.URL, "/v1/predict", direct, "")
+	if code != http.StatusOK {
+		t.Fatalf("analytic predict: %d %s", code, second)
+	}
+	if got := hdr.Get("X-Tier"); got != "analytic" {
+		t.Errorf("analytic X-Tier = %q, want analytic", got)
+	}
+	if got := hdr.Get("X-Cache"); got != "memory" {
+		t.Errorf("analytic X-Cache = %q, want memory (same analytic cache key)", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("analytic cache replay is not byte-identical")
+	}
+
+	if v := metric(t, ts.URL, "server_tier_analytic"); v != 2 {
+		t.Errorf("server_tier_analytic = %d, want 2", v)
+	}
+	if v := metric(t, ts.URL, "server_tier_escalated"); v != 0 {
+		t.Errorf("server_tier_escalated = %d, want 0", v)
+	}
+	if v := metric(t, ts.URL, "server_sims_started"); v != 0 {
+		t.Errorf("server_sims_started = %d, want 0 (no simulation on the analytic path)", v)
+	}
+}
+
+// TestServerAutoEscalation drives the confidence gate: the MCM case study
+// is exactly what the analytic model discounts (confidence below the
+// default threshold), so an auto request must escalate to the cycle
+// pipeline and return bytes identical to a direct cycle request.
+func TestServerAutoEscalation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	auto := `{"op":"predict","target":{"chiplets":16},"workload":{"bench":"bfs","weak":true},"options":{"tier":"auto"}}`
+	code, hdr, escalated := post(t, ts.Client(), ts.URL, "/v1/predict", auto, "")
+	if code != http.StatusOK {
+		t.Fatalf("auto predict: %d %s", code, escalated)
+	}
+	if got := hdr.Get("X-Tier"); got != "cycle" {
+		t.Errorf("escalated X-Tier = %q, want cycle", got)
+	}
+	if bytes.Contains(escalated, []byte(`"tier":`)) {
+		t.Errorf("escalated cycle body leaks a tier field: %s", escalated)
+	}
+	if v := metric(t, ts.URL, "server_tier_escalated"); v != 1 {
+		t.Errorf("server_tier_escalated = %d, want 1", v)
+	}
+	if v := metric(t, ts.URL, "server_tier_analytic"); v != 0 {
+		t.Errorf("server_tier_analytic = %d, want 0", v)
+	}
+
+	cycle := strings.Replace(auto, `,"options":{"tier":"auto"}`, "", 1)
+	code, hdr, direct := post(t, ts.Client(), ts.URL, "/v1/predict", cycle, "")
+	if code != http.StatusOK {
+		t.Fatalf("cycle predict: %d %s", code, direct)
+	}
+	if got := hdr.Get("X-Cache"); got != "memory" {
+		t.Errorf("cycle X-Cache = %q, want memory (escalation settled the canonical key)", got)
+	}
+	if !bytes.Equal(escalated, direct) {
+		t.Error("escalated response differs from a direct cycle response")
+	}
+}
+
+// TestServerAutoPrefersSettledCycle pins the fast path's cache shortcut:
+// once a cycle response has settled under the canonical hash, an
+// auto-tier request serves it (the real answer) instead of an estimate.
+func TestServerAutoPrefersSettledCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	cycle := `{"op":"predict","workload":{"bench":"ht"}}`
+	code, _, direct := post(t, ts.Client(), ts.URL, "/v1/predict", cycle, "")
+	if code != http.StatusOK {
+		t.Fatalf("cycle predict: %d %s", code, direct)
+	}
+
+	auto := `{"op":"predict","workload":{"bench":"ht"},"options":{"tier":"auto"}}`
+	code, hdr, second := post(t, ts.Client(), ts.URL, "/v1/predict", auto, "")
+	if code != http.StatusOK {
+		t.Fatalf("auto predict: %d %s", code, second)
+	}
+	if got := hdr.Get("X-Tier"); got != "cycle" {
+		t.Errorf("auto X-Tier = %q, want cycle (settled response outranks the estimate)", got)
+	}
+	if got := hdr.Get("X-Cache"); got != "memory" {
+		t.Errorf("auto X-Cache = %q, want memory", got)
+	}
+	if !bytes.Equal(direct, second) {
+		t.Error("auto-served settled response is not byte-identical to the cycle response")
+	}
+	if v := metric(t, ts.URL, "server_tier_analytic"); v != 0 {
+		t.Errorf("server_tier_analytic = %d, want 0", v)
+	}
+}

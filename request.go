@@ -89,6 +89,31 @@ func (w WorkloadSpec) Resolve(totalSMs int) (Workload, error) {
 	return b.Workload, nil
 }
 
+// Latency tiers for predict requests (RequestOptions.Tier). The tier
+// routes the request inside the service; it never changes what a cycle
+// response contains, so Canonicalize strips it from the cache key.
+const (
+	// TierCycle runs the cycle-accurate simulation pipeline (the default).
+	TierCycle = "cycle"
+	// TierAnalytic answers from the microsecond-scale analytical model
+	// (internal/analytic) without ever simulating; the response carries a
+	// confidence score.
+	TierAnalytic = "analytic"
+	// TierAuto answers analytically when the model is confident and
+	// escalates to the cycle simulator otherwise — the escalated response
+	// is byte-identical to a direct cycle-tier response.
+	TierAuto = "auto"
+)
+
+// DefaultConfidenceThreshold is the auto-tier escalation gate: an analytic
+// prediction whose confidence falls below it escalates to the cycle
+// simulator. The gpuscaled operator can override it per daemon
+// (-confidence-threshold); the in-process evaluator and CLIs use this
+// default. The value sits between the strong-scaling families the model
+// captures well (confidence ≥ 0.7) and the multi-chip-module cells it
+// deliberately discounts (docs/ANALYTIC.md).
+const DefaultConfidenceThreshold = 0.5
+
 // RequestOptions tunes a simulate request. MaxCycles and
 // WarmupInstructions change the reported statistics, so they are part of
 // the canonical form; Shards and Quantum only change how the host computes
@@ -110,6 +135,12 @@ type RequestOptions struct {
 	// window). Like Shards it cannot change the result, only host
 	// wall-clock time, so it too is stripped from the canonical form.
 	Quantum int `json:"quantum,omitempty"`
+	// Tier selects the latency tier for predict requests: TierCycle
+	// (default), TierAnalytic or TierAuto. The tier routes the request —
+	// a cycle response's bytes are the same whether reached directly or by
+	// auto escalation — so Canonicalize strips it; analytic responses are
+	// cached under their own keyspace (AnalyticCacheKey).
+	Tier string `json:"tier,omitempty"`
 }
 
 // Request is one prediction-service operation in the canonical wire
@@ -217,6 +248,15 @@ func (r Request) Validate() error {
 	if r.Options.Quantum < 0 {
 		return fmt.Errorf("gpuscale: negative quantum")
 	}
+	switch r.Options.Tier {
+	case "", TierCycle:
+	case TierAnalytic, TierAuto:
+		if r.Op != OpPredict {
+			return fmt.Errorf("gpuscale: tier %q applies to predict requests only", r.Options.Tier)
+		}
+	default:
+		return fmt.Errorf("gpuscale: unknown tier %q (want %q, %q or %q)", r.Options.Tier, TierCycle, TierAnalytic, TierAuto)
+	}
 	return nil
 }
 
@@ -234,12 +274,22 @@ func Canonicalize(r Request) (canon []byte, hash string, err error) {
 	n.Version = RequestVersion
 	n.Options.Shards = 0
 	n.Options.Quantum = 0
+	n.Options.Tier = ""
 	canon, err = json.Marshal(n)
 	if err != nil {
 		return nil, "", fmt.Errorf("gpuscale: canonicalising request: %w", err)
 	}
 	sum := sha256.Sum256(canon)
 	return canon, hex.EncodeToString(sum[:]), nil
+}
+
+// AnalyticCacheKey derives the cache key for the analytic-tier response to
+// the request whose canonical hash is hash. Analytic bodies live in their
+// own keyspace so they can never collide with (or shadow) the cycle
+// response cached under the canonical hash itself.
+func AnalyticCacheKey(hash string) string {
+	sum := sha256.Sum256([]byte("analytic\x00" + hash))
+	return hex.EncodeToString(sum[:])
 }
 
 // SimTarget is a simulate request resolved into runnable form: exactly one

@@ -220,6 +220,64 @@ func TestCanonicalizeStripsShardingOptions(t *testing.T) {
 	}
 }
 
+// TestCanonicalizeStripsTier pins the tier half of the cache-key
+// contract: the tier routes a predict request between serving tiers but
+// can never change what the cycle response contains, so every tier
+// spelling must canonicalise to the same bytes and hash as a tierless
+// request — and the analytic tier's own cache entries must live under a
+// distinct derived key so they can never shadow a cycle response.
+func TestCanonicalizeStripsTier(t *testing.T) {
+	base := gpuscale.Request{
+		Op:       gpuscale.OpPredict,
+		Workload: gpuscale.WorkloadSpec{Bench: "dct"},
+	}
+	canon, hash, err := gpuscale.Canonicalize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tier := range []string{gpuscale.TierCycle, gpuscale.TierAnalytic, gpuscale.TierAuto} {
+		r := base
+		r.Options.Tier = tier
+		cs, h, err := gpuscale.Canonicalize(r)
+		if err != nil {
+			t.Fatalf("tier=%s: %v", tier, err)
+		}
+		if h != hash {
+			t.Errorf("tier=%s changed the hash", tier)
+		}
+		if string(cs) != string(canon) {
+			t.Errorf("tier=%s changed the canonical bytes:\n%s\n%s", tier, cs, canon)
+		}
+	}
+	if strings.Contains(string(canon), "tier") {
+		t.Errorf("canonical form leaks tier: %s", canon)
+	}
+
+	akey := gpuscale.AnalyticCacheKey(hash)
+	if akey == hash {
+		t.Error("analytic cache key collides with the canonical hash")
+	}
+	if len(akey) != len(hash) {
+		t.Errorf("analytic cache key %q is not hash-shaped", akey)
+	}
+	if gpuscale.AnalyticCacheKey(hash) != akey {
+		t.Error("analytic cache key is not deterministic")
+	}
+
+	// Tiers are predict-only on the wire; a simulate request must reject
+	// them instead of silently fragmenting the cache key space.
+	sim := simRequest()
+	sim.Options.Tier = gpuscale.TierAnalytic
+	if err := sim.Validate(); err == nil {
+		t.Error("simulate request accepted an analytic tier")
+	}
+	bad := base
+	bad.Options.Tier = "warp-speed"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown tier validated")
+	}
+}
+
 func TestParseRequestStrict(t *testing.T) {
 	if _, err := gpuscale.ParseRequest([]byte(`{"op":"simulate","tarrget":{"sms":8}}`)); err == nil {
 		t.Error("unknown field accepted")
