@@ -32,7 +32,7 @@ test:
 # unreliable under -race, so the zero-allocation guard for the disabled
 # observability path runs as a separate non-race step (noalloc).
 race: noalloc
-	$(GO) test -race -short ./internal/engine/... ./internal/mrc/... ./internal/obs/... ./internal/parallel/... ./internal/server/...
+	$(GO) test -race -short ./internal/engine/... ./internal/mrc/... ./internal/obs/... ./internal/parallel/... ./internal/server/... ./internal/uarch/...
 	$(GO) test -race -short -run 'Singleflight|Prewarm|Parallel|ResultStore|Deprecated' ./internal/harness/
 	$(GO) test -race -short -run 'TestShardedRandomCrossTrafficStress|TestShardedMaxCyclesAborts' ./internal/chiplet/
 	$(GO) test -race -short -run 'TestGPUShardedRandomCrossTrafficStress|TestGPUShardedMaxCyclesAborts' ./internal/gpu/
@@ -72,7 +72,7 @@ bench:
 bench-check:
 	$(GO) run ./cmd/benchcheck -baseline $(CURDIR)/BENCH_hotpath.json
 
-# The API migration gate, two scans:
+# The API migration gate, three scans:
 #   1. The deprecated facade entry points (Simulate, SimulateWithOptions,
 #      SimulateSequence, SimulateMCM) may be called only by their wrappers
 #      in gpuscale.go and by gpuscale_deprecated_test.go, which pins the
@@ -83,6 +83,12 @@ bench-check:
 #      SetObserver, SetMCMShards) may be called only by
 #      internal/harness/deprecated*.go; everything else must pass
 #      functional options to harness.New.
+#   3. Every switch dispatching over uarch variant values ("case uarch.X")
+#      must carry a panicking default, so adding a new variant axis value
+#      fails loudly at every dispatch site instead of silently simulating
+#      the baseline. Validation lives in internal/uarch (whose own
+#      unqualified switches return errors and are exempt); dispatch sites
+#      validate first and treat an unmatched value as unreachable.
 deprecated-gate:
 	@bad=$$(grep -rnE 'gpuscale\.(Simulate|SimulateWithOptions|SimulateSequence|SimulateMCM)\(' \
 		cmd/ examples/ internal/ bench_test.go gpuscale_obs_test.go \
@@ -96,6 +102,22 @@ deprecated-gate:
 		| grep -v 'internal/harness/deprecated'); \
 	if [ -n "$$bad" ]; then \
 		echo "deprecated harness setters in use (pass harness options to New: WithParallel, WithProgress, WithObserver, WithMCMShards):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rlE 'case uarch\.' cmd/ examples/ internal/ *.go 2>/dev/null \
+	| grep -v '^internal/uarch/' | sort | xargs -r awk ' \
+		FNR == 1 { sp = 0 } \
+		{ n = 0; while (substr($$0, n + 1, 1) == "\t") n++ } \
+		$$0 ~ /^\t*switch[ {]/ { sp++; ind[sp] = n; swline[sp] = FNR; swfile[sp] = FILENAME; hasuarch[sp] = hasdef[sp] = haspanic[sp] = 0; next } \
+		sp > 0 && $$0 ~ /^\t*case uarch\./ && n == ind[sp] { hasuarch[sp] = 1 } \
+		sp > 0 && $$0 ~ /^\t*default:/ && n == ind[sp] { hasdef[sp] = 1 } \
+		sp > 0 && /panic\(/ { haspanic[sp] = 1 } \
+		sp > 0 && $$0 ~ /^\t*}$$/ && n == ind[sp] { \
+			if (hasuarch[sp] && !(hasdef[sp] && haspanic[sp])) printf "%s:%d: switch over uarch variant values without a panicking default\n", swfile[sp], swline[sp]; \
+			sp-- } \
+	'); \
+	if [ -n "$$bad" ]; then \
+		echo "uarch dispatch switches must panic in default (validate first; see docs/UARCH.md):"; \
 		echo "$$bad"; exit 1; \
 	fi
 	@echo "deprecated-gate: ok"

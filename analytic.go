@@ -74,6 +74,12 @@ func PredictAnalytic(req Request) (AnalyticPrediction, error) {
 
 	sizes := config.StandardSizes
 	base := Baseline128()
+	if req.Options.Uarch != nil {
+		// The variant is part of the simulated hardware: thread it into the
+		// ladder configs so the estimates carry the variant confidence
+		// discount and auto-tier requests escalate (docs/UARCH.md).
+		base.Uarch = *req.Options.Uarch
+	}
 	ests := make([]AnalyticEstimate, 2)
 	for i, n := range sizes[:2] {
 		w, err := req.Workload.Resolve(n)
@@ -123,6 +129,9 @@ func PredictAnalytic(req Request) (AnalyticPrediction, error) {
 // analytic scale models predicting the 16-chiplet target, weak scaling.
 func predictAnalyticMCM(req Request) (AnalyticPrediction, error) {
 	base := Target16Chiplet()
+	if req.Options.Uarch != nil {
+		base.Chiplet.Uarch = *req.Options.Uarch
+	}
 	sizes := config.ChipletStandardSizes
 	ests := make([]AnalyticEstimate, 2)
 	for i, n := range sizes[:2] {

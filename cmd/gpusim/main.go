@@ -51,6 +51,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "run the simulation on this many parallel shard goroutines (bit-identical results; 0/1 = sequential)")
 		quantum  = flag.Int("quantum", 0, "relax the sharded barrier to at most this many cycles per safe window (bit-identical results; needs -shards > 1)")
 		weak     = flag.Bool("weak", false, "use the weak-scaling variant (input scales with size)")
+		uarchStr = flag.String("uarch", "", "microarchitecture variant, e.g. \"two-level,sectored,deflect,iw=2\" (empty = Table III baseline; part of the request hash)")
 		tier     = flag.String("tier", "cycle", "latency tier: cycle simulates; analytic answers from the microsecond model; auto answers analytically unless confidence is low")
 		warmup   = flag.Uint64("warmup", 0, "discard statistics until this many instructions have issued (monolithic GPU only)")
 		list     = flag.Bool("list", false, "list available benchmarks and exit")
@@ -93,6 +94,13 @@ func main() {
 			Quantum:            *quantum,
 		},
 	}
+	if *uarchStr != "" {
+		v, err := gpuscale.ParseUarch(*uarchStr)
+		if err != nil {
+			fatal(err)
+		}
+		req.Options.Uarch = &v
+	}
 	if *chiplets > 0 {
 		req.Target.Chiplets = *chiplets
 	} else {
@@ -115,9 +123,20 @@ func main() {
 	case gpuscale.TierAnalytic, gpuscale.TierAuto:
 		var est gpuscale.AnalyticEstimate
 		if tgt.MCM != nil {
-			est, err = gpuscale.AnalyzeMCMCell(*tgt.MCM, tgt.Workload)
+			mcm := *tgt.MCM
+			if req.Options.Uarch != nil {
+				// The resolved target threads the variant through simulation
+				// options; the analytic model reads it from the config, so the
+				// structural confidence discount needs it there too.
+				mcm.Chiplet.Uarch = *req.Options.Uarch
+			}
+			est, err = gpuscale.AnalyzeMCMCell(mcm, tgt.Workload)
 		} else {
-			est, err = gpuscale.AnalyzeCell(*tgt.System, tgt.Workload)
+			sys := *tgt.System
+			if req.Options.Uarch != nil {
+				sys.Uarch = *req.Options.Uarch
+			}
+			est, err = gpuscale.AnalyzeCell(sys, tgt.Workload)
 		}
 		if err != nil {
 			fatal(err)

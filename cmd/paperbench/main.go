@@ -57,6 +57,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also export raw results as CSV files into this directory")
 	shards := flag.Int("shards", 0, "run each simulation on this many parallel shard goroutines (bit-identical results; 0/1 = sequential)")
 	quantum := flag.Int("quantum", 0, "relax the sharded barrier to at most this many cycles per safe window (bit-identical results; needs -shards > 1)")
+	uarchStr := flag.String("uarch", "", "regenerate everything under this microarchitecture variant, e.g. \"two-level,sectored,deflect,iw=2\" (empty = Table III baseline; CHANGES results)")
 	parallel := cliutil.Parallel(flag.CommandLine)
 	quiet := cliutil.Quiet(flag.CommandLine)
 	obsFlags := cliutil.Obs(flag.CommandLine)
@@ -74,6 +75,16 @@ func main() {
 		harness.WithShards(*shards),
 		harness.WithQuantum(*quantum),
 		harness.WithObserver(observer),
+	}
+	if *uarchStr != "" {
+		v, err := gpuscale.ParseUarch(*uarchStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		// One variant per process: the harness memoises by (config,
+		// workload) name, so the variant is fixed at construction.
+		hopts = append(hopts, harness.WithUarch(v))
 	}
 	if !*quiet {
 		hopts = append(hopts, harness.WithProgress(progressLine))

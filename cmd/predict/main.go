@@ -13,6 +13,7 @@
 //	predict -bench dct                      # simulate 8+16 SM scale models locally, predict 32/64/128
 //	predict -bench bfs -weak                # weak scaling
 //	predict -bench va -weak -chiplets 16    # MCM case study (4c+8c models predict 16c)
+//	predict -bench dct -uarch two-level     # non-default microarchitecture (docs/UARCH.md)
 //	predict -bench dct -server http://localhost:8372
 //
 // Numeric mode is the equivalent of the paper artifact's scaleModel.py:
@@ -55,6 +56,7 @@ func main() {
 		srvURL   = flag.String("server", "", "service mode: gpuscaled base URL (default: evaluate in-process)")
 		tier     = flag.String("tier", "", "service mode: latency tier (cycle, analytic, auto); auto answers analytically and escalates to the simulator when confidence is low")
 		jsonOut  = flag.Bool("json", false, "service mode: print the raw JSON response body")
+		uarchStr = flag.String("uarch", "", "service mode: microarchitecture variant, e.g. \"two-level,sectored,deflect,iw=2\" (empty = Table III baseline; part of the request hash)")
 		smallSMs = flag.Int("small-sms", 8, "numeric mode: size (SMs or chiplets) of the smallest scale model; the large one is twice as big")
 		fmem     = flag.Float64("fmem", 0, "numeric mode: memory-stall fraction of the largest scale model (required for cliff workloads)")
 		weak     = flag.Bool("weak", false, "weak-scaling scenario")
@@ -64,7 +66,7 @@ func main() {
 	flag.Parse()
 
 	if *bench != "" {
-		if err := runService(*bench, *weak, *chiplets, *srvURL, *tier, *parallel, *jsonOut, *quiet); err != nil {
+		if err := runService(*bench, *weak, *chiplets, *srvURL, *tier, *uarchStr, *parallel, *jsonOut, *quiet); err != nil {
 			fmt.Fprintln(os.Stderr, "predict:", err)
 			os.Exit(1)
 		}
@@ -75,12 +77,19 @@ func main() {
 
 // runService evaluates a canonical predict request — remotely against a
 // gpuscaled daemon, or in-process through the daemon's own evaluator.
-func runService(bench string, weak bool, chiplets int, srvURL, tier string, parallel int, jsonOut, quiet bool) error {
+func runService(bench string, weak bool, chiplets int, srvURL, tier, uarchStr string, parallel int, jsonOut, quiet bool) error {
 	req := gpuscale.Request{
 		Op:       gpuscale.OpPredict,
 		Target:   gpuscale.TargetSpec{Chiplets: chiplets},
 		Workload: gpuscale.WorkloadSpec{Bench: bench, Weak: weak},
 		Options:  gpuscale.RequestOptions{Tier: tier},
+	}
+	if uarchStr != "" {
+		v, err := gpuscale.ParseUarch(uarchStr)
+		if err != nil {
+			return err
+		}
+		req.Options.Uarch = &v
 	}
 	var (
 		body []byte

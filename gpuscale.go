@@ -74,6 +74,7 @@ import (
 	"gpuscale/internal/obs"
 	"gpuscale/internal/regress"
 	"gpuscale/internal/trace"
+	"gpuscale/internal/uarch"
 	"gpuscale/internal/workloads"
 )
 
@@ -85,6 +86,29 @@ type (
 	// ChipletConfig describes a multi-chip-module GPU.
 	ChipletConfig = config.ChipletConfig
 )
+
+// Microarchitecture variants: a UarchVariant selects the warp scheduler
+// ("gto", "lrr", "two-level"), L1 fill granularity ("line", "sectored"),
+// NoC routing discipline ("xbar", "bufferless-deflect") and issue width.
+// The zero value is the paper's Table III baseline. Variants change
+// simulated timing, so they are part of a configuration's identity — the
+// wire API hashes them (docs/UARCH.md).
+type UarchVariant = uarch.Variant
+
+// Variant enum values, re-exported for literal construction.
+const (
+	SchedGTO      = uarch.SchedGTO
+	SchedLRR      = uarch.SchedLRR
+	SchedTwoLevel = uarch.SchedTwoLevel
+	L1Line        = uarch.L1Line
+	L1Sectored    = uarch.L1Sectored
+	RouteXbar     = uarch.RouteXbar
+	RouteDeflect  = uarch.RouteDeflect
+)
+
+// ParseUarch parses a comma-separated variant spec such as
+// "two-level,sectored,iw=2" (see docs/UARCH.md for the token grammar).
+func ParseUarch(s string) (UarchVariant, error) { return uarch.ParseVariant(s) }
 
 // Baseline128 returns the paper's Table III 128-SM baseline target system.
 func Baseline128() SystemConfig { return config.Baseline128() }
@@ -235,6 +259,14 @@ func WithQuantum(q int) SimOption {
 	return func(o *SimOptions) { o.Quantum = q }
 }
 
+// WithUarch selects the microarchitecture variant for this run, overriding
+// a zero cfg.Uarch (setting both to different values is an error). The zero
+// variant defers entirely to the configuration. Applies to monolithic and
+// MCM simulations alike.
+func WithUarch(v UarchVariant) SimOption {
+	return func(o *SimOptions) { o.Uarch = v }
+}
+
 // SimulateContext runs workload w to completion on cfg and returns its
 // statistics (IPC, f_mem, MPKI, utilisations, …). It is the blessed
 // simulation entry point: cancelling ctx aborts the run loop within a few
@@ -274,6 +306,7 @@ func SimulateMCMContext(ctx context.Context, cfg ChipletConfig, w Workload, opts
 		SampleEvery: o.SampleEvery,
 		Shards:      o.Shards,
 		Quantum:     o.Quantum,
+		Uarch:       o.Uarch,
 	})
 	if err != nil {
 		return MCMStats{}, err

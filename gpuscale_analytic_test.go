@@ -126,6 +126,46 @@ func analyticEstimateFor(t *testing.T, label string) gpuscale.AnalyticEstimate {
 			t.Fatalf("%s: %v", label, err)
 		}
 		return est
+	case "uarch":
+		// uarch/<variant>/<bench>/<N>sm: a monolithic cell under a
+		// non-default microarchitecture variant (docs/UARCH.md). The
+		// analytic model does not simulate the variant — it discounts its
+		// confidence instead — so these families carry the widest bounds.
+		v, err := gpuscale.ParseUarch(parts[1])
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		var sms int
+		if _, err := fmt.Sscanf(parts[3], "%dsm", &sms); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		cfg := gpuscale.MustScale(base, sms)
+		cfg.Uarch = v
+		bench, err := gpuscale.BenchmarkByName(parts[2])
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		est, err := gpuscale.AnalyzeCell(cfg, bench.Workload)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return est
+	case "uarch-chiplet":
+		// uarch-chiplet/<variant>/<bench>/<N>c: the MCM twin.
+		v, err := gpuscale.ParseUarch(parts[1])
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		var chips int
+		if _, err := fmt.Sscanf(parts[3], "%dc", &chips); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		cfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), chips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Chiplet.Uarch = v
+		return mustAnalyzeMCM(t, label, cfg, parts[2])
 	case "seq":
 		var sms int
 		if _, err := fmt.Sscanf(parts[2], "%dsm", &sms); err != nil {

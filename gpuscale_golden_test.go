@@ -35,8 +35,11 @@ type goldenEntry struct {
 // (one with quantum-relaxed barriers) byte-identical to their sequential
 // twins, the 4- and 2-chiplet MCM configurations (sequential and sharded),
 // two weak-scaling MCM cells, three horizon-boundary cells with
-// long-latency DRAM, and one multi-kernel sequence. The strong cells are fanned across the worker pool; results are
-// bit-identical to a sequential run.
+// long-latency DRAM, six microarchitecture-variant cells (two-level,
+// sectored and deflect — monolithic and MCM, each checked against a
+// sharded twin in-test), and one multi-kernel sequence. The strong cells
+// are fanned across the worker pool; results are bit-identical to a
+// sequential run.
 func goldenCells(t *testing.T) []goldenEntry {
 	t.Helper()
 	ctx := context.Background()
@@ -212,6 +215,59 @@ func goldenCells(t *testing.T) []goldenEntry {
 	}
 	cells = append(cells, goldenEntry{Label: "horizon/bfs/2c-dram15", MCM: &hmcm})
 
+	// Microarchitecture-variant cells: one monolithic 8-SM cell and one
+	// 2-chiplet MCM cell per non-default variant axis (two-level warp
+	// scheduling, sectored L1 fills, bufferless-deflection routing — see
+	// docs/UARCH.md). Each monolithic cell is also re-run through the shard
+	// loop and asserted byte-identical in-test, extending the sharded
+	// determinism contract to every variant without enlarging the snapshot.
+	// Additive cells: they extend the snapshot, never replace existing
+	// entries.
+	for _, uc := range []string{"two-level", "sectored", "deflect"} {
+		v, err := gpuscale.ParseUarch(uc)
+		if err != nil {
+			t.Fatalf("golden uarch variant %s: %v", uc, err)
+		}
+		bench, err := gpuscale.BenchmarkByName("dct")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vcfg := gpuscale.MustScale(base, 8)
+		st, err := gpuscale.SimulateContext(ctx, vcfg, bench.Workload, gpuscale.WithUarch(v))
+		if err != nil {
+			t.Fatalf("golden uarch cell %s: %v", uc, err)
+		}
+		sh, err := gpuscale.SimulateContext(ctx, vcfg, bench.Workload, gpuscale.WithUarch(v), gpuscale.WithShards(2))
+		if err != nil {
+			t.Fatalf("golden uarch sharded twin %s: %v", uc, err)
+		}
+		if sh != st {
+			t.Errorf("uarch/%s/dct/8sm sharded twin diverged\n got %+v\nwant %+v", uc, sh, st)
+		}
+		cells = append(cells, goldenEntry{Label: fmt.Sprintf("uarch/%s/dct/8sm", uc), Sim: &st})
+
+		mcmCfg, err := gpuscale.ScaleChiplets(gpuscale.Target16Chiplet(), 2)
+		if err != nil {
+			t.Fatalf("golden uarch chiplet config: %v", err)
+		}
+		mbench, err := gpuscale.BenchmarkByName("bfs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mst, err := gpuscale.SimulateMCMContext(ctx, mcmCfg, mbench.Workload, gpuscale.WithUarch(v))
+		if err != nil {
+			t.Fatalf("golden uarch chiplet cell %s: %v", uc, err)
+		}
+		msh, err := gpuscale.SimulateMCMContext(ctx, mcmCfg, mbench.Workload, gpuscale.WithUarch(v), gpuscale.WithShards(2))
+		if err != nil {
+			t.Fatalf("golden uarch chiplet sharded twin %s: %v", uc, err)
+		}
+		if msh != mst {
+			t.Errorf("uarch-chiplet/%s/bfs/2c sharded twin diverged\n got %+v\nwant %+v", uc, msh, mst)
+		}
+		cells = append(cells, goldenEntry{Label: fmt.Sprintf("uarch-chiplet/%s/bfs/2c", uc), MCM: &mst})
+	}
+
 	// One multi-kernel sequence: three kernels back to back with a grid
 	// barrier between them and caches persisting across them.
 	var kernels []gpuscale.Workload
@@ -239,7 +295,7 @@ func goldenCells(t *testing.T) []goldenEntry {
 // without -update: identical simulated results, faster host execution.
 func TestGoldenStats(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden grid simulates 60 cells; skipped in -short mode")
+		t.Skip("golden grid simulates 66 cells; skipped in -short mode")
 	}
 	cells := goldenCells(t)
 

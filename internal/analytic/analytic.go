@@ -32,6 +32,7 @@ import (
 
 	"gpuscale/internal/config"
 	"gpuscale/internal/trace"
+	"gpuscale/internal/uarch"
 )
 
 // Estimate is one analytical prediction of a simulation cell.
@@ -86,7 +87,7 @@ func EstimateCell(cfg config.SystemConfig, w trace.Workload) (Estimate, error) {
 		return Estimate{}, err
 	}
 	sol := solve(monoResources(cfg), f)
-	return finish(sol, f), nil
+	return applyUarchPenalty(finish(sol, f), cfg.EffectiveUarch()), nil
 }
 
 // EstimateMCM analytically predicts one multi-chip-module cell.
@@ -96,7 +97,24 @@ func EstimateMCM(cfg config.ChipletConfig, w trace.Workload) (Estimate, error) {
 		return Estimate{}, err
 	}
 	sol := solve(mcmResources(cfg), f)
-	return finish(sol, f), nil
+	return applyUarchPenalty(finish(sol, f), cfg.Chiplet.EffectiveUarch()), nil
+}
+
+// applyUarchPenalty discounts an estimate's confidence for non-default
+// microarchitecture variants. The analytic model is calibrated against the
+// paper's Table III baseline — GTO scheduling, line-grain L1, crossbar —
+// and has no structural term for a different scheduler, fill granularity,
+// routing discipline or issue width, so a variant estimate is a baseline
+// extrapolation of unknown quality. The penalty lands the confidence below
+// the auto-tier escalation gate (uarch.ConfidencePenalty <
+// DefaultConfidenceThreshold), so auto-tier predict requests on variants
+// always escalate to the cycle simulator rather than serve an uncalibrated
+// analytic answer.
+func applyUarchPenalty(e Estimate, v uarch.Variant) Estimate {
+	if !v.IsDefault() {
+		e.Confidence *= uarch.ConfidencePenalty
+	}
+	return e
 }
 
 // EstimateSequence analytically predicts a back-to-back kernel sequence:

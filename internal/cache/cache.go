@@ -35,6 +35,14 @@ type Cache struct {
 	prev, next []uint16
 	head       []uint16
 
+	// Sectored mode (the uarch.L1Sectored variant): sectorValid[set*ways+w]
+	// is a bitmask of the valid sectors in way w, and a tag hit whose
+	// sector bit is clear is a sector miss that fills only that sector. Nil
+	// in line-grain caches, whose Access path is untouched.
+	sectorValid []uint64
+	sectorShift uint
+	sectorMask  uint64 // sectorsPerLine - 1
+
 	hits   uint64
 	misses uint64
 }
@@ -114,6 +122,49 @@ func MustNew(capacityBytes int64, ways, lineSize int) *Cache {
 	return c
 }
 
+// NewSectored constructs a sectored cache: lines are tagged at lineSize
+// granularity but filled sectorSize bytes at a time, so a tag hit on an
+// invalid sector counts as a (sector) miss that fetches only that sector.
+// sectorSize must be a power of two no larger than lineSize with at most 64
+// sectors per line; sectorSize == lineSize degenerates to the line-grain
+// cache.
+func NewSectored(capacityBytes int64, ways, lineSize, sectorSize int) (*Cache, error) {
+	c, err := New(capacityBytes, ways, lineSize)
+	if err != nil {
+		return nil, err
+	}
+	if sectorSize <= 0 || sectorSize&(sectorSize-1) != 0 {
+		return nil, fmt.Errorf("cache: sector size must be a positive power of two, got %d", sectorSize)
+	}
+	if sectorSize > lineSize {
+		return nil, fmt.Errorf("cache: sector size %d exceeds line size %d", sectorSize, lineSize)
+	}
+	nSectors := lineSize / sectorSize
+	if nSectors > 64 {
+		return nil, fmt.Errorf("cache: %d sectors per line exceed the 64-bit valid mask", nSectors)
+	}
+	if nSectors == 1 {
+		return c, nil // one sector per line is exactly the line-grain cache
+	}
+	sb := uint(0)
+	for 1<<sb != sectorSize {
+		sb++
+	}
+	c.sectorValid = make([]uint64, c.sets*c.ways)
+	c.sectorShift = sb
+	c.sectorMask = uint64(nSectors - 1)
+	return c, nil
+}
+
+// MustNewSectored is NewSectored but panics on error.
+func MustNewSectored(capacityBytes int64, ways, lineSize, sectorSize int) *Cache {
+	c, err := NewSectored(capacityBytes, ways, lineSize, sectorSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // LineAddr returns the line-granular address (byte address with the offset
 // bits stripped) for addr.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits }
@@ -131,30 +182,40 @@ func (c *Cache) findWay(base int, line uint64) int {
 	return -1
 }
 
+// touch relinks a hit way to the head of its set's recency list. The tail
+// is re-read after the unlink — when the hit way *is* the tail, unlinking
+// moves the tail pointer.
+func (c *Cache) touch(set, base, w, h int) {
+	if w == h {
+		return
+	}
+	p, n := c.prev[base+w], c.next[base+w]
+	c.next[base+int(p)] = n
+	c.prev[base+int(n)] = p
+	t := c.prev[base+h]
+	c.next[base+int(t)] = uint16(w)
+	c.prev[base+w] = t
+	c.next[base+w] = uint16(h)
+	c.prev[base+h] = uint16(w)
+	c.head[set] = uint16(w)
+}
+
 // Access looks up addr, updates LRU state and statistics, and on a miss
 // installs the line (allocate-on-miss for both loads and stores). It returns
-// true on a hit.
+// true on a hit. In sectored mode a tag hit still requires the accessed
+// sector's valid bit; a clear bit is a sector miss that fills just that
+// sector.
 func (c *Cache) Access(addr uint64) bool {
+	if c.sectorValid != nil {
+		return c.accessSectored(addr)
+	}
 	line := addr >> c.lineBits
 	set := int(line & c.setMask)
 	base := set * c.ways
 	h := int(c.head[set])
 	if w := c.findWay(base, line); w >= 0 {
 		c.hits++
-		if w != h {
-			// Hit below the head: unlink the way, then relink it in front
-			// of the head. The tail is re-read after the unlink — when the
-			// hit way *is* the tail, unlinking moves the tail pointer.
-			p, n := c.prev[base+w], c.next[base+w]
-			c.next[base+int(p)] = n
-			c.prev[base+int(n)] = p
-			t := c.prev[base+h]
-			c.next[base+int(t)] = uint16(w)
-			c.prev[base+w] = t
-			c.next[base+w] = uint16(h)
-			c.prev[base+h] = uint16(w)
-			c.head[set] = uint16(w)
-		}
+		c.touch(set, base, w, h)
 		return true
 	}
 	// Miss: overwrite the LRU tail in place and rotate the head onto it —
@@ -166,13 +227,51 @@ func (c *Cache) Access(addr uint64) bool {
 	return false
 }
 
+func (c *Cache) accessSectored(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	base := set * c.ways
+	h := int(c.head[set])
+	bit := uint64(1) << ((addr >> c.sectorShift) & c.sectorMask)
+	if w := c.findWay(base, line); w >= 0 {
+		// The line is referenced either way, so recency updates on sector
+		// misses too.
+		c.touch(set, base, w, h)
+		if c.sectorValid[base+w]&bit != 0 {
+			c.hits++
+			return true
+		}
+		c.sectorValid[base+w] |= bit
+		c.misses++
+		return false
+	}
+	victim := int(c.prev[base+h])
+	c.tags[base+victim] = line
+	c.sectorValid[base+victim] = bit // a fresh line starts with only this sector
+	c.head[set] = uint16(victim)
+	c.misses++
+	return false
+}
+
 // Probe reports whether addr is resident without updating LRU state or
-// statistics.
+// statistics; in sectored mode the accessed sector must be valid too.
 func (c *Cache) Probe(addr uint64) bool {
 	line := addr >> c.lineBits
 	base := int(line&c.setMask) * c.ways
-	return c.findWay(base, line) >= 0
+	w := c.findWay(base, line)
+	if w < 0 {
+		return false
+	}
+	if c.sectorValid != nil {
+		bit := uint64(1) << ((addr >> c.sectorShift) & c.sectorMask)
+		return c.sectorValid[base+w]&bit != 0
+	}
+	return true
 }
+
+// Sectored reports whether the cache fills at sector rather than line
+// granularity.
+func (c *Cache) Sectored() bool { return c.sectorValid != nil }
 
 // Hits returns the number of hits recorded by Access.
 func (c *Cache) Hits() uint64 { return c.hits }

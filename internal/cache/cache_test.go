@@ -300,3 +300,91 @@ func TestMSHRZeroCapacityClamped(t *testing.T) {
 		t.Errorf("capacity = %d, want 1", m.Capacity())
 	}
 }
+
+func TestSectoredValidation(t *testing.T) {
+	if _, err := NewSectored(1024, 2, 128, 33); err == nil {
+		t.Error("non-power-of-two sector accepted")
+	}
+	if _, err := NewSectored(1024, 2, 128, 256); err == nil {
+		t.Error("sector larger than line accepted")
+	}
+	if _, err := NewSectored(1<<20, 2, 1<<13, 32); err == nil {
+		t.Error(">64 sectors per line accepted")
+	}
+	c, err := NewSectored(1024, 2, 128, 128)
+	if err != nil {
+		t.Fatalf("sector == line rejected: %v", err)
+	}
+	if c.Sectored() {
+		t.Error("one-sector cache reports sectored mode")
+	}
+}
+
+func TestSectoredTagHitSectorMiss(t *testing.T) {
+	// 128-byte lines, 32-byte sectors: the four quarters of a line miss
+	// independently, then all hit.
+	c := MustNewSectored(1024, 2, 128, 32)
+	if !c.Sectored() {
+		t.Fatal("not in sectored mode")
+	}
+	for i := uint64(0); i < 4; i++ {
+		if c.Access(i * 32) {
+			t.Errorf("sector %d hit before any fill", i)
+		}
+	}
+	for i := uint64(0); i < 4; i++ {
+		if !c.Access(i * 32) {
+			t.Errorf("sector %d missed after its fill", i)
+		}
+	}
+	if c.Hits() != 4 || c.Misses() != 4 {
+		t.Errorf("hits/misses = %d/%d, want 4/4", c.Hits(), c.Misses())
+	}
+}
+
+func TestSectoredVictimResetsMask(t *testing.T) {
+	// Direct-mapped single-set cache: evicting a line must invalidate its
+	// sectors, so a re-fetch misses per sector again.
+	c := MustNewSectored(128, 1, 128, 32)
+	c.Access(0)       // fill line 0 sector 0
+	c.Access(32)      // sector 1
+	c.Access(1 << 20) // evict line 0, install the new line's sector 0
+	if !c.Access(1 << 20) {
+		t.Error("the replacement's freshly filled sector missed")
+	}
+	if c.Access(1<<20 + 32) {
+		t.Error("unfilled sector of the fresh line hit")
+	}
+	if c.Access(32) {
+		t.Error("sector survived its line's eviction")
+	}
+}
+
+func TestSectoredProbe(t *testing.T) {
+	c := MustNewSectored(1024, 2, 128, 32)
+	c.Access(64) // fills only sector 2 of line 0
+	if !c.Probe(64) {
+		t.Error("filled sector not resident")
+	}
+	if c.Probe(0) {
+		t.Error("unfilled sector of a resident line probes true")
+	}
+}
+
+func TestSectoredMatchesLineOnSequentialFill(t *testing.T) {
+	// Line-stride accesses touch one sector per line, so sectored and
+	// line-grain caches agree on every outcome.
+	sec := MustNewSectored(4096, 4, 128, 32)
+	lin := MustNew(4096, 4, 128)
+	for round := 0; round < 3; round++ {
+		for a := uint64(0); a < 64*128; a += 128 {
+			if got, want := sec.Access(a), lin.Access(a); got != want {
+				t.Fatalf("round %d addr %d: sectored %v, line %v", round, a, got, want)
+			}
+		}
+	}
+	if sec.Hits() != lin.Hits() || sec.Misses() != lin.Misses() {
+		t.Errorf("counters diverged: sectored %d/%d, line %d/%d",
+			sec.Hits(), sec.Misses(), lin.Hits(), lin.Misses())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"gpuscale/internal/sm"
 	"gpuscale/internal/timing"
 	"gpuscale/internal/trace"
+	"gpuscale/internal/uarch"
 )
 
 // ctxCheckEvery is how many run-loop iterations pass between context
@@ -59,7 +60,7 @@ type chipletState struct {
 	l1s   []*cache.Cache
 	mshrs []*cache.MSHRFile
 	llc   []*cache.Cache
-	xbar  *noc.Crossbar
+	xbar  noc.Network
 	mem   *dram.Memory
 	link  *bandwidth.Server // inter-chiplet port of this chiplet
 }
@@ -83,6 +84,10 @@ type Simulator struct {
 	pages    map[uint64]int // page number → owning chiplet
 	pageBits uint
 	lineBits uint
+	// Variant-dependent memory-path granularity; equal to
+	// LineSize/lineBits for the default line-grain L1 (see gpu.Simulator).
+	xferBytes int  // bytes per link/NoC/DRAM transfer (line or sector)
+	mshrBits  uint // address shift for MSHR merge keys
 
 	nextCTA  int
 	numCTAs  int
@@ -153,10 +158,20 @@ type Options struct {
 	// Results remain bit-identical — the quantum changes only host-side
 	// synchronisation frequency. Ignored unless Shards > 1; capped at 4096.
 	Quantum int
+	// Uarch selects the microarchitecture variant for every chiplet,
+	// overriding a zero cfg.Chiplet.Uarch. Setting both to different values
+	// is an error. The zero value defers entirely to the configuration.
+	Uarch uarch.Variant
 }
 
 // New validates and builds an MCM simulator.
 func New(cfg config.ChipletConfig, w trace.Workload, opt Options) (*Simulator, error) {
+	if opt.Uarch != (uarch.Variant{}) {
+		if cfg.Chiplet.Uarch != (uarch.Variant{}) && cfg.Chiplet.Uarch != opt.Uarch {
+			return nil, fmt.Errorf("chiplet: Options.Uarch %v conflicts with cfg.Chiplet.Uarch %v", opt.Uarch, cfg.Chiplet.Uarch)
+		}
+		cfg.Chiplet.Uarch = opt.Uarch
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -199,6 +214,17 @@ func New(cfg config.ChipletConfig, w trace.Workload, opt Options) (*Simulator, e
 		s.pageBits++
 	}
 	ch := cfg.Chiplet
+	variant := ch.EffectiveUarch()
+	s.xferBytes = ch.LineSize
+	s.mshrBits = s.lineBits
+	sectored := variant.L1 == uarch.L1Sectored
+	if sectored {
+		s.xferBytes = uarch.SectorBytes
+		s.mshrBits = 0
+		for 1<<s.mshrBits != uarch.SectorBytes {
+			s.mshrBits++
+		}
+	}
 	maxCTAs := ch.MaxCTAsPerSM
 	if k.CTAsPerSMLimit > 0 && k.CTAsPerSMLimit < maxCTAs {
 		maxCTAs = k.CTAsPerSMLimit
@@ -212,18 +238,30 @@ func New(cfg config.ChipletConfig, w trace.Workload, opt Options) (*Simulator, e
 			llc:   make([]*cache.Cache, ch.LLCSlices),
 		}
 		for i := 0; i < ch.NumSMs; i++ {
-			cs.sms[i] = sm.MustNew(ch.WarpsPerSM, maxCTAs, ch.ComputeLatency)
-			cs.l1s[i] = cache.MustNew(ch.L1SizeBytes, ch.L1Ways, ch.LineSize)
+			cs.sms[i] = sm.MustNewVariant(ch.WarpsPerSM, maxCTAs, ch.ComputeLatency, variant)
+			if sectored {
+				cs.l1s[i] = cache.MustNewSectored(ch.L1SizeBytes, ch.L1Ways, ch.LineSize, uarch.SectorBytes)
+			} else {
+				cs.l1s[i] = cache.MustNew(ch.L1SizeBytes, ch.L1Ways, ch.LineSize)
+			}
 			cs.mshrs[i] = cache.NewMSHRFile(ch.L1MSHRs)
 		}
 		for i := range cs.llc {
 			cs.llc[i] = cache.MustNew(ch.LLCSliceSize(), ch.LLCWays, ch.LineSize)
 		}
-		cs.xbar = noc.MustNew(noc.Config{
+		nocCfg := noc.Config{
 			BisectionBytesPerCycle: ch.BytesPerCycle(ch.NoCBisectionGBps),
 			Ports:                  ch.LLCSlices,
 			BaseLatency:            ch.NoCBaseLatency,
-		})
+		}
+		switch variant.NoC {
+		case uarch.RouteXbar:
+			cs.xbar = noc.MustNew(nocCfg)
+		case uarch.RouteDeflect:
+			cs.xbar = noc.MustNewDeflect(nocCfg)
+		default:
+			panic("chiplet: unreachable routing variant " + string(variant.NoC))
+		}
 		cs.mem = dram.MustNew(dram.Config{
 			Controllers:        ch.MemControllers,
 			BytesPerCyclePerMC: ch.BytesPerCycle(ch.MemBWPerMCGBps),
@@ -298,6 +336,8 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 	cs := s.chips[p.chip]
 	ch := s.cfg.Chiplet
 	line := in.Addr >> s.lineBits
+	// key == line unless the L1 is sectored (see gpu's port.Access).
+	key := in.Addr >> s.mshrBits
 	bypass := in.Flags&trace.BypassL1 != 0
 	if !bypass {
 		if cs.l1s[p.smID].Access(in.Addr) {
@@ -310,7 +350,7 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 	mshr := cs.mshrs[p.smID]
 	load := in.Kind == trace.Load
 	if load && !bypass {
-		if comp, ok := mshr.Lookup(now, line); ok {
+		if comp, ok := mshr.Lookup(now, key); ok {
 			return comp
 		}
 	}
@@ -329,7 +369,7 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 	// coordinator resolves it deterministically at the cycle barrier and
 	// repairs the warp's wake-up before the next cycle's ticks.
 	if p.sh != nil {
-		return p.sh.deferAccess(p, line, page, arrival, now, load, bypass, full)
+		return p.sh.deferAccess(p, line, key, page, arrival, now, load, bypass, full)
 	}
 	// First-touch page allocation decides the owning chiplet.
 	owner, seen := s.pages[page]
@@ -342,18 +382,18 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 	remote := owner != p.chip
 	if remote {
 		s.remote++
-		t = s.chips[owner].link.Schedule(t, ch.LineSize) + int64(s.cfg.InterChipletLatency)
+		t = s.chips[owner].link.Schedule(t, s.xferBytes) + int64(s.cfg.InterChipletLatency)
 	}
 	oc := s.chips[owner]
 	nSlices := uint64(len(oc.llc))
 	slice := int(line % nSlices)
-	t = oc.xbar.Transfer(t, slice, ch.LineSize)
+	t = oc.xbar.Transfer(t, slice, s.xferBytes)
 	t += int64(ch.LLCHitLatency)
 	s.llcAcc++
 	sliceLocal := (line / nSlices) << s.lineBits
 	if !oc.llc[slice].Access(sliceLocal) {
 		s.llcMiss++
-		t = oc.mem.Access(t, line, ch.LineSize)
+		t = oc.mem.Access(t, line, s.xferBytes)
 		t += int64((line * 0x9e3779b9 >> 13) % 13)
 	}
 	t += int64(ch.NoCBaseLatency)
@@ -361,7 +401,7 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 		t += int64(s.cfg.InterChipletLatency)
 	}
 	if load && !bypass && !full {
-		mshr.Allocate(line, t)
+		mshr.Allocate(key, t)
 	}
 	return t
 }

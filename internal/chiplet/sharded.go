@@ -75,6 +75,7 @@ type deferredAccess struct {
 	warp    int // issuing warp slot; -1 for stores (no wake-up to repair)
 	chip    int
 	line    uint64
+	key     uint64 // MSHR merge key (== line unless the L1 is sectored)
 	page    uint64
 	arrival int64 // issue cycle, pushed past a full MSHR's next completion
 	issueAt int64
@@ -177,7 +178,7 @@ func (sh *shard) Release(p trace.Program) {
 // cycle's fix-up pass must repair. Stores get no fix-up (the SM ignores
 // their completion) but are still recorded: their bandwidth, LLC and page
 // effects must replay in order.
-func (sh *shard) deferAccess(p *port, line, page uint64, arrival, now int64, load, bypass, full bool) int64 {
+func (sh *shard) deferAccess(p *port, line, key, page uint64, arrival, now int64, load, bypass, full bool) int64 {
 	m := sh.sim.all[p.g].m
 	warp := -1
 	if load {
@@ -190,6 +191,7 @@ func (sh *shard) deferAccess(p *port, line, page uint64, arrival, now int64, loa
 		warp:    warp,
 		chip:    p.chip,
 		line:    line,
+		key:     key,
 		page:    page,
 		arrival: arrival,
 		issueAt: now,
@@ -214,7 +216,7 @@ func (sh *shard) applyFixups() {
 		// owner SM's next Lookup/Full/Expire all happen inside its Tick,
 		// after this pass).
 		if !rec.bypass && !rec.full {
-			rec.f.Allocate(rec.line, rec.t)
+			rec.f.Allocate(rec.key, rec.t)
 		}
 		rdy := rec.t
 		if rdy <= rec.issueAt {
@@ -290,17 +292,17 @@ func (sh *shard) phaseB() {
 		oc := s.chips[rec.owner]
 		remote := rec.owner != rec.chip
 		if remote {
-			t = oc.link.Schedule(t, ch.LineSize) + int64(s.cfg.InterChipletLatency)
+			t = oc.link.Schedule(t, s.xferBytes) + int64(s.cfg.InterChipletLatency)
 		}
 		nSlices := uint64(len(oc.llc))
 		slice := int(rec.line % nSlices)
-		t = oc.xbar.Transfer(t, slice, ch.LineSize)
+		t = oc.xbar.Transfer(t, slice, s.xferBytes)
 		t += int64(ch.LLCHitLatency)
 		sh.llcAcc++
 		sliceLocal := (rec.line / nSlices) << s.lineBits
 		if !oc.llc[slice].Access(sliceLocal) {
 			sh.llcMiss++
-			t = oc.mem.Access(t, rec.line, ch.LineSize)
+			t = oc.mem.Access(t, rec.line, s.xferBytes)
 			t += int64((rec.line * 0x9e3779b9 >> 13) % 13)
 		}
 		t += int64(ch.NoCBaseLatency)

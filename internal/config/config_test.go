@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"gpuscale/internal/uarch"
 )
 
 func TestBaseline128MatchesTableIII(t *testing.T) {
@@ -264,5 +266,60 @@ func TestChipletValidateCatchesBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("%s: Validate did not fail", m.name)
 		}
+	}
+}
+
+func TestEffectiveUarchFoldsLegacyScheduler(t *testing.T) {
+	c := Baseline128()
+	if v := c.EffectiveUarch(); !v.IsDefault() {
+		t.Errorf("baseline variant = %v, want default", v)
+	}
+	c.WarpScheduler = "lrr"
+	if v := c.EffectiveUarch(); v.Scheduler != uarch.SchedLRR {
+		t.Errorf("legacy lrr folded to %q", v.Scheduler)
+	}
+	c.WarpScheduler = ""
+	c.Uarch.Scheduler = uarch.SchedTwoLevel
+	v := c.EffectiveUarch()
+	if v.Scheduler != uarch.SchedTwoLevel {
+		t.Errorf("variant scheduler = %q, want two-level", v.Scheduler)
+	}
+	// EffectiveUarch normalizes the remaining axes.
+	if v.L1 != uarch.L1Line || v.NoC != uarch.RouteXbar || v.IssueWidth != 1 {
+		t.Errorf("normalization missing: %+v", v)
+	}
+}
+
+func TestValidateUarch(t *testing.T) {
+	c := Baseline128()
+	c.WarpScheduler = "gto"
+	c.Uarch.Scheduler = uarch.SchedLRR
+	if err := c.Validate(); err == nil {
+		t.Error("conflicting legacy and variant schedulers accepted")
+	}
+	c = Baseline128()
+	c.Uarch.IssueWidth = -1
+	if err := c.Validate(); err == nil {
+		t.Error("invalid variant accepted")
+	}
+	c = Baseline128()
+	c.Uarch.L1 = uarch.L1Sectored
+	c.LineSize = uarch.SectorBytes // sectoring a 32 B line is meaningless
+	if err := c.Validate(); err == nil {
+		t.Error("sectored L1 with line == sector accepted")
+	}
+	c = Baseline128()
+	c.Uarch = uarch.Variant{Scheduler: uarch.SchedTwoLevel, L1: uarch.L1Sectored, NoC: uarch.RouteDeflect, IssueWidth: 2}
+	if err := c.Validate(); err != nil {
+		t.Errorf("full non-default variant rejected: %v", err)
+	}
+}
+
+func TestScalePreservesUarch(t *testing.T) {
+	base := Baseline128()
+	base.Uarch = uarch.Variant{Scheduler: uarch.SchedTwoLevel, IssueWidth: 2}
+	c := MustScale(base, 16)
+	if c.Uarch != base.Uarch {
+		t.Errorf("Scale dropped the variant: %+v", c.Uarch)
 	}
 }

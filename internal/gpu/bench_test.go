@@ -10,6 +10,7 @@ import (
 	"gpuscale/internal/chiplet"
 	"gpuscale/internal/config"
 	"gpuscale/internal/trace"
+	"gpuscale/internal/uarch"
 	"gpuscale/internal/workloads"
 )
 
@@ -188,6 +189,43 @@ func BenchmarkSimulatorHotPath(b *testing.B) {
 					events += st.SimEvents
 				}
 				recordHotPath(b, c.name+"/"+loop.name, cycles, events)
+			})
+		}
+	}
+
+	// Variant cell: bfs on the 8-SM scale model under the two-level warp
+	// scheduler (docs/UARCH.md), event and legacy loops, so the committed
+	// BENCH_hotpath.json baseline — which cmd/benchcheck judges cell by
+	// cell — tracks non-default microarchitecture throughput too. The
+	// per-group ready queues exercise a different scheduler hot path than
+	// the GTO cells above.
+	{
+		wl, err := workloads.ByName("bfs")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := config.MustScale(config.Baseline128(), 8)
+		cfg.Uarch = uarch.Variant{Scheduler: uarch.SchedTwoLevel}
+		for _, loop := range []struct {
+			name string
+			opt  Options
+		}{
+			{"event", Options{}},
+			{"legacy", Options{UseLegacyLoop: true}},
+		} {
+			b.Run("bfs-8sm-2lvl/"+loop.name, func(b *testing.B) {
+				var cycles int64
+				var events uint64
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					st, err := RunWithOptions(cfg, wl.Workload, loop.opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += st.Cycles
+					events += st.SimEvents
+				}
+				recordHotPath(b, "bfs-8sm-2lvl/"+loop.name, cycles, events)
 			})
 		}
 	}

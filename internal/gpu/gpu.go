@@ -40,6 +40,7 @@ import (
 	"gpuscale/internal/sm"
 	"gpuscale/internal/timing"
 	"gpuscale/internal/trace"
+	"gpuscale/internal/uarch"
 )
 
 // ctxCheckEvery is how many run-loop iterations pass between context
@@ -92,6 +93,11 @@ type Options struct {
 	// Results remain bit-identical — the quantum changes only host-side
 	// synchronisation frequency. Ignored unless Shards > 1; capped at 4096.
 	Quantum int
+	// Uarch selects the microarchitecture variant, overriding a zero
+	// cfg.Uarch. Setting both to different values is an error: the
+	// configuration's identity must be unambiguous. The zero value defers
+	// entirely to the configuration.
+	Uarch uarch.Variant
 }
 
 // Stats is the result of one simulation run.
@@ -158,10 +164,16 @@ type Simulator struct {
 	l1s   []*cache.Cache
 	mshrs []*cache.MSHRFile
 	llc   []*cache.Cache
-	xbar  *noc.Crossbar
+	xbar  noc.Network
 	mem   *dram.Memory
 
-	lineBits    uint
+	lineBits uint
+	// Variant-dependent memory-path granularity. In the default line-grain
+	// L1 these equal LineSize/lineBits, keeping the access path bit-identical
+	// to the pre-variant code; a sectored L1 moves and merges at sector
+	// granularity while the LLC stays line-indexed.
+	xferBytes   int  // bytes per NoC/DRAM transfer (line or sector)
+	mshrBits    uint // address shift for MSHR merge keys
 	kernelIdx   int
 	nextCTA     int
 	numCTAs     int
@@ -223,6 +235,12 @@ func New(cfg config.SystemConfig, w trace.Workload, opt Options) (*Simulator, er
 // retired (a grid barrier), while cache and memory state persist across
 // kernels. Per-kernel occupancy limits apply while that kernel runs.
 func NewSequence(cfg config.SystemConfig, kernels []trace.Workload, opt Options) (*Simulator, error) {
+	if opt.Uarch != (uarch.Variant{}) {
+		if cfg.Uarch != (uarch.Variant{}) && cfg.Uarch != opt.Uarch {
+			return nil, fmt.Errorf("gpu: Options.Uarch %v conflicts with cfg.Uarch %v", opt.Uarch, cfg.Uarch)
+		}
+		cfg.Uarch = opt.Uarch
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -273,31 +291,53 @@ func NewSequence(cfg config.SystemConfig, kernels []trace.Workload, opt Options)
 	}
 	s.lineBits = lb
 	s.ctaLimit = k0.CTAsPerSMLimit
-	policy := sm.GTO
-	if cfg.WarpScheduler == "lrr" {
-		policy = sm.LRR
+	variant := cfg.EffectiveUarch()
+	s.xferBytes = cfg.LineSize
+	s.mshrBits = lb
+	sectored := variant.L1 == uarch.L1Sectored
+	if sectored {
+		// A sectored L1 fills, merges and moves at sector granularity; the
+		// LLC stays line-grain (slice selection, indexing, DRAM jitter all
+		// keep using the line address).
+		s.xferBytes = uarch.SectorBytes
+		s.mshrBits = 0
+		for 1<<s.mshrBits != uarch.SectorBytes {
+			s.mshrBits++
+		}
 	}
 	s.sms = make([]*sm.SM, cfg.NumSMs)
 	s.l1s = make([]*cache.Cache, cfg.NumSMs)
 	s.mshrs = make([]*cache.MSHRFile, cfg.NumSMs)
 	for i := range s.sms {
-		m, err := sm.NewWithPolicy(cfg.WarpsPerSM, cfg.MaxCTAsPerSM, cfg.ComputeLatency, policy)
+		m, err := sm.NewVariant(cfg.WarpsPerSM, cfg.MaxCTAsPerSM, cfg.ComputeLatency, variant)
 		if err != nil {
 			return nil, err
 		}
 		s.sms[i] = m
-		s.l1s[i] = cache.MustNew(cfg.L1SizeBytes, cfg.L1Ways, cfg.LineSize)
+		if sectored {
+			s.l1s[i] = cache.MustNewSectored(cfg.L1SizeBytes, cfg.L1Ways, cfg.LineSize, uarch.SectorBytes)
+		} else {
+			s.l1s[i] = cache.MustNew(cfg.L1SizeBytes, cfg.L1Ways, cfg.LineSize)
+		}
 		s.mshrs[i] = cache.NewMSHRFile(cfg.L1MSHRs)
 	}
 	s.llc = make([]*cache.Cache, cfg.LLCSlices)
 	for i := range s.llc {
 		s.llc[i] = cache.MustNew(cfg.LLCSliceSize(), cfg.LLCWays, cfg.LineSize)
 	}
-	s.xbar = noc.MustNew(noc.Config{
+	nocCfg := noc.Config{
 		BisectionBytesPerCycle: cfg.BytesPerCycle(cfg.NoCBisectionGBps),
 		Ports:                  cfg.LLCSlices,
 		BaseLatency:            cfg.NoCBaseLatency,
-	})
+	}
+	switch variant.NoC {
+	case uarch.RouteXbar:
+		s.xbar = noc.MustNew(nocCfg)
+	case uarch.RouteDeflect:
+		s.xbar = noc.MustNewDeflect(nocCfg)
+	default:
+		panic("gpu: unreachable routing variant " + string(variant.NoC))
+	}
 	s.mem = dram.MustNew(dram.Config{
 		Controllers:        cfg.MemControllers,
 		BytesPerCyclePerMC: cfg.BytesPerCycle(cfg.MemBWPerMCGBps),
@@ -372,6 +412,9 @@ type port struct {
 func (p *port) Access(now int64, in trace.Instr) int64 {
 	s := p.sim
 	line := in.Addr >> s.lineBits
+	// In line-grain mode key == line; a sectored L1 merges misses per sector,
+	// so distinct sectors of one line miss independently.
+	key := in.Addr >> s.mshrBits
 	bypass := in.Flags&trace.BypassL1 != 0
 	if !bypass {
 		if s.l1s[p.smID].Access(in.Addr) {
@@ -400,7 +443,7 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 	mshr := s.mshrs[p.smID]
 	load := in.Kind == trace.Load
 	if load && !bypass {
-		if comp, ok := mshr.Lookup(now, line); ok {
+		if comp, ok := mshr.Lookup(now, key); ok {
 			return comp // merged into an outstanding miss
 		}
 	}
@@ -419,11 +462,11 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 	if p.sh != nil {
 		// Everything past the SM-private L1/MSHR touches the shared
 		// crossbar/LLC/DRAM path: record it for the barrier's serial replay.
-		return p.sh.deferAccess(p, line, arrival, now, load, bypass, full)
+		return p.sh.deferAccess(p, line, key, arrival, now, load, bypass, full)
 	}
 	nSlices := uint64(len(s.llc))
 	slice := int(line % nSlices)
-	t := s.xbar.Transfer(arrival, slice, s.cfg.LineSize)
+	t := s.xbar.Transfer(arrival, slice, s.xferBytes)
 	t += int64(s.cfg.LLCHitLatency)
 	s.llcAcc++
 	// Index the slice with the slice-select bits stripped, otherwise only
@@ -431,7 +474,7 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 	sliceLocal := (line / nSlices) << s.lineBits
 	if !s.llc[slice].Access(sliceLocal) {
 		s.llcMiss++
-		t = s.mem.Access(t, line, s.cfg.LineSize)
+		t = s.mem.Access(t, line, s.xferBytes)
 		// Deterministic per-line jitter models DRAM bank/row variation
 		// and breaks warp convoys that a constant latency would
 		// otherwise sustain.
@@ -439,7 +482,7 @@ func (p *port) Access(now int64, in trace.Instr) int64 {
 	}
 	t += int64(s.cfg.NoCBaseLatency) // response traversal
 	if load && !bypass && !full {
-		mshr.Allocate(line, t)
+		mshr.Allocate(key, t)
 	}
 	if load {
 		s.loads++

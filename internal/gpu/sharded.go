@@ -85,6 +85,7 @@ type deferredAccess struct {
 	lu      int // issuing SM, local to the shard's kernel
 	warp    int // issuing warp slot; -1 for stores (no wake-up to repair)
 	line    uint64
+	key     uint64 // MSHR merge key (== line unless the L1 is sectored)
 	arrival int64 // issue cycle, pushed past a full MSHR's next completion
 	issueAt int64
 	load    bool
@@ -167,7 +168,7 @@ func (sh *gpuShard) Release(p trace.Program) {
 // Tick, so IssuingWarp identifies the warp whose wake-up the replay must
 // repair. Stores get no repair (the SM ignores their completion) but are
 // still recorded: their bandwidth and LLC effects must replay in order.
-func (sh *gpuShard) deferAccess(p *port, line uint64, arrival, now int64, load, bypass, full bool) int64 {
+func (sh *gpuShard) deferAccess(p *port, line, key uint64, arrival, now int64, load, bypass, full bool) int64 {
 	m := sh.sim.sms[p.smID]
 	warp := -1
 	if load {
@@ -179,6 +180,7 @@ func (sh *gpuShard) deferAccess(p *port, line uint64, arrival, now int64, load, 
 		lu:      p.smID - sh.firstSM,
 		warp:    warp,
 		line:    line,
+		key:     key,
 		arrival: arrival,
 		issueAt: now,
 		load:    load,
@@ -294,18 +296,18 @@ func (s *Simulator) replayDeferred() int64 {
 			rec := &sh.deferred[i]
 			nSlices := uint64(len(s.llc))
 			slice := int(rec.line % nSlices)
-			t := s.xbar.Transfer(rec.arrival, slice, s.cfg.LineSize)
+			t := s.xbar.Transfer(rec.arrival, slice, s.xferBytes)
 			t += int64(s.cfg.LLCHitLatency)
 			s.llcAcc++
 			sliceLocal := (rec.line / nSlices) << s.lineBits
 			if !s.llc[slice].Access(sliceLocal) {
 				s.llcMiss++
-				t = s.mem.Access(t, rec.line, s.cfg.LineSize)
+				t = s.mem.Access(t, rec.line, s.xferBytes)
 				t += int64((rec.line * 0x9e3779b9 >> 13) % 13)
 			}
 			t += int64(s.cfg.NoCBaseLatency)
 			if rec.load && !rec.bypass && !rec.full {
-				rec.f.Allocate(rec.line, t)
+				rec.f.Allocate(rec.key, t)
 			}
 			if rec.load {
 				s.loads++

@@ -41,6 +41,7 @@ import (
 	"gpuscale/internal/regress"
 	"gpuscale/internal/stats"
 	"gpuscale/internal/trace"
+	"gpuscale/internal/uarch"
 	"gpuscale/internal/workloads"
 )
 
@@ -92,6 +93,7 @@ type Harness struct {
 	shards    int
 	quantum   int
 	mcmShards int
+	uarch     uarch.Variant
 	progress  func(engine.Progress)
 	observer  *obs.Recorder
 }
@@ -131,6 +133,13 @@ func (h *Harness) shardingRef() (shards, quantum int) {
 	return h.shards, h.quantum
 }
 
+// uarchRef snapshots the microarchitecture variant every run simulates.
+func (h *Harness) uarchRef() uarch.Variant {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.uarch
+}
+
 // mcmShardsRef snapshots the shard count MCM runs should use: the
 // MCM-specific override when set, else the general WithShards count.
 func (h *Harness) mcmShardsRef() int {
@@ -157,7 +166,7 @@ func (h *Harness) Run(cfg config.SystemConfig, w trace.Workload) (TimedStats, er
 	e.once.Do(func() {
 		start := time.Now()
 		shards, quantum := h.shardingRef()
-		st, err := gpu.RunWithOptions(cfg, w, gpu.Options{Recorder: h.observerRef(), Shards: shards, Quantum: quantum})
+		st, err := gpu.RunWithOptions(cfg, w, gpu.Options{Recorder: h.observerRef(), Shards: shards, Quantum: quantum, Uarch: h.uarchRef()})
 		if err != nil {
 			e.err = fmt.Errorf("harness: simulating %s on %s: %w", w.Name(), cfg.Name, err)
 			return

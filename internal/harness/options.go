@@ -5,6 +5,7 @@ import (
 
 	"gpuscale/internal/engine"
 	"gpuscale/internal/obs"
+	"gpuscale/internal/uarch"
 )
 
 // Option configures a Harness at construction time. The functional-option
@@ -78,6 +79,19 @@ func WithQuantum(q int) Option {
 			q = 0
 		}
 		h.quantum = q
+	}
+}
+
+// WithUarch sets the microarchitecture variant every harness simulation
+// runs under (gpu.Options.Uarch / chiplet.Options.Uarch). Unlike the
+// sharding knobs, a variant CHANGES simulated timing, so results from
+// differently-configured harnesses must never be compared as if
+// equivalent. The memo key is (config, workload) name only — a harness is
+// therefore fixed to one variant for its lifetime (paperbench runs one
+// variant per process); do not reconfigure a harness that has cached runs.
+func WithUarch(v uarch.Variant) Option {
+	return func(h *Harness) {
+		h.uarch = v
 	}
 }
 

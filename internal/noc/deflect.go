@@ -1,0 +1,162 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"gpuscale/internal/bandwidth"
+	"gpuscale/internal/obs"
+)
+
+// Compile-time checks that both routing disciplines satisfy the interface
+// the simulators drive.
+var (
+	_ Network = (*Crossbar)(nil)
+	_ Network = (*Deflect)(nil)
+)
+
+// Deflect is a first-order bufferless deflection-routed network (the
+// uarch.RouteDeflect variant, after the bufferless-NoC literature,
+// simplified): flits never queue in front of a destination port. A flit
+// arriving while its port is still serving an earlier one is deflected and
+// re-circulates for one hop latency — consuming bisection bandwidth again —
+// before retrying. Under light load it behaves like the crossbar; under
+// camping it converts queueing delay into extra in-flight traffic, which
+// saturates the bisection sooner. Deterministic: scheduling depends only on
+// the arrival order the (single-threaded or barrier-replayed) simulator
+// presents.
+type Deflect struct {
+	bisection *bandwidth.Server
+	// nextFree[p] is the cycle at which port p finishes its in-service
+	// flit. Bufferless: there is no queue behind it.
+	nextFree    []int64
+	perPort     float64 // port drain rate, bytes/cycle
+	baseLatency int64
+	hopLatency  int64 // one re-circulation loop; >= 1
+
+	deflections uint64
+}
+
+// NewDeflect constructs a Deflect network from the same Config as the
+// crossbar; BaseLatency doubles as the re-circulation hop latency (clamped
+// to at least one cycle).
+func NewDeflect(cfg Config) (*Deflect, error) {
+	if cfg.BisectionBytesPerCycle <= 0 {
+		return nil, fmt.Errorf("noc: bisection bandwidth must be positive, got %v", cfg.BisectionBytesPerCycle)
+	}
+	if cfg.Ports <= 0 {
+		return nil, fmt.Errorf("noc: ports must be positive, got %d", cfg.Ports)
+	}
+	if cfg.BaseLatency < 0 {
+		return nil, fmt.Errorf("noc: base latency must be non-negative, got %d", cfg.BaseLatency)
+	}
+	perPort := cfg.PortBytesPerCycle
+	if perPort == 0 {
+		perPort = cfg.BisectionBytesPerCycle / float64(cfg.Ports)
+	}
+	if perPort <= 0 {
+		return nil, fmt.Errorf("noc: port bandwidth must be positive, got %v", perPort)
+	}
+	hop := int64(cfg.BaseLatency)
+	if hop < 1 {
+		hop = 1
+	}
+	return &Deflect{
+		bisection:   bandwidth.MustNewServer(cfg.BisectionBytesPerCycle),
+		nextFree:    make([]int64, cfg.Ports),
+		perPort:     perPort,
+		baseLatency: int64(cfg.BaseLatency),
+		hopLatency:  hop,
+	}, nil
+}
+
+// MustNewDeflect is NewDeflect but panics on error.
+func MustNewDeflect(cfg Config) *Deflect {
+	d, err := NewDeflect(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Transfer schedules a transfer of bytes to port at cycle now and returns
+// the delivery cycle. The flit first crosses the bisection; if its port is
+// busy when it arrives it deflects — one hop of re-circulation plus another
+// bisection pass — until the port is free, then occupies the port for its
+// service time.
+func (d *Deflect) Transfer(now int64, port, bytes int) int64 {
+	p := port % len(d.nextFree)
+	if p < 0 {
+		p += len(d.nextFree)
+	}
+	t := d.bisection.Schedule(now, bytes)
+	for t < d.nextFree[p] {
+		d.deflections++
+		t = d.bisection.Schedule(t+d.hopLatency, bytes)
+	}
+	service := int64(math.Ceil(float64(bytes) / d.perPort))
+	if service < 1 {
+		service = 1
+	}
+	d.nextFree[p] = t + service
+	return t + service + d.baseLatency
+}
+
+// Ports returns the number of destination ports.
+func (d *Deflect) Ports() int { return len(d.nextFree) }
+
+// BaseLatency returns the uncongested traversal latency.
+func (d *Deflect) BaseLatency() int64 { return d.baseLatency }
+
+// Deflections returns how many deflection loops Transfer has taken.
+func (d *Deflect) Deflections() uint64 { return d.deflections }
+
+// TotalBytes returns the bytes moved through the bisection, re-circulated
+// traffic included (each deflection pays the bisection again).
+func (d *Deflect) TotalBytes() uint64 { return d.bisection.TotalBytes() }
+
+// BisectionUtilization returns bisection busy-time over elapsed cycles.
+func (d *Deflect) BisectionUtilization(elapsed int64) float64 {
+	return d.bisection.Utilization(elapsed)
+}
+
+// MaxPortBacklog returns the largest remaining port service occupancy (in
+// cycles) at cycle now. Bufferless ports have no queue, so this measures
+// in-service residue rather than queue depth, but it is the same "camping"
+// signal the observability samplers chart.
+func (d *Deflect) MaxPortBacklog(now int64) float64 {
+	var m float64
+	for _, f := range d.nextFree {
+		if b := float64(f - now); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// BisectionBacklog returns the bisection server's queueing delay (in
+// cycles) at cycle now.
+func (d *Deflect) BisectionBacklog(now int64) float64 {
+	return d.bisection.Backlog(now)
+}
+
+// ResetStats clears bandwidth statistics (bytes, busy time, deflection
+// count) without touching queue state.
+func (d *Deflect) ResetStats() {
+	d.bisection.ResetStats()
+	d.deflections = 0
+}
+
+// PublishObs stores the network's link-utilisation and congestion state into
+// the given metrics scope, mirroring Crossbar.PublishObs plus the deflection
+// count. No-op on a nil scope.
+func (d *Deflect) PublishObs(sc *obs.Scope, elapsed, now int64) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("bytes").Store(d.TotalBytes())
+	sc.Counter("deflections").Store(d.deflections)
+	sc.Gauge("bisection_util").Set(d.BisectionUtilization(elapsed))
+	sc.Gauge("bisection_backlog").Set(d.BisectionBacklog(now))
+	sc.Gauge("max_port_backlog").Set(d.MaxPortBacklog(now))
+}

@@ -1,14 +1,17 @@
-// Package noc models the GPU's on-chip interconnection network: a crossbar
-// between the SMs' L1 caches and the LLC slices, characterised by its
-// bisection bandwidth. Two effects matter for scale-model simulation and
-// both are modelled here:
+// Package noc models the GPU's on-chip interconnection network between the
+// SMs' L1 caches and the LLC slices. Two routing disciplines are available
+// behind the Network interface (selected by the uarch.Routing variant): the
+// paper's bisection-bandwidth-limited Crossbar and a first-order bufferless
+// deflection-routed network (Deflect). Two effects matter for scale-model
+// simulation and both are modelled:
 //
 //   - aggregate bisection-bandwidth saturation, which throttles
 //     memory-intensive workloads identically (in relative terms) on
 //     proportionally scaled systems, and
 //   - per-slice contention ("camping"), where many SMs hitting the same LLC
 //     slice queue up in front of it — one of the paper's two mechanisms for
-//     sub-linear scaling.
+//     sub-linear scaling. The crossbar queues campers in front of the port;
+//     the bufferless network deflects them into re-circulation instead.
 package noc
 
 import (
@@ -17,6 +20,33 @@ import (
 	"gpuscale/internal/bandwidth"
 	"gpuscale/internal/obs"
 )
+
+// Network is the interface the gpu and chiplet simulators drive: a
+// destination-ported interconnect that schedules transfers and reports
+// utilisation. Both Crossbar and Deflect implement it.
+type Network interface {
+	// Transfer schedules a transfer of bytes to port (LLC slice) at cycle
+	// now and returns the delivery cycle. Port indices wrap modulo the
+	// port count.
+	Transfer(now int64, port, bytes int) int64
+	// Ports returns the number of destination ports.
+	Ports() int
+	// TotalBytes returns the bytes moved through the bisection.
+	TotalBytes() uint64
+	// BisectionUtilization returns bisection busy-time over elapsed cycles.
+	BisectionUtilization(elapsed int64) float64
+	// MaxPortBacklog returns the largest per-port congestion measure (in
+	// cycles) at cycle now.
+	MaxPortBacklog(now int64) float64
+	// BisectionBacklog returns the bisection server's queueing delay (in
+	// cycles) at cycle now.
+	BisectionBacklog(now int64) float64
+	// ResetStats clears bandwidth statistics without touching queue state.
+	ResetStats()
+	// PublishObs stores utilisation and queueing state into the given
+	// metrics scope; no-op on a nil scope.
+	PublishObs(sc *obs.Scope, elapsed, now int64)
+}
 
 // Crossbar is a bisection-bandwidth-limited crossbar with per-destination
 // (LLC slice) ports. A transfer must pass both the shared bisection server

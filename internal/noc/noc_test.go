@@ -115,3 +115,134 @@ func TestDeliveryNeverBeforeArrivalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDeflectValidation(t *testing.T) {
+	if _, err := NewDeflect(Config{BisectionBytesPerCycle: 0, Ports: 4}); err == nil {
+		t.Error("zero bisection accepted")
+	}
+	if _, err := NewDeflect(Config{BisectionBytesPerCycle: 100, Ports: 0}); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if _, err := NewDeflect(Config{BisectionBytesPerCycle: 100, Ports: 4, BaseLatency: -1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := NewDeflect(Config{BisectionBytesPerCycle: 100, Ports: 4, PortBytesPerCycle: -1}); err == nil {
+		t.Error("negative port bandwidth accepted")
+	}
+}
+
+func TestDeflectUncongestedMatchesCrossbar(t *testing.T) {
+	cfg := Config{BisectionBytesPerCycle: 1024, Ports: 4, BaseLatency: 20}
+	x := MustNew(cfg)
+	d := MustNewDeflect(cfg)
+	// Widely spaced transfers to distinct ports never contend. The deflect
+	// pipeline serializes bisection-then-port where the crossbar takes the
+	// max, so deflect runs at most one port-service quantum (here 1 cycle)
+	// behind — and never deflects.
+	for i := 0; i < 16; i++ {
+		now := int64(i * 100)
+		want := x.Transfer(now, i%4, 128)
+		got := d.Transfer(now, i%4, 128)
+		if got < want || got > want+1 {
+			t.Fatalf("transfer %d: deflect delivered at %d, crossbar at %d", i, got, want)
+		}
+	}
+	if d.Deflections() != 0 {
+		t.Errorf("uncongested traffic deflected %d times", d.Deflections())
+	}
+}
+
+func TestDeflectHotPortDeflects(t *testing.T) {
+	// All traffic camps on one port; the bufferless network must deflect and
+	// burn extra bisection bytes doing so.
+	d := MustNewDeflect(Config{BisectionBytesPerCycle: 1024, Ports: 4})
+	var last int64
+	for i := 0; i < 64; i++ {
+		last = d.Transfer(0, 0, 128)
+	}
+	if d.Deflections() == 0 {
+		t.Fatal("camping produced no deflections")
+	}
+	// 64 transfers * 128 B at the 256 B/c port rate still bound: ≈32 cycles.
+	if last < 30 {
+		t.Errorf("hot-port delivery = %d, want ≥30", last)
+	}
+	if d.TotalBytes() <= 64*128 {
+		t.Errorf("TotalBytes = %d, want > %d (re-circulated traffic pays the bisection again)", d.TotalBytes(), 64*128)
+	}
+	if b := d.MaxPortBacklog(0); b <= 0 {
+		t.Errorf("max port backlog = %v, want > 0 while the hot port drains", b)
+	}
+}
+
+func TestDeflectCampingCongestsBisection(t *testing.T) {
+	// The signature difference from the crossbar: camping converts queueing
+	// into extra in-flight traffic, so deflect burns strictly more bisection
+	// bandwidth for the same offered load.
+	cfg := Config{BisectionBytesPerCycle: 512, Ports: 4}
+	x := MustNew(cfg)
+	d := MustNewDeflect(cfg)
+	for i := 0; i < 32; i++ {
+		x.Transfer(0, 0, 128)
+		d.Transfer(0, 0, 128)
+	}
+	if d.TotalBytes() <= x.TotalBytes() {
+		t.Errorf("deflect moved %d bytes, crossbar %d; deflection should cost extra bisection traffic", d.TotalBytes(), x.TotalBytes())
+	}
+}
+
+func TestDeflectDeterministic(t *testing.T) {
+	run := func() []int64 {
+		d := MustNewDeflect(Config{BisectionBytesPerCycle: 256, Ports: 4, BaseLatency: 7})
+		out := make([]int64, 0, 48)
+		for i := 0; i < 48; i++ {
+			out = append(out, d.Transfer(int64(i/3), i%3, 96))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transfer %d: run A delivered at %d, run B at %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeflectStatsAndReset(t *testing.T) {
+	d := MustNewDeflect(Config{BisectionBytesPerCycle: 256, Ports: 2, BaseLatency: 5})
+	for i := 0; i < 8; i++ {
+		d.Transfer(0, 0, 128)
+	}
+	if d.Ports() != 2 || d.BaseLatency() != 5 {
+		t.Error("accessors wrong")
+	}
+	if d.TotalBytes() == 0 || d.Deflections() == 0 {
+		t.Errorf("stats empty after camping: bytes=%d deflections=%d", d.TotalBytes(), d.Deflections())
+	}
+	d.ResetStats()
+	if d.TotalBytes() != 0 || d.Deflections() != 0 {
+		t.Errorf("ResetStats left bytes=%d deflections=%d", d.TotalBytes(), d.Deflections())
+	}
+	// Queue state survives reset: the next transfer still sees busy ports.
+	if b := d.MaxPortBacklog(0); b <= 0 {
+		t.Errorf("port backlog lost across ResetStats: %v", b)
+	}
+}
+
+func TestDeflectDeliveryNeverBeforeArrivalProperty(t *testing.T) {
+	f := func(ports uint8, seq []uint8) bool {
+		p := int(ports)%8 + 1
+		d := MustNewDeflect(Config{BisectionBytesPerCycle: 64, Ports: p, BaseLatency: 3})
+		now := int64(0)
+		for _, v := range seq {
+			now += int64(v % 4)
+			if got := d.Transfer(now, int(v), 128); got < now+3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -147,6 +147,11 @@ func (s *Server) evalPredict(ctx context.Context, req gpuscale.Request, hash str
 
 	sizes := config.StandardSizes // {8, 16, 32, 64, 128}; first two are the scale models
 	base := gpuscale.Baseline128()
+	if req.Options.Uarch != nil {
+		// The variant scales with the ladder: both scale models simulate the
+		// requested microarchitecture, so the prediction extrapolates it too.
+		base.Uarch = *req.Options.Uarch
+	}
 	jobs := make([]gpuscale.Job, 2)
 	for i, n := range sizes[:2] {
 		w, err := req.Workload.Resolve(n)
@@ -211,6 +216,11 @@ func (s *Server) evalPredict(ctx context.Context, req gpuscale.Request, hash str
 // scale models predicting the 16-chiplet target under weak scaling.
 func (s *Server) evalPredictMCM(ctx context.Context, req gpuscale.Request, hash string) ([]byte, error) {
 	base := gpuscale.Target16Chiplet()
+	if req.Options.Uarch != nil {
+		// Same rule as the monolithic ladder: the MCM scale models simulate
+		// the requested microarchitecture variant.
+		base.Chiplet.Uarch = *req.Options.Uarch
+	}
 	sizes := config.ChipletStandardSizes // {4, 8, 16}; first two are the scale models
 	stats := make([]gpuscale.MCMStats, 2)
 	for i, n := range sizes[:2] {

@@ -106,6 +106,45 @@ func TestServerAutoEscalation(t *testing.T) {
 	}
 }
 
+// TestServerAutoEscalatesOnUarch pins the structural-confidence gate: the
+// analytic model is calibrated against the default microarchitecture only,
+// so a non-default variant discounts its confidence below the threshold and
+// an auto-tier request must escalate to the cycle pipeline, which actually
+// simulates the variant.
+func TestServerAutoEscalatesOnUarch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	auto := `{"op":"predict","workload":{"bench":"ht"},"options":{"tier":"auto","uarch":{"scheduler":"two-level"}}}`
+	code, hdr, escalated := post(t, ts.Client(), ts.URL, "/v1/predict", auto, "")
+	if code != http.StatusOK {
+		t.Fatalf("auto predict: %d %s", code, escalated)
+	}
+	if got := hdr.Get("X-Tier"); got != "cycle" {
+		t.Errorf("uarch X-Tier = %q, want cycle (variant must force escalation)", got)
+	}
+	if v := metric(t, ts.URL, "server_tier_escalated"); v != 1 {
+		t.Errorf("server_tier_escalated = %d, want 1", v)
+	}
+
+	// The same request without the variant serves analytically (ht's base
+	// confidence is 1.0) and its body differs: the cycle pipeline simulated
+	// two-level scheduling, the analytic tier modelled the default machine.
+	plain := `{"op":"predict","workload":{"bench":"ht"},"options":{"tier":"auto"}}`
+	code, hdr, analytic := post(t, ts.Client(), ts.URL, "/v1/predict", plain, "")
+	if code != http.StatusOK {
+		t.Fatalf("plain predict: %d %s", code, analytic)
+	}
+	if got := hdr.Get("X-Tier"); got != "analytic" {
+		t.Errorf("plain X-Tier = %q, want analytic", got)
+	}
+	if bytes.Equal(escalated, analytic) {
+		t.Error("variant response is byte-identical to the default analytic response")
+	}
+}
+
 // TestServerAutoPrefersSettledCycle pins the fast path's cache shortcut:
 // once a cycle response has settled under the canonical hash, an
 // auto-tier request serves it (the real answer) instead of an estimate.

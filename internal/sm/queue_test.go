@@ -7,20 +7,37 @@ import (
 
 // TestReadyQueueMatchesHeap drives the bucketed readyQueue and the old
 // warpHeap through randomized launch-age sequences — launches into reused
-// slots, GTO-style re-pushes under the original key, LRR-style re-keying, and
-// retirements — and demands identical pop order. Keys are drawn from a single
-// monotone counter, mirroring the launchSeq invariant the queue relies on.
-// Iteration counts are sized so the queue's in-place compaction runs many
-// times.
+// slots, GTO-style re-pushes under the original key, LRR-style re-keying,
+// the two-level scheduler's re-key-at-issue/push-at-promote split, and
+// retirements — and demands identical pop order. Keys are drawn from a
+// single monotone counter, mirroring the launchSeq invariant the queue
+// relies on. Iteration counts are sized so the queue's in-place compaction
+// runs many times.
 func TestReadyQueueMatchesHeap(t *testing.T) {
-	const maxWarps = 48
-	const iters = 200000
-	rng := rand.New(rand.NewSource(1))
+	readyQueueCrossCheck(t, 1, 200000, 1)
+}
 
-	var q readyQueue
-	var h warpHeap
-	q.grow(maxWarps)
-	h.grow(maxWarps)
+// TestReadyQueueMatchesHeapGrouped is the same cross-check over three
+// per-group queues sharing one monotone key counter — the two-level
+// scheduler's shape. Each group's queue then sees assignment keys that are
+// monotone but gappy (the other groups consume the keys in between), which
+// is exactly the invariant its compaction must survive.
+func TestReadyQueueMatchesHeapGrouped(t *testing.T) {
+	readyQueueCrossCheck(t, 3, 200000, 2)
+}
+
+func readyQueueCrossCheck(t *testing.T, nGroups, iters int, seed int64) {
+	t.Helper()
+	const maxWarps = 48
+	rng := rand.New(rand.NewSource(seed))
+
+	qs := make([]readyQueue, nGroups)
+	hs := make([]warpHeap, nGroups)
+	for g := range qs {
+		qs[g].grow(maxWarps)
+		hs[g].grow(maxWarps)
+	}
+	grp := func(idx int) int { return idx % nGroups }
 
 	type slotState uint8
 	const (
@@ -43,24 +60,35 @@ func TestReadyQueueMatchesHeap(t *testing.T) {
 		s[i] = s[len(s)-1]
 		return v, s[:len(s)-1]
 	}
+	queuedLen := func() int {
+		n := 0
+		for g := range qs {
+			n += qs[g].len()
+		}
+		return n
+	}
 
 	pops := 0
 	for i := 0; i < iters; i++ {
-		switch op := rng.Intn(10); {
+		switch op := rng.Intn(11); {
 		case op < 3 && len(freeSlots) > 0: // launch into a (possibly reused) slot
 			var idx int
 			idx, freeSlots = pick(freeSlots)
 			key[idx] = seq
 			seq++
-			q.assign(idx)
-			q.push(idx)
-			h.push(idx, key[idx])
+			qs[grp(idx)].assign(idx)
+			qs[grp(idx)].push(idx)
+			hs[grp(idx)].push(idx, key[idx])
 			state[idx] = queued
-		case op < 6 && q.len() > 0: // pop and cross-check
-			want, wantKey := h.pop()
-			got := q.pop()
+		case op < 6 && queuedLen() > 0: // pop a random non-empty group and cross-check
+			g := rng.Intn(nGroups)
+			for qs[g].len() == 0 {
+				g = (g + 1) % nGroups
+			}
+			want, wantKey := hs[g].pop()
+			got := qs[g].pop()
 			if got != want {
-				t.Fatalf("iter %d: queue popped warp %d, heap popped warp %d (key %d)", i, got, want, wantKey)
+				t.Fatalf("iter %d: group %d queue popped warp %d, heap popped warp %d (key %d)", i, g, got, want, wantKey)
 			}
 			if key[got] != wantKey {
 				t.Fatalf("iter %d: model key %d != heap key %d for warp %d", i, key[got], wantKey, got)
@@ -71,41 +99,53 @@ func TestReadyQueueMatchesHeap(t *testing.T) {
 		case op < 7 && len(runningSlots) > 0: // GTO promote: re-push, same key
 			var idx int
 			idx, runningSlots = pick(runningSlots)
-			q.push(idx)
-			h.push(idx, key[idx])
+			qs[grp(idx)].push(idx)
+			hs[grp(idx)].push(idx, key[idx])
 			state[idx] = queued
 		case op < 8 && len(runningSlots) > 0: // LRR issue: re-key then push
 			var idx int
 			idx, runningSlots = pick(runningSlots)
 			key[idx] = seq
 			seq++
-			q.assign(idx)
-			q.push(idx)
-			h.push(idx, key[idx])
+			qs[grp(idx)].assign(idx)
+			qs[grp(idx)].push(idx)
+			hs[grp(idx)].push(idx, key[idx])
 			state[idx] = queued
-		case op < 10 && len(runningSlots) > 0: // retire: slot returns to the pool
+		case op < 9 && len(runningSlots) > 0:
+			// Two-level issue: the warp re-keys to the back of its group's
+			// sequence at issue time but goes pending (no push) — a later
+			// promote op pushes it under the already-redrawn key.
+			idx := runningSlots[rng.Intn(len(runningSlots))]
+			key[idx] = seq
+			seq++
+			qs[grp(idx)].assign(idx)
+		case op < 11 && len(runningSlots) > 0: // retire: slot returns to the pool
 			var idx int
 			idx, runningSlots = pick(runningSlots)
-			q.unrank(idx)
+			qs[grp(idx)].unrank(idx)
 			state[idx] = free
 			freeSlots = append(freeSlots, idx)
 		}
-		if q.len() != h.len() {
-			t.Fatalf("iter %d: queue len %d != heap len %d", i, q.len(), h.len())
+		for g := range qs {
+			if qs[g].len() != hs[g].len() {
+				t.Fatalf("iter %d: group %d queue len %d != heap len %d", i, g, qs[g].len(), hs[g].len())
+			}
 		}
 	}
 	if pops < iters/10 {
 		t.Fatalf("schedule degenerated: only %d pops in %d iterations", pops, iters)
 	}
 	// Drain what remains; order must still agree.
-	for h.len() > 0 {
-		want, _ := h.pop()
-		if got := q.pop(); got != want {
-			t.Fatalf("drain: queue popped %d, heap popped %d", got, want)
+	for g := range qs {
+		for hs[g].len() > 0 {
+			want, _ := hs[g].pop()
+			if got := qs[g].pop(); got != want {
+				t.Fatalf("drain: group %d queue popped %d, heap popped %d", g, got, want)
+			}
 		}
-	}
-	if q.len() != 0 {
-		t.Fatalf("drain: queue still reports %d ready warps", q.len())
+		if qs[g].len() != 0 {
+			t.Fatalf("drain: group %d queue still reports %d ready warps", g, qs[g].len())
+		}
 	}
 }
 

@@ -1,10 +1,12 @@
 // Package sm models a streaming multiprocessor: resident CTAs and warps, a
-// Greedy-Then-Oldest (GTO) warp scheduler, dependent-issue latencies, and —
-// crucially for the scale-model predictor — classification of every cycle in
-// which the SM cannot issue. The paper's cliff-region formula (Eq. 3)
-// divides by 1−f_mem, where f_mem is the fraction of cycles an SM fetches
-// nothing because every blocked warp is waiting on memory; this package is
-// where that accounting lives.
+// configurable warp scheduler (Greedy-Then-Oldest by default, loose
+// round-robin and fetch-group two-level as microarchitecture variants, see
+// internal/uarch), a configurable issue width, dependent-issue latencies,
+// and — crucially for the scale-model predictor — classification of every
+// cycle in which the SM cannot issue. The paper's cliff-region formula
+// (Eq. 3) divides by 1−f_mem, where f_mem is the fraction of cycles an SM
+// fetches nothing because every blocked warp is waiting on memory; this
+// package is where that accounting lives.
 package sm
 
 import (
@@ -12,6 +14,7 @@ import (
 
 	"gpuscale/internal/obs"
 	"gpuscale/internal/trace"
+	"gpuscale/internal/uarch"
 )
 
 // TickKind classifies what an SM did in one cycle.
@@ -58,6 +61,12 @@ const (
 	// LRR is loose round-robin: the ready warp that issued least
 	// recently goes first.
 	LRR
+	// TwoLevel is the fetch-group two-level scheduler: warp slots are
+	// partitioned into fixed groups of uarch.TwoLevelGroupSize, scheduling
+	// round-robins within the active group (re-keying on issue like LRR),
+	// and the active group only advances — cyclically, to the next group
+	// with a ready warp — when the current one has none ready.
+	TwoLevel
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +76,8 @@ func (p Policy) String() string {
 		return "gto"
 	case LRR:
 		return "lrr"
+	case TwoLevel:
+		return "two-level"
 	default:
 		return fmt.Sprintf("Policy(%d)", uint8(p))
 	}
@@ -133,6 +144,7 @@ type SM struct {
 	maxWarps   int
 	maxCTAs    int
 	policy     Policy
+	issueWidth int // instructions issued per cycle; 1 in the baseline
 
 	warps     []warp
 	freeWarps []int
@@ -140,6 +152,14 @@ type SM struct {
 	pending   warpHeap   // ordered by readyAt
 	current   int        // greedy warp index, -1 if none
 	recycler  ProgramRecycler
+
+	// Two-level scheduler state: one ready queue per fetch group plus a
+	// live-entry count (the per-group queues make a single len() scan
+	// impossible) and the active-group cursor. Nil/zero under GTO and LRR,
+	// which use the single ready queue above.
+	groups      []readyQueue
+	activeGroup int
+	readyCount  int
 
 	ctaLive      []int
 	freeCTASlots []int
@@ -159,14 +179,34 @@ type SM struct {
 	stats Stats
 }
 
-// New constructs a GTO-scheduled SM with the given residency limits and
-// dependent-issue compute latency.
+// New constructs an SM with the default microarchitecture variant (GTO
+// scheduling, single issue) and the given residency limits and
+// dependent-issue compute latency. It is a thin wrapper over NewVariant.
 func New(maxWarps, maxCTAs, computeLatency int) (*SM, error) {
-	return NewWithPolicy(maxWarps, maxCTAs, computeLatency, GTO)
+	return NewVariant(maxWarps, maxCTAs, computeLatency, uarch.Variant{})
 }
 
-// NewWithPolicy is New with an explicit warp scheduling policy.
+// NewWithPolicy is New with an explicit warp scheduling policy; the other
+// variant dimensions stay at their defaults.
 func NewWithPolicy(maxWarps, maxCTAs, computeLatency int, policy Policy) (*SM, error) {
+	var sched uarch.Scheduler
+	switch policy {
+	case GTO:
+		sched = uarch.SchedGTO
+	case LRR:
+		sched = uarch.SchedLRR
+	case TwoLevel:
+		sched = uarch.SchedTwoLevel
+	default:
+		return nil, fmt.Errorf("sm: unknown policy %v", policy)
+	}
+	return NewVariant(maxWarps, maxCTAs, computeLatency, uarch.Variant{Scheduler: sched})
+}
+
+// NewVariant is the variant-aware SM constructor every other form wraps: it
+// validates the residency limits, the latency and the variant in one place
+// and builds the scheduler structures the variant needs.
+func NewVariant(maxWarps, maxCTAs, computeLatency int, v uarch.Variant) (*SM, error) {
 	if maxWarps <= 0 {
 		return nil, fmt.Errorf("sm: maxWarps must be positive, got %d", maxWarps)
 	}
@@ -176,14 +216,27 @@ func NewWithPolicy(maxWarps, maxCTAs, computeLatency int, policy Policy) (*SM, e
 	if computeLatency <= 0 {
 		return nil, fmt.Errorf("sm: computeLatency must be positive, got %d", computeLatency)
 	}
-	if policy != GTO && policy != LRR {
-		return nil, fmt.Errorf("sm: unknown policy %v", policy)
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("sm: %w", err)
+	}
+	v = v.Normalize()
+	var policy Policy
+	switch v.Scheduler {
+	case uarch.SchedGTO:
+		policy = GTO
+	case uarch.SchedLRR:
+		policy = LRR
+	case uarch.SchedTwoLevel:
+		policy = TwoLevel
+	default:
+		panic("sm: unreachable scheduler " + string(v.Scheduler)) // Validate covers the enum
 	}
 	s := &SM{
 		computeLat:   int64(computeLatency),
 		maxWarps:     maxWarps,
 		maxCTAs:      maxCTAs,
 		policy:       policy,
+		issueWidth:   v.IssueWidth,
 		warps:        make([]warp, 0, maxWarps),
 		freeWarps:    make([]int, 0, maxWarps),
 		ctaLive:      make([]int, maxCTAs),
@@ -195,6 +248,16 @@ func NewWithPolicy(maxWarps, maxCTAs, computeLatency int, policy Policy) (*SM, e
 	// (TestSteadyStateNoAllocs in internal/gpu pins this).
 	s.ready.grow(maxWarps)
 	s.pending.grow(maxWarps)
+	if policy == TwoLevel {
+		nGroups := (maxWarps + uarch.TwoLevelGroupSize - 1) / uarch.TwoLevelGroupSize
+		s.groups = make([]readyQueue, nGroups)
+		for i := range s.groups {
+			// Ranks are indexed by global warp slot, so every group queue
+			// sizes its rank table to maxWarps even though it only ever
+			// holds its own group's warps.
+			s.groups[i].grow(maxWarps)
+		}
+	}
 	for i := maxCTAs - 1; i >= 0; i-- {
 		s.freeCTASlots = append(s.freeCTASlots, i)
 	}
@@ -208,6 +271,79 @@ func MustNew(maxWarps, maxCTAs, computeLatency int) *SM {
 		panic(err)
 	}
 	return s
+}
+
+// MustNewVariant is NewVariant but panics on error.
+func MustNewVariant(maxWarps, maxCTAs, computeLatency int, v uarch.Variant) *SM {
+	s, err := NewVariant(maxWarps, maxCTAs, computeLatency, v)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// groupOf returns the fetch group of a warp slot under the two-level
+// scheduler.
+func groupOf(idx int) int { return idx / uarch.TwoLevelGroupSize }
+
+// readyLen returns how many warps are ready to issue. GTO and LRR keep them
+// in the single assignment-ordered queue; the two-level scheduler spreads
+// them across per-group queues and counts them separately.
+func (s *SM) readyLen() int {
+	if s.policy == TwoLevel {
+		return s.readyCount
+	}
+	return s.ready.len()
+}
+
+// readyAssign re-keys a warp slot to the freshest sequence position in its
+// scheduling queue.
+func (s *SM) readyAssign(idx int) {
+	if s.policy == TwoLevel {
+		s.groups[groupOf(idx)].assign(idx)
+		return
+	}
+	s.ready.assign(idx)
+}
+
+// readyPush marks an assigned warp slot ready.
+func (s *SM) readyPush(idx int) {
+	if s.policy == TwoLevel {
+		s.groups[groupOf(idx)].push(idx)
+		s.readyCount++
+		return
+	}
+	s.ready.push(idx)
+}
+
+// readyPop removes and returns the next warp to issue; the caller must have
+// checked readyLen() > 0. GTO pops the oldest ready warp, LRR the least
+// recently issued; the two-level scheduler pops within the active fetch
+// group and only advances the group — cyclically, to the next with a ready
+// warp — when the active one is empty.
+func (s *SM) readyPop() int {
+	if s.policy != TwoLevel {
+		return s.ready.pop()
+	}
+	g := s.activeGroup
+	for s.groups[g].len() == 0 {
+		g++
+		if g == len(s.groups) {
+			g = 0
+		}
+	}
+	s.activeGroup = g
+	s.readyCount--
+	return s.groups[g].pop()
+}
+
+// readyUnrank forgets a retiring warp slot's scheduling key.
+func (s *SM) readyUnrank(idx int) {
+	if s.policy == TwoLevel {
+		s.groups[groupOf(idx)].unrank(idx)
+		return
+	}
+	s.ready.unrank(idx)
 }
 
 // SetRecycler installs a recycler notified as each warp program retires. A
@@ -234,8 +370,8 @@ func (s *SM) LaunchCTA(programs []trace.Program) {
 		idx := s.allocWarp()
 		s.warps[idx] = warp{prog: p, readyAt: 0, launch: s.launchSeq, lastIssue: s.launchSeq, ctaSlot: slot, live: true}
 		s.launchSeq++
-		s.ready.assign(idx) // key = the launchSeq value just recorded
-		s.ready.push(idx)
+		s.readyAssign(idx) // key = the launchSeq value just recorded
+		s.readyPush(idx)
 	}
 	s.liveWarps += len(programs)
 }
@@ -259,10 +395,11 @@ func (s *SM) FreeCTASlots() int { return len(s.freeCTASlots) }
 // ResidentCTAs returns how many CTAs currently occupy slots.
 func (s *SM) ResidentCTAs() int { return s.maxCTAs - len(s.freeCTASlots) }
 
-// Tick advances the SM by one cycle at time now, issuing at most one
-// instruction through mem. It returns the cycle's classification but does
-// not accrue classification counters — call Accrue with the desired weight
-// (1 normally, more when the driver fast-forwards).
+// Tick advances the SM by one cycle at time now, issuing up to the
+// configured issue width (one instruction in the baseline) through mem. It
+// returns the cycle's classification but does not accrue classification
+// counters — call Accrue with the desired weight (1 normally, more when the
+// driver fast-forwards).
 func (s *SM) Tick(now int64, mem MemPort) TickKind {
 	// Promote warps whose dependencies resolved.
 	for s.pending.len() > 0 && s.pending.minKey() <= now {
@@ -276,9 +413,10 @@ func (s *SM) Tick(now int64, mem MemPort) TickKind {
 			s.currentReady = true // greedy warp bypasses the ready queue
 			continue
 		}
-		s.ready.push(idx)
+		s.readyPush(idx)
 	}
 
+	issued := 0
 	for {
 		var idx int
 		switch {
@@ -286,10 +424,13 @@ func (s *SM) Tick(now int64, mem MemPort) TickKind {
 			// Greedy: stay on the current warp while it is ready.
 			idx = s.current
 			s.currentReady = false
-		case s.ready.len() > 0:
-			// Then-oldest: the ready warp with the smallest age.
-			idx = s.ready.pop()
+		case s.readyLen() > 0:
+			// Then-oldest: the ready warp with the smallest scheduling key.
+			idx = s.readyPop()
 		default:
+			if issued > 0 {
+				return Issued // width not filled, but the cycle did issue
+			}
 			if s.liveWarps == 0 {
 				return Idle
 			}
@@ -314,10 +455,11 @@ func (s *SM) Tick(now int64, mem MemPort) TickKind {
 		s.current = idx
 		w.lastIssue = s.launchSeq
 		s.launchSeq++
-		if s.policy == LRR {
-			// LRR keys the ready queue by lastIssue, which was just redrawn
-			// from launchSeq — move the warp to the back of the sequence.
-			s.ready.assign(idx)
+		if s.policy == LRR || s.policy == TwoLevel {
+			// These policies key the ready queue by lastIssue, which was
+			// just redrawn from launchSeq — move the warp to the back of
+			// the (group) sequence.
+			s.readyAssign(idx)
 		}
 		s.stats.Instructions++
 		switch in.Kind {
@@ -337,7 +479,13 @@ func (s *SM) Tick(now int64, mem MemPort) TickKind {
 			w.readyAt = now + 1
 		}
 		s.pending.push(idx, w.readyAt)
-		return Issued
+		issued++
+		if issued >= s.issueWidth {
+			return Issued
+		}
+		// A just-issued warp's earliest wake-up is now+1, so it cannot be
+		// picked again within this cycle; the remaining issue slots go to
+		// other ready warps.
 	}
 }
 
@@ -348,7 +496,7 @@ func (s *SM) retire(idx int) {
 	}
 	w.prog = nil
 	w.live = false
-	s.ready.unrank(idx)
+	s.readyUnrank(idx)
 	s.liveWarps--
 	s.freeWarps = append(s.freeWarps, idx)
 	if s.current == idx {
@@ -364,10 +512,10 @@ func (s *SM) retire(idx int) {
 }
 
 // readyKey returns the priority key for the ready heap: launch age under
-// GTO (oldest first), last-issue recency under LRR (least recently issued
-// first).
+// GTO (oldest first), last-issue recency under LRR and the two-level
+// scheduler (least recently issued first, per fetch group for the latter).
 func (s *SM) readyKey(idx int) int64 {
-	if s.policy == LRR {
+	if s.policy == LRR || s.policy == TwoLevel {
 		return s.warps[idx].lastIssue
 	}
 	return s.warps[idx].launch
@@ -409,7 +557,7 @@ func (s *SM) FixPendingWake(idx int, readyAt int64) {
 
 // HasReady reports whether a warp could issue (or retire) right now without
 // waiting for any pending dependency to resolve.
-func (s *SM) HasReady() bool { return s.currentReady || s.ready.len() > 0 }
+func (s *SM) HasReady() bool { return s.currentReady || s.readyLen() > 0 }
 
 // memBoundCeil is MemEventBound's "never" value: no live warp can reach a
 // memory instruction or retirement. Far above any cycle a simulation visits.
@@ -496,7 +644,7 @@ func (s *SM) StallKind() TickKind {
 // ready, and false when nothing is pending (the SM is idle or has a warp
 // ready right now).
 func (s *SM) NextEvent() (int64, bool) {
-	if s.currentReady || s.ready.len() > 0 {
+	if s.currentReady || s.readyLen() > 0 {
 		return 0, false // a warp is ready immediately; no skipping possible
 	}
 	if s.pending.len() == 0 {

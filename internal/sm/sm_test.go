@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"gpuscale/internal/trace"
+	"gpuscale/internal/uarch"
 )
 
 // fixedMem is a MemPort with a constant latency.
@@ -412,7 +413,7 @@ func TestHeapOrderingProperty(t *testing.T) {
 }
 
 func TestPolicyString(t *testing.T) {
-	if GTO.String() != "gto" || LRR.String() != "lrr" {
+	if GTO.String() != "gto" || LRR.String() != "lrr" || TwoLevel.String() != "two-level" {
 		t.Error("policy strings wrong")
 	}
 	if Policy(9).String() != "Policy(9)" {
@@ -460,6 +461,135 @@ func TestLRRRotatesAcrossWarps(t *testing.T) {
 		if sameRegion {
 			t.Fatalf("LRR did not rotate at issue %d: %v", i, order)
 		}
+	}
+}
+
+func TestNewVariantValidation(t *testing.T) {
+	if _, err := NewVariant(4, 1, 4, uarch.Variant{Scheduler: "greedy"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := NewVariant(4, 1, 4, uarch.Variant{IssueWidth: uarch.MaxIssueWidth + 1}); err == nil {
+		t.Error("out-of-range issue width accepted")
+	}
+	if _, err := NewVariant(0, 1, 4, uarch.Variant{}); err == nil {
+		t.Error("zero warps accepted")
+	}
+	if _, err := NewWithPolicy(4, 1, 4, TwoLevel); err != nil {
+		t.Errorf("two-level construction failed: %v", err)
+	}
+}
+
+// TestVariantDefaultMatchesNew pins satellite contract behind the
+// constructor dedup: an explicitly-default variant must behave exactly like
+// New on a mixed workload — same drain time, same statistics.
+func TestVariantDefaultMatchesNew(t *testing.T) {
+	launch := func(s *SM) {
+		s.LaunchCTA([]trace.Program{loadProg(6), computeProg(9), loadProg(3)})
+	}
+	ref := MustNew(8, 2, 4)
+	launch(ref)
+	refCycles := run(t, ref, &fixedMem{lat: 37}, 1<<20)
+
+	s := MustNewVariant(8, 2, 4, uarch.Variant{
+		Scheduler: uarch.SchedGTO, L1: uarch.L1Line, NoC: uarch.RouteXbar, IssueWidth: 1})
+	launch(s)
+	cycles := run(t, s, &fixedMem{lat: 37}, 1<<20)
+	if cycles != refCycles || s.Stats() != ref.Stats() {
+		t.Errorf("explicit-default variant diverged from New: %d/%d cycles\n variant %+v\n default %+v",
+			cycles, refCycles, s.Stats(), ref.Stats())
+	}
+}
+
+// TestTwoLevelStaysInActiveGroup pins the two-level scheduler's defining
+// behaviour: warp slots 0–7 form fetch group 0 and slot 8 group 1, and with
+// group 0 always holding a ready warp, slot 8's accesses come strictly after
+// every group-0 warp has retired.
+func TestTwoLevelStaysInActiveGroup(t *testing.T) {
+	s := MustNewVariant(16, 2, 1, uarch.Variant{Scheduler: uarch.SchedTwoLevel})
+	var order []uint64
+	mem := &recordingMem{lat: 1, order: &order}
+	regionA := &trace.SeqGen{Base: 0, Stride: 128, Extent: 1 << 20}
+	regionB := &trace.SeqGen{Base: 1 << 30, Stride: 128, Extent: 1 << 20}
+	regionC := &trace.SeqGen{Base: 1 << 40, Stride: 128, Extent: 1 << 20}
+	progs := []trace.Program{
+		trace.NewPhaseProgram(trace.Phase{N: 4, ComputePer: 0, Gen: regionA}),
+		trace.NewPhaseProgram(trace.Phase{N: 4, ComputePer: 0, Gen: regionB}),
+	}
+	for i := 2; i < 8; i++ {
+		progs = append(progs, computeProg(1))
+	}
+	progs = append(progs, trace.NewPhaseProgram(trace.Phase{N: 4, ComputePer: 0, Gen: regionC}))
+	s.LaunchCTA(progs)
+	run(t, s, mem, 1000)
+	if len(order) != 12 {
+		t.Fatalf("issued %d memory ops, want 12", len(order))
+	}
+	for i, addr := range order[:8] {
+		if addr >= 1<<40 {
+			t.Fatalf("group-1 warp issued at position %d while group 0 had ready warps: %v", i, order)
+		}
+	}
+	for i, addr := range order[8:] {
+		if addr < 1<<40 {
+			t.Fatalf("group-0 access at position %d after the group drained: %v", 8+i, order)
+		}
+	}
+}
+
+// TestTwoLevelRotatesWithinGroup verifies the within-group LRR re-keying:
+// two always-ready warps in the same fetch group alternate strictly.
+func TestTwoLevelRotatesWithinGroup(t *testing.T) {
+	s := MustNewVariant(8, 1, 1, uarch.Variant{Scheduler: uarch.SchedTwoLevel})
+	var order []uint64
+	mem := &recordingMem{lat: 1, order: &order}
+	g0 := &trace.SeqGen{Base: 0, Stride: 128, Extent: 1 << 20}
+	g1 := &trace.SeqGen{Base: 1 << 30, Stride: 128, Extent: 1 << 20}
+	s.LaunchCTA([]trace.Program{
+		trace.NewPhaseProgram(trace.Phase{N: 4, ComputePer: 0, Gen: g0}),
+		trace.NewPhaseProgram(trace.Phase{N: 4, ComputePer: 0, Gen: g1}),
+	})
+	now := int64(0)
+	for s.LiveWarps() > 0 && now < 1000 {
+		s.Accrue(s.Tick(now, mem), 1)
+		now++
+	}
+	if len(order) != 8 {
+		t.Fatalf("issued %d memory ops, want 8", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if (order[i] >= 1<<30) == (order[i-1] >= 1<<30) {
+			t.Fatalf("two-level did not rotate within the group at issue %d: %v", i, order)
+		}
+	}
+}
+
+// TestIssueWidthScalesThroughput: 8 independent dependent-latency-4 compute
+// warps saturate one issue slot exactly (IPC 1); doubling the width to 2
+// should roughly double throughput (IPC 2, warps allowing).
+func TestIssueWidthScalesThroughput(t *testing.T) {
+	launch := func(s *SM) {
+		progs := make([]trace.Program, 8)
+		for i := range progs {
+			progs[i] = computeProg(25)
+		}
+		s.LaunchCTA(progs)
+	}
+	single := MustNewVariant(8, 1, 4, uarch.Variant{})
+	launch(single)
+	c1 := run(t, single, &fixedMem{lat: 1}, 10000)
+
+	dual := MustNewVariant(8, 1, 4, uarch.Variant{IssueWidth: 2})
+	launch(dual)
+	c2 := run(t, dual, &fixedMem{lat: 1}, 10000)
+
+	if ipc := float64(single.Stats().Instructions) / float64(c1); ipc < 0.9 {
+		t.Errorf("width-1 IPC = %v, want ≈1", ipc)
+	}
+	if ipc := float64(dual.Stats().Instructions) / float64(c2); ipc < 1.8 {
+		t.Errorf("width-2 IPC = %v, want ≈2", ipc)
+	}
+	if c2*3 > c1*2 {
+		t.Errorf("width 2 took %d cycles vs %d at width 1; expected a near-2x cut", c2, c1)
 	}
 }
 

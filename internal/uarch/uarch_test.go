@@ -1,0 +1,151 @@
+package uarch
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Variant{
+		{},
+		{Scheduler: SchedGTO, L1: L1Line, NoC: RouteXbar, IssueWidth: 1},
+		{Scheduler: SchedTwoLevel},
+		{L1: L1Sectored, NoC: RouteDeflect, IssueWidth: MaxIssueWidth},
+	}
+	for _, v := range good {
+		if err := v.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", v, err)
+		}
+	}
+	bad := []Variant{
+		{Scheduler: "greedy"},
+		{L1: "sector"},
+		{NoC: "mesh"},
+		{IssueWidth: -1},
+		{IssueWidth: MaxIssueWidth + 1},
+	}
+	for _, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", v)
+		}
+	}
+}
+
+func TestNormalizeCanonicalRoundTrip(t *testing.T) {
+	// Normalize spells every default out; Canonical strips them back.
+	if got := (Variant{}).Normalize(); got != (Variant{Scheduler: SchedGTO, L1: L1Line, NoC: RouteXbar, IssueWidth: 1}) {
+		t.Fatalf("Normalize(zero) = %+v", got)
+	}
+	if got := (Variant{}).Normalize().Canonical(); got != (Variant{}) {
+		t.Fatalf("Canonical(Normalize(zero)) = %+v, want zero", got)
+	}
+	v := Variant{Scheduler: SchedLRR, IssueWidth: 2}
+	if got := v.Normalize().Canonical(); got != v {
+		t.Fatalf("Canonical(Normalize(%+v)) = %+v", v, got)
+	}
+}
+
+func TestIsDefault(t *testing.T) {
+	if !(Variant{}).IsDefault() {
+		t.Error("zero Variant is not default")
+	}
+	if !(Variant{Scheduler: SchedGTO, L1: L1Line, NoC: RouteXbar, IssueWidth: 1}).IsDefault() {
+		t.Error("explicitly-spelled baseline is not default")
+	}
+	for _, v := range []Variant{
+		{Scheduler: SchedLRR},
+		{Scheduler: SchedTwoLevel},
+		{L1: L1Sectored},
+		{NoC: RouteDeflect},
+		{IssueWidth: 2},
+	} {
+		if v.IsDefault() {
+			t.Errorf("%+v reported default", v)
+		}
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Variant
+	}{
+		{"", Variant{}},
+		{"default", Variant{}},
+		{"gto", Variant{Scheduler: SchedGTO}},
+		{"two-level", Variant{Scheduler: SchedTwoLevel}},
+		{"sectored", Variant{L1: L1Sectored}},
+		{"bufferless-deflect", Variant{NoC: RouteDeflect}},
+		{"deflect", Variant{NoC: RouteDeflect}},
+		{"two-level,deflect", Variant{Scheduler: SchedTwoLevel, NoC: RouteDeflect}},
+		{"iw=4", Variant{IssueWidth: 4}},
+		{"two-level,sectored,bufferless-deflect,iw=2", Variant{
+			Scheduler: SchedTwoLevel, L1: L1Sectored, NoC: RouteDeflect, IssueWidth: 2}},
+		{" lrr , line ", Variant{Scheduler: SchedLRR, L1: L1Line}},
+	}
+	for _, c := range cases {
+		got, err := ParseVariant(c.in)
+		if err != nil {
+			t.Errorf("ParseVariant(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseVariant(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"greedy", "gto,lrr", "iw=0", "iw=9", "iw=x", "sectored,sectored", "deflect,xbar"} {
+		if _, err := ParseVariant(in); err == nil {
+			t.Errorf("ParseVariant(%q) = nil error, want error", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, v := range []Variant{
+		{},
+		{Scheduler: SchedTwoLevel},
+		{Scheduler: SchedLRR, L1: L1Sectored, NoC: RouteDeflect, IssueWidth: 3},
+	} {
+		got, err := ParseVariant(v.String())
+		if err != nil {
+			t.Errorf("ParseVariant(%q): %v", v.String(), err)
+			continue
+		}
+		if got != v.Canonical() {
+			t.Errorf("round trip of %+v via %q = %+v", v, v.String(), got)
+		}
+	}
+	if s := (Variant{}).String(); s != "default" {
+		t.Errorf("zero Variant renders %q, want \"default\"", s)
+	}
+}
+
+// TestJSONOmitsDefaults pins the wire shape the canonical request hash
+// depends on: a canonical (default-stripped) Variant marshals to "{}", and
+// every field uses its documented wire name.
+func TestJSONOmitsDefaults(t *testing.T) {
+	buf, err := json.Marshal(Variant{}.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "{}" {
+		t.Fatalf("canonical zero Variant marshals to %s, want {}", buf)
+	}
+	buf, err = json.Marshal(Variant{Scheduler: SchedTwoLevel, L1: L1Sectored, NoC: RouteDeflect, IssueWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"scheduler":"two-level","l1":"sectored","noc":"bufferless-deflect","issue_width":2}`
+	if string(buf) != want {
+		t.Fatalf("marshal = %s, want %s", buf, want)
+	}
+}
+
+// TestConfidencePenaltyForcesEscalation pins the relation the auto tier
+// relies on: the variant penalty alone takes even a perfect confidence below
+// the default escalation threshold (0.5, see gpuscale.DefaultConfidenceThreshold).
+func TestConfidencePenaltyForcesEscalation(t *testing.T) {
+	if ConfidencePenalty*1.0 >= 0.5 {
+		t.Fatalf("ConfidencePenalty %v does not force escalation below 0.5", ConfidencePenalty)
+	}
+}

@@ -141,6 +141,15 @@ type RequestOptions struct {
 	// auto escalation — so Canonicalize strips it; analytic responses are
 	// cached under their own keyspace (AnalyticCacheKey).
 	Tier string `json:"tier,omitempty"`
+	// Uarch selects the microarchitecture variant: warp scheduler, L1 fill
+	// granularity, NoC routing and issue width (docs/UARCH.md). Unlike
+	// Shards/Quantum/Tier it CHANGES simulated timing, so Canonicalize
+	// keeps it in the canonical form — two requests differing only here
+	// hash differently and cache separate bodies. Nil or all-default means
+	// the paper's Table III baseline and canonicalises to the field being
+	// absent, so legacy requests hash exactly as they did before this field
+	// existed.
+	Uarch *UarchVariant `json:"uarch,omitempty"`
 }
 
 // Request is one prediction-service operation in the canonical wire
@@ -257,15 +266,24 @@ func (r Request) Validate() error {
 	default:
 		return fmt.Errorf("gpuscale: unknown tier %q (want %q, %q or %q)", r.Options.Tier, TierCycle, TierAnalytic, TierAuto)
 	}
+	if r.Options.Uarch != nil {
+		if err := r.Options.Uarch.Validate(); err != nil {
+			return fmt.Errorf("gpuscale: %w", err)
+		}
+	}
 	return nil
 }
 
 // Canonicalize validates r, normalises it — Version becomes
-// RequestVersion, result-invariant options (Shards, Quantum) are stripped
-// — and returns the canonical JSON encoding plus its lowercase-hex
-// SHA-256, which the service and CLIs use as the cache key. Requests that
-// can only differ in host-side execution strategy canonicalise
-// identically.
+// RequestVersion, result-invariant options (Shards, Quantum, Tier) are
+// stripped — and returns the canonical JSON encoding plus its
+// lowercase-hex SHA-256, which the service and CLIs use as the cache key.
+// Requests that can only differ in host-side execution strategy
+// canonicalise identically. The microarchitecture variant is KEPT: it
+// changes simulated timing, so each variant owns its own cache entry. An
+// explicitly-spelled default variant ("gto", issue width 1, …) normalises
+// to an absent field, hashing identically to a legacy request that
+// predates the field.
 func Canonicalize(r Request) (canon []byte, hash string, err error) {
 	if err := r.Validate(); err != nil {
 		return nil, "", err
@@ -275,6 +293,14 @@ func Canonicalize(r Request) (canon []byte, hash string, err error) {
 	n.Options.Shards = 0
 	n.Options.Quantum = 0
 	n.Options.Tier = ""
+	if n.Options.Uarch != nil {
+		v := n.Options.Uarch.Canonical()
+		if v == (UarchVariant{}) {
+			n.Options.Uarch = nil
+		} else {
+			n.Options.Uarch = &v
+		}
+	}
 	canon, err = json.Marshal(n)
 	if err != nil {
 		return nil, "", fmt.Errorf("gpuscale: canonicalising request: %w", err)
@@ -323,6 +349,9 @@ func (r Request) ResolveSimulation() (SimTarget, error) {
 	var opts []SimOption
 	if r.Options.MaxCycles > 0 {
 		opts = append(opts, WithMaxCycles(r.Options.MaxCycles))
+	}
+	if r.Options.Uarch != nil {
+		opts = append(opts, WithUarch(*r.Options.Uarch))
 	}
 	if r.Target.Chiplets > 0 {
 		cfg, err := ScaleChiplets(Target16Chiplet(), r.Target.Chiplets)

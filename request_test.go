@@ -342,3 +342,97 @@ func TestResolveSimulation(t *testing.T) {
 		t.Error("ResolveSimulation accepted a predict request")
 	}
 }
+
+// TestCanonicalizeKeepsUarch pins the hash semantics of the
+// microarchitecture variant: unlike Shards/Quantum/Tier it changes
+// simulated timing, so it stays in the canonical form. Legacy requests
+// (no uarch field) must keep their exact pre-variant hashes — the literal
+// digests below were recorded before options.uarch existed — and an
+// explicitly-spelled default variant must collapse onto them.
+func TestCanonicalizeKeepsUarch(t *testing.T) {
+	legacy := []struct {
+		name string
+		r    gpuscale.Request
+		hash string
+	}{
+		{
+			"simulate/16sm/dct",
+			gpuscale.Request{Op: gpuscale.OpSimulate, Target: gpuscale.TargetSpec{SMs: 16}, Workload: gpuscale.WorkloadSpec{Bench: "dct"}},
+			"cfd45fc36b520efb3a28cbb9e5aaaf1cadaea142951b38e52b88ca21991a2a35",
+		},
+		{
+			"predict/bfs",
+			gpuscale.Request{Op: gpuscale.OpPredict, Workload: gpuscale.WorkloadSpec{Bench: "bfs"}, Options: gpuscale.RequestOptions{Shards: 4, Tier: gpuscale.TierAuto}},
+			"9946f4187df8df4624d488a4858b13f8cb4e4eca73e5ab88b64962980cd399ed",
+		},
+		{
+			"mrc/pf",
+			gpuscale.Request{Op: gpuscale.OpMRC, Workload: gpuscale.WorkloadSpec{Bench: "pf"}},
+			"0fa0e2547da887c4e6bddaac1cb926681af7bbc14a38c006f615439f5f48710c",
+		},
+	}
+	for _, c := range legacy {
+		_, h, err := gpuscale.Canonicalize(c.r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if h != c.hash {
+			t.Errorf("%s: legacy hash changed: got %s want %s", c.name, h, c.hash)
+		}
+		// Spelling the default variant out must hash identically to
+		// omitting it — the canonical form normalises defaults away.
+		r := c.r
+		r.Options.Uarch = &gpuscale.UarchVariant{Scheduler: gpuscale.SchedGTO, L1: gpuscale.L1Line, NoC: gpuscale.RouteXbar, IssueWidth: 1}
+		canon, h2, err := gpuscale.Canonicalize(r)
+		if err != nil {
+			t.Fatalf("%s explicit default: %v", c.name, err)
+		}
+		if h2 != c.hash {
+			t.Errorf("%s: explicit-default variant hash %s != legacy %s\ncanon %s", c.name, h2, c.hash, canon)
+		}
+		// A real variant must move the hash: it selects different simulated
+		// hardware and must never share the baseline's cached body.
+		r.Options.Uarch = &gpuscale.UarchVariant{Scheduler: gpuscale.SchedTwoLevel}
+		canon2, h3, err := gpuscale.Canonicalize(r)
+		if err != nil {
+			t.Fatalf("%s two-level: %v", c.name, err)
+		}
+		if h3 == c.hash {
+			t.Errorf("%s: two-level variant hashed identically to the baseline", c.name)
+		}
+		if !strings.Contains(string(canon2), `"uarch":{"scheduler":"two-level"}`) {
+			t.Errorf("%s: canonical form lacks the normalised variant: %s", c.name, canon2)
+		}
+		// Partial and fully-spelled forms of the same variant collapse.
+		r.Options.Uarch = &gpuscale.UarchVariant{Scheduler: gpuscale.SchedTwoLevel, L1: gpuscale.L1Line, NoC: gpuscale.RouteXbar, IssueWidth: 1}
+		_, h4, err := gpuscale.Canonicalize(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h4 != h3 {
+			t.Errorf("%s: equivalent variant spellings hash apart: %s vs %s", c.name, h4, h3)
+		}
+	}
+	// Distinct variants get distinct keys.
+	a := simRequest()
+	a.Options.Uarch = &gpuscale.UarchVariant{L1: gpuscale.L1Sectored}
+	b := simRequest()
+	b.Options.Uarch = &gpuscale.UarchVariant{NoC: gpuscale.RouteDeflect}
+	_, ha, err := gpuscale.Canonicalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hb, err := gpuscale.Canonicalize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha == hb {
+		t.Error("sectored and deflect variants share a cache key")
+	}
+	// Invalid variants fail validation before hashing.
+	bad := simRequest()
+	bad.Options.Uarch = &gpuscale.UarchVariant{Scheduler: "fifo"}
+	if _, _, err := gpuscale.Canonicalize(bad); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
